@@ -1,0 +1,88 @@
+// Command galo-experiments regenerates the paper's tables and figures
+// (Exp-1 .. Exp-6, Figures 9-14) using the experiment harness and prints each
+// as a text table. See EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	galo-experiments -exp all            # run everything (several minutes)
+//	galo-experiments -exp 1              # Figure 9  (learning scalability)
+//	galo-experiments -exp 2              # Figure 10 (re-optimization gains + reuse)
+//	galo-experiments -exp 3              # Figure 11 (matching scalability)
+//	galo-experiments -exp 4              # Figure 12 (routinization)
+//	galo-experiments -exp 5              # Figures 13 and 14 (vs experts)
+//	galo-experiments -exp 2 -scale 0.3 -tpcds-queries 99 -client-queries 116
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"galo/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: 1..5 or all (5 covers Exp-5 and Exp-6)")
+	scale := flag.Float64("scale", 0, "data scale factor (0 = harness default)")
+	seed := flag.Int64("seed", 0, "generation seed (0 = harness default)")
+	tpcdsQueries := flag.Int("tpcds-queries", 0, "number of TPC-DS queries (0 = harness default, 99 = full workload)")
+	clientQueries := flag.Int("client-queries", 0, "number of client queries (0 = harness default, 116 = full workload)")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	if *scale > 0 {
+		cfg.Scale = *scale
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *tpcdsQueries != 0 {
+		cfg.TPCDSQueries = *tpcdsQueries
+	}
+	if *clientQueries != 0 {
+		cfg.ClientQueries = *clientQueries
+	}
+
+	want := func(n string) bool { return *exp == "all" || strings.Contains(*exp, n) }
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "galo-experiments:", err)
+		os.Exit(1)
+	}
+
+	if want("1") {
+		rows, err := experiments.RunExp1(cfg, []int{1, 2, 3, 4})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderExp1(rows))
+	}
+	if want("2") {
+		res, err := experiments.RunExp2(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderExp2(res))
+	}
+	if want("3") {
+		rows, err := experiments.RunExp3(cfg, []int{2, 4, 8, 15, 24, 32})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderExp3(rows))
+	}
+	if want("4") {
+		rows, err := experiments.RunExp4(cfg, []int{10, 20, 40, 80}, []int{50, 200, 500, 1000})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderExp4(rows))
+	}
+	if want("5") || want("6") {
+		rows, err := experiments.RunExp56(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(experiments.RenderExp56(rows))
+	}
+}

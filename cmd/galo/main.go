@@ -1,0 +1,260 @@
+// Command galo is the command-line front end of the GALO reproduction: it
+// generates the evaluation databases, runs offline learning, re-optimizes
+// queries online, inspects the knowledge base and serves it over HTTP.
+//
+// Usage:
+//
+//	galo learn   -workload tpcds|client [-scale 0.2] [-queries N] [-kb kb.nt]
+//	galo reopt   -workload tpcds|client -kb kb.nt [-query "SELECT ..."] [-name TPCDS.Q09]
+//	galo kb      -kb kb.nt
+//	galo serve   -kb kb.nt [-addr :3030]
+//	galo explain -workload tpcds|client [-query "SELECT ..."]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"galo"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "learn":
+		err = runLearn(args)
+	case "reopt":
+		err = runReopt(args)
+	case "kb":
+		err = runKB(args)
+	case "serve":
+		err = runServe(args)
+	case "explain":
+		err = runExplain(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "galo: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "galo:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `galo — guided automated learning for query workload re-optimization
+
+commands:
+  learn    run offline learning over a workload and save the knowledge base
+  reopt    re-optimize queries online against a knowledge base
+  kb       list the templates stored in a knowledge base
+  serve    serve a knowledge base as a Fuseki-style SPARQL endpoint
+  explain  show the optimizer's plan for a query without GALO`)
+}
+
+type workloadFlags struct {
+	workload string
+	scale    float64
+	seed     int64
+	queries  int
+}
+
+func addWorkloadFlags(fs *flag.FlagSet) *workloadFlags {
+	wf := &workloadFlags{}
+	fs.StringVar(&wf.workload, "workload", "tpcds", "workload: tpcds or client")
+	fs.Float64Var(&wf.scale, "scale", 0.2, "data scale factor")
+	fs.Int64Var(&wf.seed, "seed", 20190522, "generation seed")
+	fs.IntVar(&wf.queries, "queries", 0, "limit the number of workload queries (0 = all)")
+	return wf
+}
+
+func (wf *workloadFlags) load() (*galo.Database, []*galo.Query, error) {
+	switch strings.ToLower(wf.workload) {
+	case "tpcds":
+		db, err := galo.GenerateTPCDS(galo.TPCDSOptions{Seed: wf.seed, Scale: wf.scale, Hazards: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		qs := galo.TPCDSQueries()
+		return db, limit(qs, wf.queries), nil
+	case "client":
+		db, err := galo.GenerateClient(galo.ClientOptions{Seed: wf.seed, Scale: wf.scale, Hazards: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		return db, limit(galo.ClientQueries(), wf.queries), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown workload %q (want tpcds or client)", wf.workload)
+	}
+}
+
+func limit(qs []*galo.Query, n int) []*galo.Query {
+	if n > 0 && n < len(qs) {
+		return qs[:n]
+	}
+	return qs
+}
+
+func runLearn(args []string) error {
+	fs := flag.NewFlagSet("learn", flag.ExitOnError)
+	wf := addWorkloadFlags(fs)
+	kbPath := fs.String("kb", "kb.nt", "path to write the knowledge base (N-Triples)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, queries, err := wf.load()
+	if err != nil {
+		return err
+	}
+	cfg := galo.DefaultConfig()
+	cfg.Learning.Workload = wf.workload
+	sys := galo.NewSystem(db, cfg)
+	fmt.Printf("learning over %d %s queries (scale %.2f)...\n", len(queries), wf.workload, wf.scale)
+	report, err := sys.Learn(queries)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("analyzed %d queries / %d sub-queries, learned %d problem-pattern templates (avg improvement %.0f%%)\n",
+		report.QueriesAnalyzed, report.SubQueriesAnalyzed, report.TemplatesAdded, report.AvgImprovement*100)
+	if err := sys.SaveKB(*kbPath); err != nil {
+		return err
+	}
+	fmt.Printf("knowledge base written to %s\n", *kbPath)
+	return nil
+}
+
+func runReopt(args []string) error {
+	fs := flag.NewFlagSet("reopt", flag.ExitOnError)
+	wf := addWorkloadFlags(fs)
+	kbPath := fs.String("kb", "kb.nt", "knowledge base to match against")
+	queryText := fs.String("query", "", "SQL text of a single query to re-optimize")
+	queryName := fs.String("name", "", "name of a workload query to re-optimize (e.g. TPCDS.Q09)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, queries, err := wf.load()
+	if err != nil {
+		return err
+	}
+	sys := galo.NewSystem(db, galo.DefaultConfig())
+	if err := sys.LoadKB(*kbPath); err != nil {
+		return err
+	}
+	targets := queries
+	if *queryText != "" {
+		q, err := galo.ParseSQL(*queryText)
+		if err != nil {
+			return err
+		}
+		q.Name = "ADHOC"
+		targets = []*galo.Query{q}
+	} else if *queryName != "" {
+		targets = nil
+		for _, q := range queries {
+			if strings.EqualFold(q.Name, *queryName) {
+				targets = []*galo.Query{q}
+			}
+		}
+		if len(targets) == 0 {
+			return fmt.Errorf("query %q not found in the %s workload", *queryName, wf.workload)
+		}
+	}
+	outcomes, summary, err := sys.ReoptimizeWorkload(targets)
+	if err != nil {
+		return err
+	}
+	for _, o := range outcomes {
+		status := "no match"
+		switch {
+		case o.Applied:
+			status = fmt.Sprintf("rewritten (%d rewrites), %.1f ms -> %.1f ms (%.0f%% faster)",
+				o.Rewrites, o.OriginalMillis, o.GaloMillis, o.Improvement()*100)
+		case o.Matched:
+			status = "matched, rewrite not kept (no runtime benefit in this context)"
+		}
+		fmt.Printf("%-14s %s\n", o.Query, status)
+	}
+	fmt.Printf("\n%d/%d queries matched, %d rewrites kept; average improvement %.0f%%\n",
+		summary.Matched, summary.Queries, summary.Applied, summary.AvgImprovement*100)
+	return nil
+}
+
+func runKB(args []string) error {
+	fs := flag.NewFlagSet("kb", flag.ExitOnError)
+	kbPath := fs.String("kb", "kb.nt", "knowledge base to inspect")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	data, err := os.ReadFile(*kbPath)
+	if err != nil {
+		return err
+	}
+	knowledge := galo.NewKnowledgeBase()
+	if err := knowledge.LoadNTriples(string(data)); err != nil {
+		return err
+	}
+	fmt.Printf("%d problem-pattern templates\n\n", knowledge.Size())
+	for _, t := range knowledge.Templates() {
+		fmt.Printf("template %s  (source %s/%s, %d joins, improvement %.0f%%)\n",
+			t.ID, t.SourceWorkload, t.SourceQuery, t.Joins, t.Improvement*100)
+		fmt.Printf("  problem: %s\n", t.Problem.Signature())
+	}
+	return nil
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	kbPath := fs.String("kb", "kb.nt", "knowledge base to serve")
+	addr := fs.String("addr", ":3030", "listen address")
+	wf := addWorkloadFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, _, err := wf.load()
+	if err != nil {
+		return err
+	}
+	sys := galo.NewSystem(db, galo.DefaultConfig())
+	if err := sys.LoadKB(*kbPath); err != nil {
+		return err
+	}
+	fmt.Printf("serving knowledge base (%d templates) on %s — POST SPARQL to /query\n", sys.KB.Size(), *addr)
+	return sys.ServeKB(*addr)
+}
+
+func runExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	wf := addWorkloadFlags(fs)
+	queryText := fs.String("query", "", "SQL text to explain (defaults to the first workload query)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	db, queries, err := wf.load()
+	if err != nil {
+		return err
+	}
+	sys := galo.NewSystem(db, galo.DefaultConfig())
+	q := queries[0]
+	if *queryText != "" {
+		if q, err = galo.ParseSQL(*queryText); err != nil {
+			return err
+		}
+		q.Name = "ADHOC"
+	}
+	plan, err := sys.Optimize(q)
+	if err != nil {
+		return err
+	}
+	fmt.Print(galo.FormatPlan(plan))
+	return nil
+}

@@ -1,0 +1,71 @@
+// Quickstart: build a small TPC-DS-like database, learn a knowledge base from
+// a handful of problem queries, then re-optimize one of them and show the
+// before/after plans and runtimes — the full offline + online GALO workflow
+// in one file.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"galo"
+)
+
+func main() {
+	// 1. A populated database with statistics. Hazards=true installs the
+	//    estimation blind spots (stale statistics, mis-configured transfer
+	//    rate) that make the optimizer beatable — the paper's premise.
+	db, err := galo.GenerateTPCDS(galo.TPCDSOptions{Seed: 1, Scale: 0.15, Hazards: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A GALO system over that database.
+	cfg := galo.DefaultConfig()
+	cfg.Learning.Workload = "tpcds"
+	sys := galo.NewSystem(db, cfg)
+
+	// 3. Offline learning over a few workload queries.
+	workload := galo.TPCDSQueries()[8:20] // the 2-join star queries
+	report, err := sys.Learn(workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("learned %d problem-pattern templates from %d queries (avg improvement %.0f%%)\n\n",
+		report.TemplatesAdded, report.QueriesAnalyzed, report.AvgImprovement*100)
+
+	// 4. Online re-optimization of an incoming query.
+	query := galo.MustParseSQL(`SELECT i_item_desc, ss_quantity, ss_sales_price
+		FROM store_sales, date_dim, item
+		WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk
+		AND d_year >= 1990 AND i_category = 'Jewelry'`)
+	query.Name = "QUICKSTART.Q1"
+
+	res, err := sys.Reoptimize(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== plan chosen by the cost-based optimizer ===")
+	fmt.Print(galo.FormatPlan(res.OriginalPlan))
+	if len(res.Matches) == 0 {
+		fmt.Println("no problem pattern matched this query")
+		return
+	}
+	fmt.Printf("\n%d problem pattern(s) matched; guideline document:\n", len(res.Matches))
+	xml, _ := res.Guidelines.XML()
+	fmt.Println(xml)
+	fmt.Println("\n=== plan after GALO re-optimization ===")
+	fmt.Print(galo.FormatPlan(res.ReoptimizedPlan))
+
+	// 5. Execute both plans to confirm the improvement.
+	before, err := sys.Execute(res.OriginalPlan, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := sys.Execute(res.ReoptimizedPlan, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsimulated runtime: %.1f ms -> %.1f ms (%d rows in both cases)\n",
+		before.Stats.ElapsedMillis, after.Stats.ElapsedMillis, len(after.Rows))
+}

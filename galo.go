@@ -1,0 +1,134 @@
+// Package galo is the public API of this repository's reproduction of
+// "Guided Automated Learning for query workload re-Optimization" (GALO,
+// PVLDB 2019).
+//
+// GALO adds a third tier of optimization — plan rewrite — on top of a
+// two-tier (query-rewrite + cost-based) optimizer. Offline, the learning
+// engine decomposes workload queries into sub-queries, benchmarks competing
+// plans from a random plan generator against the optimizer's choices, and
+// stores winning rewrites as abstracted problem-pattern templates in an
+// RDF/SPARQL knowledge base. Online, the matching engine probes the knowledge
+// base with SPARQL queries generated from an incoming plan's fragments and
+// re-optimizes the query with the matched guideline documents.
+//
+// A minimal end-to-end use looks like:
+//
+//	db, _ := galo.GenerateTPCDS(galo.TPCDSOptions{Seed: 1, Scale: 0.2, Hazards: true})
+//	sys := galo.NewSystem(db, galo.DefaultConfig())
+//	sys.Learn(galo.TPCDSQueries())                 // offline
+//	res, _ := sys.Reoptimize(galo.MustParseSQL(`SELECT ...`)) // online
+//
+// Everything runs on the self-contained minidb substrate in internal/ (SQL
+// parser, catalog, storage, cost-based optimizer, executor), which stands in
+// for IBM DB2; see DESIGN.md for the full substitution table.
+package galo
+
+import (
+	"galo/internal/core"
+	"galo/internal/executor"
+	"galo/internal/guideline"
+	"galo/internal/kb"
+	"galo/internal/learning"
+	"galo/internal/matching"
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+	"galo/internal/storage"
+	"galo/internal/workload/client"
+	"galo/internal/workload/tpcds"
+)
+
+// System is a GALO deployment over one database instance: a knowledge base
+// plus the offline learning and online re-optimization workflows.
+type System = core.System
+
+// Config configures a System.
+type Config = core.Config
+
+// QueryOutcome is the before/after record of one re-optimized workload query.
+type QueryOutcome = core.QueryOutcome
+
+// WorkloadSummary aggregates a re-optimized workload run.
+type WorkloadSummary = core.WorkloadSummary
+
+// LearningOptions configures the offline learning engine.
+type LearningOptions = learning.Options
+
+// LearningReport summarizes an offline learning run.
+type LearningReport = learning.Report
+
+// MatchingOptions configures the online matching engine.
+type MatchingOptions = matching.Options
+
+// MatchResult is the outcome of re-optimizing one query.
+type MatchResult = matching.Result
+
+// Query is a parsed SQL query.
+type Query = sqlparser.Query
+
+// Plan is a query execution plan (QGM).
+type Plan = qgm.Plan
+
+// ExecResult is the result of executing a plan.
+type ExecResult = executor.Result
+
+// KnowledgeBase is GALO's RDF-backed store of problem-pattern templates.
+type KnowledgeBase = kb.KB
+
+// Template is one problem-pattern template with its recommended rewrite.
+type Template = kb.Template
+
+// Guidelines is an OPTGUIDELINES document.
+type Guidelines = guideline.Document
+
+// Database is the minidb storage layer holding a populated schema.
+type Database = storage.Database
+
+// NewSystem creates a GALO system over a database with an empty knowledge
+// base.
+func NewSystem(db *Database, cfg Config) *System { return core.NewSystem(db, cfg) }
+
+// DefaultConfig returns the configuration used in the paper-reproduction
+// experiments.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultLearningOptions returns the default offline-learning configuration.
+func DefaultLearningOptions() LearningOptions { return learning.DefaultOptions() }
+
+// DefaultMatchingOptions returns the default online-matching configuration.
+func DefaultMatchingOptions() MatchingOptions { return matching.DefaultOptions() }
+
+// ParseSQL parses a SQL statement in the supported subset.
+func ParseSQL(sql string) (*Query, error) { return sqlparser.Parse(sql) }
+
+// MustParseSQL parses a SQL statement and panics on error.
+func MustParseSQL(sql string) *Query { return sqlparser.MustParse(sql) }
+
+// FormatPlan renders a plan as an indented operator tree in the style of the
+// paper's figures.
+func FormatPlan(p *Plan) string { return qgm.Format(p) }
+
+// NewKnowledgeBase returns an empty knowledge base.
+func NewKnowledgeBase() *KnowledgeBase { return kb.New() }
+
+// --- Workloads ---------------------------------------------------------------
+
+// TPCDSOptions controls generation of the TPC-DS-like evaluation workload.
+type TPCDSOptions = tpcds.GenOptions
+
+// ClientOptions controls generation of the IBM-client-like evaluation
+// workload.
+type ClientOptions = client.GenOptions
+
+// GenerateTPCDS builds the TPC-DS-like database (schema, data, statistics and
+// — when Hazards is set — the estimation hazards the problem patterns stem
+// from).
+func GenerateTPCDS(opts TPCDSOptions) (*Database, error) { return tpcds.Generate(opts) }
+
+// TPCDSQueries returns the 99-query TPC-DS-like workload.
+func TPCDSQueries() []*Query { return tpcds.Queries() }
+
+// GenerateClient builds the client-like database.
+func GenerateClient(opts ClientOptions) (*Database, error) { return client.Generate(opts) }
+
+// ClientQueries returns the 116-query client-like workload.
+func ClientQueries() []*Query { return client.Queries() }

@@ -1,0 +1,109 @@
+package catalog
+
+import "testing"
+
+func testSchema() *Schema {
+	s := NewSchema("TEST")
+	item := NewTable("item",
+		Column{Name: "i_item_sk", Type: KindInt},
+		Column{Name: "i_category", Type: KindString},
+		Column{Name: "i_current_price", Type: KindFloat},
+	)
+	item.PrimaryKey = []string{"I_ITEM_SK"}
+	if err := item.AddIndex(Index{Columns: []string{"i_item_sk"}, Unique: true, ClusterRatio: 0.95}); err != nil {
+		panic(err)
+	}
+	sales := NewTable("web_sales",
+		Column{Name: "ws_item_sk", Type: KindInt},
+		Column{Name: "ws_sold_date_sk", Type: KindInt},
+		Column{Name: "ws_quantity", Type: KindInt},
+	)
+	s.AddTable(item)
+	s.AddTable(sales)
+	return s
+}
+
+func TestTableColumnLookup(t *testing.T) {
+	s := testSchema()
+	item := s.Table("ITEM")
+	if item == nil {
+		t.Fatal("Table(ITEM) is nil")
+	}
+	if item.ColumnIndex("i_category") != 1 {
+		t.Errorf("ColumnIndex(i_category) = %d", item.ColumnIndex("i_category"))
+	}
+	if item.ColumnIndex("I_CATEGORY") != 1 {
+		t.Errorf("case-insensitive lookup failed")
+	}
+	if item.ColumnIndex("nope") != -1 {
+		t.Errorf("missing column should return -1")
+	}
+	if c := item.Column("i_current_price"); c == nil || c.Type != KindFloat {
+		t.Errorf("Column(i_current_price) = %+v", c)
+	}
+	names := item.ColumnNames()
+	if len(names) != 3 || names[0] != "I_ITEM_SK" {
+		t.Errorf("ColumnNames = %v", names)
+	}
+}
+
+func TestSchemaLookupCaseInsensitive(t *testing.T) {
+	s := testSchema()
+	if s.Table("item") == nil || s.Table("Item") == nil {
+		t.Errorf("case-insensitive table lookup failed")
+	}
+	if s.Table("missing") != nil {
+		t.Errorf("missing table should be nil")
+	}
+	if got := len(s.Tables()); got != 2 {
+		t.Errorf("Tables() len = %d", got)
+	}
+	names := s.TableNames()
+	if len(names) != 2 || names[0] != "ITEM" || names[1] != "WEB_SALES" {
+		t.Errorf("TableNames = %v", names)
+	}
+}
+
+func TestAddIndexValidation(t *testing.T) {
+	s := testSchema()
+	sales := s.Table("web_sales")
+	if err := sales.AddIndex(Index{Columns: []string{"no_such_col"}}); err == nil {
+		t.Errorf("AddIndex on unknown column should fail")
+	}
+	if err := sales.AddIndex(Index{Columns: []string{"ws_item_sk"}}); err != nil {
+		t.Fatalf("AddIndex: %v", err)
+	}
+	idx := sales.IndexOn("WS_ITEM_SK")
+	if idx == nil {
+		t.Fatal("IndexOn returned nil")
+	}
+	if idx.Name == "" || idx.Table != "WEB_SALES" {
+		t.Errorf("index defaults not applied: %+v", idx)
+	}
+	if idx.ClusterRatio != 0.5 {
+		t.Errorf("default cluster ratio = %v", idx.ClusterRatio)
+	}
+	if sales.IndexByName(idx.Name) == nil {
+		t.Errorf("IndexByName(%q) is nil", idx.Name)
+	}
+	if sales.IndexOn("ws_quantity") != nil {
+		t.Errorf("IndexOn(ws_quantity) should be nil")
+	}
+}
+
+func TestResolveColumn(t *testing.T) {
+	s := testSchema()
+	owner, err := s.ResolveColumn("i_category", []string{"ITEM", "WEB_SALES"})
+	if err != nil || owner != "ITEM" {
+		t.Errorf("ResolveColumn = %q, %v", owner, err)
+	}
+	if _, err := s.ResolveColumn("unknown_col", []string{"ITEM"}); err == nil {
+		t.Errorf("ResolveColumn should fail for unknown column")
+	}
+	// Ambiguity: add a table that shares a column name.
+	dup := NewTable("item2", Column{Name: "i_category", Type: KindString})
+	s.AddTable(dup)
+	if _, err := s.ResolveColumn("i_category", []string{"ITEM", "ITEM2"}); err == nil {
+		t.Errorf("ResolveColumn should report ambiguity")
+	}
+}

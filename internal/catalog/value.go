@@ -1,0 +1,242 @@
+// Package catalog defines the schema metadata, value model, and statistics
+// used by the minidb substrate (parser, optimizer, executor) and by GALO's
+// learning engine.
+//
+// The catalog plays the role DB2's system catalog plays in the paper: it is
+// where the optimizer gets table cardinalities, column distinct counts and
+// frequent-value statistics, and where deliberate blind spots (stale stats,
+// ignored column correlation) create the estimation errors that GALO learns
+// to repair.
+package catalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the runtime value kinds supported by minidb.
+type Kind uint8
+
+// Value kinds.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindDate // stored as days since 1970-01-01 in I
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INTEGER"
+	case KindFloat:
+		return "DOUBLE"
+	case KindString:
+		return "VARCHAR"
+	case KindDate:
+		return "DATE"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("KIND(%d)", uint8(k))
+	}
+}
+
+// Value is a compact tagged union holding a single SQL value. The zero Value
+// is SQL NULL.
+type Value struct {
+	K Kind
+	I int64
+	F float64
+	S string
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{K: KindNull} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{K: KindInt, I: i} }
+
+// Float returns a floating point value.
+func Float(f float64) Value { return Value{K: KindFloat, F: f} }
+
+// String returns a string value.
+func String(s string) Value { return Value{K: KindString, S: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	v := Value{K: KindBool}
+	if b {
+		v.I = 1
+	}
+	return v
+}
+
+// Date returns a date value for the given civil date.
+func Date(year int, month time.Month, day int) Value {
+	t := time.Date(year, month, day, 0, 0, 0, 0, time.UTC)
+	return Value{K: KindDate, I: int64(t.Unix() / 86400)}
+}
+
+// DateFromDays returns a date value holding the given number of days since
+// the Unix epoch.
+func DateFromDays(days int64) Value { return Value{K: KindDate, I: days} }
+
+// ParseDate parses a 'YYYY-MM-DD' literal into a date value.
+func ParseDate(s string) (Value, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return Null(), fmt.Errorf("catalog: parse date %q: %w", s, err)
+	}
+	return Value{K: KindDate, I: int64(t.Unix() / 86400)}, nil
+}
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.K == KindNull }
+
+// AsBool reports the truthiness of the value (NULL is false).
+func (v Value) AsBool() bool {
+	switch v.K {
+	case KindBool, KindInt, KindDate:
+		return v.I != 0
+	case KindFloat:
+		return v.F != 0
+	case KindString:
+		return v.S != ""
+	default:
+		return false
+	}
+}
+
+// AsFloat converts numeric values to float64; strings parse if possible.
+func (v Value) AsFloat() float64 {
+	switch v.K {
+	case KindInt, KindBool, KindDate:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	case KindString:
+		f, err := strconv.ParseFloat(v.S, 64)
+		if err != nil {
+			return 0
+		}
+		return f
+	default:
+		return 0
+	}
+}
+
+// AsInt converts numeric values to int64.
+func (v Value) AsInt() int64 {
+	switch v.K {
+	case KindInt, KindBool, KindDate:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	case KindString:
+		i, err := strconv.ParseInt(v.S, 10, 64)
+		if err != nil {
+			return 0
+		}
+		return i
+	default:
+		return 0
+	}
+}
+
+// AsString renders the value as a string, the way it would appear in a
+// result set.
+func (v Value) AsString() string {
+	switch v.K {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindDate:
+		return time.Unix(v.I*86400, 0).UTC().Format("2006-01-02")
+	case KindBool:
+		if v.I != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return fmt.Sprintf("<%v>", v.K)
+	}
+}
+
+// SQLLiteral renders the value as a SQL literal (strings and dates quoted).
+func (v Value) SQLLiteral() string {
+	switch v.K {
+	case KindString:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	case KindDate:
+		return "'" + v.AsString() + "'"
+	default:
+		return v.AsString()
+	}
+}
+
+// Compare orders two values. NULL sorts before everything; values of
+// different numeric kinds compare numerically; strings compare
+// lexicographically. It returns -1, 0, or +1.
+func Compare(a, b Value) int {
+	if a.K == KindNull || b.K == KindNull {
+		switch {
+		case a.K == KindNull && b.K == KindNull:
+			return 0
+		case a.K == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.K == KindString && b.K == KindString {
+		return strings.Compare(a.S, b.S)
+	}
+	if a.K == KindString || b.K == KindString {
+		// Mixed string/numeric comparison falls back to string form.
+		return strings.Compare(a.AsString(), b.AsString())
+	}
+	af, bf := a.AsFloat(), b.AsFloat()
+	switch {
+	case af < bf:
+		return -1
+	case af > bf:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports SQL equality between two values. NULL equals nothing,
+// including NULL.
+func Equal(a, b Value) bool {
+	if a.K == KindNull || b.K == KindNull {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Key returns a string usable as a hash key that is consistent with Equal
+// (two Equal values have the same Key).
+func (v Value) Key() string {
+	switch v.K {
+	case KindNull:
+		return "\x00null"
+	case KindString:
+		return "s:" + v.S
+	default:
+		return "n:" + strconv.FormatFloat(v.AsFloat(), 'g', -1, 64)
+	}
+}

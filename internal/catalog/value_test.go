@@ -1,0 +1,134 @@
+package catalog
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if !Null().IsNull() {
+		t.Fatal("Null() should be null")
+	}
+	if Int(42).AsInt() != 42 {
+		t.Errorf("Int roundtrip failed")
+	}
+	if Float(3.5).AsFloat() != 3.5 {
+		t.Errorf("Float roundtrip failed")
+	}
+	if String("abc").AsString() != "abc" {
+		t.Errorf("String roundtrip failed")
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Errorf("Bool roundtrip failed")
+	}
+	d := Date(2016, time.January, 2)
+	if d.AsString() != "2016-01-02" {
+		t.Errorf("Date rendered %q, want 2016-01-02", d.AsString())
+	}
+}
+
+func TestParseDate(t *testing.T) {
+	v, err := ParseDate("2016-01-02")
+	if err != nil {
+		t.Fatalf("ParseDate: %v", err)
+	}
+	if v.K != KindDate {
+		t.Fatalf("ParseDate kind = %v", v.K)
+	}
+	if v.AsString() != "2016-01-02" {
+		t.Errorf("ParseDate roundtrip = %q", v.AsString())
+	}
+	if _, err := ParseDate("not-a-date"); err == nil {
+		t.Errorf("ParseDate should fail on garbage")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(1), 1},
+		{Int(2), Int(2), 0},
+		{Int(2), Float(2.0), 0},
+		{Float(1.5), Int(2), -1},
+		{String("a"), String("b"), -1},
+		{String("b"), String("a"), 1},
+		{String("a"), String("a"), 0},
+		{Null(), Int(1), -1},
+		{Int(1), Null(), 1},
+		{Null(), Null(), 0},
+		{Date(2020, 1, 1), Date(2021, 1, 1), -1},
+	}
+	for i, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("case %d: Compare(%v,%v) = %d, want %d", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqualNullSemantics(t *testing.T) {
+	if Equal(Null(), Null()) {
+		t.Errorf("NULL = NULL must be false under SQL semantics")
+	}
+	if Equal(Null(), Int(1)) || Equal(Int(1), Null()) {
+		t.Errorf("NULL = x must be false")
+	}
+	if !Equal(Int(3), Float(3)) {
+		t.Errorf("3 = 3.0 should hold")
+	}
+}
+
+func TestSQLLiteralQuoting(t *testing.T) {
+	if got := String("O'Hara").SQLLiteral(); got != "'O''Hara'" {
+		t.Errorf("SQLLiteral = %q", got)
+	}
+	if got := Int(7).SQLLiteral(); got != "7" {
+		t.Errorf("SQLLiteral int = %q", got)
+	}
+	if got := Date(2016, 1, 2).SQLLiteral(); got != "'2016-01-02'" {
+		t.Errorf("SQLLiteral date = %q", got)
+	}
+}
+
+func TestValueKeyConsistentWithEqual(t *testing.T) {
+	// Property: Equal(a,b) => a.Key() == b.Key().
+	f := func(ai, bi int64) bool {
+		a, b := Int(ai), Int(bi)
+		if Equal(a, b) && a.Key() != b.Key() {
+			return false
+		}
+		// Also cross-kind.
+		af, bf := Float(float64(ai)), Float(float64(bi))
+		if Equal(a, af) && a.Key() != af.Key() {
+			return false
+		}
+		_ = bf
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Compare(Int(a), Int(b)) == -Compare(Int(b), Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNull: "NULL", KindInt: "INTEGER", KindFloat: "DOUBLE",
+		KindString: "VARCHAR", KindDate: "DATE", KindBool: "BOOLEAN",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

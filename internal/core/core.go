@@ -1,0 +1,221 @@
+// Package core wires GALO's components — the transformation engine, the
+// learning engine, the matching engine and the knowledge base — into the two
+// workflows of the paper's Figure 2: offline learning over a workload, and
+// online re-optimization of incoming queries.
+//
+// This is the system a deployment interacts with; the root package galo
+// re-exports it as the public API.
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+
+	"galo/internal/executor"
+	"galo/internal/fuseki"
+	"galo/internal/kb"
+	"galo/internal/learning"
+	"galo/internal/matching"
+	"galo/internal/optimizer"
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+	"galo/internal/storage"
+)
+
+// Config configures a GALO system.
+type Config struct {
+	// Learning configures the offline learning engine.
+	Learning learning.Options
+	// Matching configures the online matching engine.
+	Matching matching.Options
+	// RemoteKB optionally points at a Fuseki-style SPARQL endpoint to use for
+	// matching instead of the in-process knowledge base.
+	RemoteKB string
+}
+
+// DefaultConfig returns the configuration used throughout the experiments.
+func DefaultConfig() Config {
+	return Config{Learning: learning.DefaultOptions(), Matching: matching.DefaultOptions()}
+}
+
+// System is one GALO deployment over a database instance.
+type System struct {
+	DB     *storage.Database
+	KB     *kb.KB
+	Config Config
+}
+
+// NewSystem creates a GALO system over the database with an empty knowledge
+// base.
+func NewSystem(db *storage.Database, cfg Config) *System {
+	if cfg.Matching.MaxJoins == 0 {
+		cfg.Matching = matching.DefaultOptions()
+	}
+	if cfg.Learning.JoinThreshold == 0 {
+		cfg.Learning = learning.DefaultOptions()
+	}
+	return &System{DB: db, KB: kb.New(), Config: cfg}
+}
+
+// endpoint returns the knowledge base endpoint used for matching.
+func (s *System) endpoint() matching.Endpoint {
+	if s.Config.RemoteKB != "" {
+		return fuseki.NewClient(s.Config.RemoteKB)
+	}
+	return fuseki.LocalEndpoint{Store: s.KB.Store()}
+}
+
+// Learn runs the offline learning workflow over the workload queries and
+// populates the knowledge base.
+func (s *System) Learn(queries []*sqlparser.Query) (*learning.Report, error) {
+	engine := learning.New(s.DB, s.KB, s.Config.Learning)
+	return engine.LearnWorkload(queries)
+}
+
+// Optimize plans a query without GALO's third optimization tier (the baseline
+// the experiments compare against).
+func (s *System) Optimize(q *sqlparser.Query) (*qgm.Plan, error) {
+	opt := optimizer.New(s.DB.Catalog, s.Config.Matching.OptimizerOptions)
+	plan, _, err := opt.Optimize(q)
+	return plan, err
+}
+
+// Reoptimize runs the online workflow for one query: plan, match against the
+// knowledge base, and re-optimize with the matched guidelines.
+func (s *System) Reoptimize(q *sqlparser.Query) (*matching.Result, error) {
+	engine := matching.New(s.DB.Catalog, s.endpoint(), s.Config.Matching)
+	return engine.Reoptimize(q)
+}
+
+// Execute runs a plan and returns its result and runtime statistics.
+func (s *System) Execute(plan *qgm.Plan, q *sqlparser.Query) (*executor.Result, error) {
+	return executor.New(s.DB).Execute(plan, q)
+}
+
+// QueryOutcome is the before/after record of one workload query, the unit of
+// Figure 10.
+type QueryOutcome struct {
+	Query string
+	// Matched reports whether any knowledge base pattern matched the plan;
+	// Applied reports whether the rewritten plan was kept after validation.
+	Matched bool
+	Applied bool
+	Rewrites       int
+	OriginalMillis float64
+	GaloMillis     float64
+	MatchMillis    float64
+}
+
+// Improvement returns the relative improvement of the GALO plan (0 when no
+// rewrite was applied).
+func (o QueryOutcome) Improvement() float64 {
+	if !o.Applied || o.OriginalMillis <= 0 {
+		return 0
+	}
+	return (o.OriginalMillis - o.GaloMillis) / o.OriginalMillis
+}
+
+// WorkloadSummary aggregates a re-optimized workload run.
+type WorkloadSummary struct {
+	Queries        int
+	Matched        int
+	Applied        int
+	AvgImprovement float64 // over applied queries
+	TotalOriginal  float64
+	TotalGalo      float64
+}
+
+// ReoptimizeWorkload re-optimizes and executes every query of a workload,
+// returning per-query outcomes and a summary. Query runtimes are simulated
+// (executor time model); the real wall-clock matching overhead — marginal in
+// the paper, since real queries run for minutes — is reported separately in
+// each outcome's MatchMillis.
+//
+// Rewrites are validated the way the paper's routinization does when the
+// workload is periodically executed: the rewritten plan is kept only when it
+// does not run slower than the original, so a matched pattern whose benefit
+// does not transfer to this query's context never regresses the workload.
+func (s *System) ReoptimizeWorkload(queries []*sqlparser.Query) ([]QueryOutcome, WorkloadSummary, error) {
+	exec := executor.New(s.DB)
+	var outcomes []QueryOutcome
+	var summary WorkloadSummary
+	improvements := 0.0
+	for _, q := range queries {
+		res, err := s.Reoptimize(q)
+		if err != nil {
+			return nil, summary, fmt.Errorf("reoptimize %s: %w", q.Name, err)
+		}
+		origRun, err := exec.Execute(res.OriginalPlan, q)
+		if err != nil {
+			return nil, summary, fmt.Errorf("execute %s: %w", q.Name, err)
+		}
+		outcome := QueryOutcome{
+			Query:          q.Name,
+			OriginalMillis: origRun.Stats.ElapsedMillis,
+			GaloMillis:     origRun.Stats.ElapsedMillis,
+			MatchMillis:    res.MatchMillis,
+		}
+		if res.ReoptimizedPlan != nil && res.Rewritten() {
+			galoRun, err := exec.Execute(res.ReoptimizedPlan, q)
+			if err != nil {
+				return nil, summary, fmt.Errorf("execute rewritten %s: %w", q.Name, err)
+			}
+			outcome.Matched = true
+			outcome.Rewrites = len(res.Matches)
+			if galoRun.Stats.ElapsedMillis <= origRun.Stats.ElapsedMillis {
+				outcome.Applied = true
+				outcome.GaloMillis = galoRun.Stats.ElapsedMillis
+			}
+		}
+		outcomes = append(outcomes, outcome)
+		summary.Queries++
+		summary.TotalOriginal += outcome.OriginalMillis
+		summary.TotalGalo += outcome.GaloMillis
+		if outcome.Matched {
+			summary.Matched++
+		}
+		if outcome.Applied {
+			summary.Applied++
+			improvements += outcome.Improvement()
+		}
+	}
+	if summary.Applied > 0 {
+		summary.AvgImprovement = improvements / float64(summary.Applied)
+	}
+	return outcomes, summary, nil
+}
+
+// SaveKB writes the knowledge base to a file in N-Triples format.
+func (s *System) SaveKB(path string) error {
+	return os.WriteFile(path, []byte(s.KB.NTriples()), 0o644)
+}
+
+// LoadKB loads a knowledge base previously written with SaveKB, replacing the
+// current one.
+func (s *System) LoadKB(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fresh := kb.New()
+	if err := fresh.LoadNTriples(string(data)); err != nil {
+		return err
+	}
+	s.KB = fresh
+	return nil
+}
+
+// ImportKB merges another system's knowledge base into this one (the
+// cross-workload knowledge sharing of Exp-2).
+func (s *System) ImportKB(other *kb.KB) error { return s.KB.Merge(other) }
+
+// ServeKB exposes the knowledge base as a Fuseki-style SPARQL endpoint on the
+// given address; it blocks until the server stops.
+func (s *System) ServeKB(addr string) error {
+	return http.ListenAndServe(addr, fuseki.NewServer(s.KB.Store()))
+}
+
+// KBHandler returns the HTTP handler serving the knowledge base, for callers
+// that want to manage the listener themselves.
+func (s *System) KBHandler() http.Handler { return fuseki.NewServer(s.KB.Store()) }

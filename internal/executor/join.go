@@ -1,0 +1,267 @@
+package executor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"galo/internal/catalog"
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+	"galo/internal/storage"
+)
+
+// joinKey describes the equi-join columns between the outer and inner inputs
+// of a join, as positions into the respective rowsets.
+type joinKey struct {
+	outerPos []int
+	innerPos []int
+}
+
+// runJoin executes one join operator. Result rows are always computed with a
+// hash-based algorithm for speed; the simulated time is charged according to
+// the operator's own execution characteristics over the actual row counts.
+func (c *execContext) runJoin(node *qgm.Node) (*rowset, error) {
+	outer, err := c.run(node.Outer)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := c.run(node.Inner)
+	if err != nil {
+		return nil, err
+	}
+	key, preds := c.joinKeys(node, outer, inner)
+	joined := hashJoinRows(outer, inner, key)
+	cols := append(append([]string{}, outer.cols...), inner.cols...)
+	out := &rowset{cols: cols, rows: joined}
+
+	outerRows := float64(len(outer.rows))
+	innerRows := float64(len(inner.rows))
+	outRows := float64(len(joined))
+	cpu := c.cfg.CPUSpeed
+
+	switch node.Op {
+	case qgm.OpHSJOIN:
+		probeFactor := 1.0
+		if node.BloomFilter {
+			probeFactor = 0.6
+		}
+		millis := innerRows*cpu*2 + outerRows*cpu*probeFactor + outRows*cpu*0.1
+		buildPages := pagesOf(c.cfg, innerRows, rowWidth(inner))
+		if buildPages > float64(c.cfg.SortHeapPages) {
+			spill := buildPages
+			outerPages := pagesOf(c.cfg, outerRows, rowWidth(outer))
+			if node.BloomFilter {
+				outerPages *= 0.5
+			}
+			spill += outerPages
+			millis += 2 * spill * c.rt()
+			c.stats.SortSpillPages += int64(spill)
+			c.stats.PhysicalReads += int64(spill)
+		}
+		c.stats.CPURows += int64(innerRows + outerRows)
+		c.charge(node, millis, len(joined))
+		out.sortedBy = outer.sortedBy
+
+	case qgm.OpNLJOIN:
+		matchedPerProbe := 0.0
+		if outerRows > 0 {
+			matchedPerProbe = outRows / outerRows
+		}
+		perProbe := c.nlProbeMillis(node.Inner, matchedPerProbe, innerRows)
+		millis := outerRows*perProbe + outRows*cpu
+		c.stats.CPURows += int64(outerRows)
+		c.charge(node, millis, len(joined))
+		out.sortedBy = outer.sortedBy
+
+	case qgm.OpMSJOIN:
+		// A merge join over sorted inputs can stop reading the outer as soon
+		// as its key exceeds the largest inner key (the Figure 8 early-out).
+		outerProcessed := outerRows
+		if node.EarlyOut && len(key.outerPos) > 0 && innerRows > 0 {
+			maxInner := maxKey(inner, key.innerPos[0])
+			processed := 0
+			for _, r := range outer.rows {
+				if catalog.Compare(r[key.outerPos[0]], maxInner) <= 0 {
+					processed++
+				}
+			}
+			outerProcessed = float64(processed) + 1
+			if outerProcessed > outerRows {
+				outerProcessed = outerRows
+			}
+		}
+		if innerRows == 0 {
+			outerProcessed = 1
+		}
+		millis := (outerProcessed+innerRows)*cpu + outRows*cpu*0.5
+		c.stats.CPURows += int64(outerProcessed + innerRows)
+		c.charge(node, millis, len(joined))
+		if len(key.outerPos) > 0 {
+			out.sortedBy = outer.cols[key.outerPos[0]]
+		}
+	default:
+		return nil, fmt.Errorf("executor: unsupported join %s", node.Op)
+	}
+	_ = preds
+	return out, nil
+}
+
+// nlProbeMillis is the per-outer-row cost of probing the inner input of a
+// nested-loop join.
+func (c *execContext) nlProbeMillis(innerNode *qgm.Node, matchedPerProbe, innerRows float64) float64 {
+	cfg := c.cfg
+	tablePages := float64(c.exec.DB.Pages(innerNode.Table))
+	fitsBP := tablePages <= float64(cfg.BufferPoolPages)
+	if innerNode.Op == qgm.OpIXSCAN || innerNode.Op == qgm.OpFETCH {
+		cr := 0.5
+		if innerNode.Table != "" && innerNode.Index != "" {
+			if def := c.exec.DB.Catalog.Table(innerNode.Table); def != nil {
+				if idx := def.IndexByName(innerNode.Index); idx != nil {
+					cr = idx.ClusterRatio
+				}
+			}
+		}
+		perProbe := cfg.Overhead * 0.5
+		if fitsBP {
+			perProbe = c.rt()
+		}
+		fetchRows := math.Max(matchedPerProbe, 1)
+		randomIO := cfg.Overhead
+		if fitsBP {
+			randomIO = c.rt() * 0.25
+		}
+		if randomIO > 0 {
+			c.stats.PhysicalReads += int64(fetchRows * (1 - cr))
+		}
+		return perProbe + fetchRows*(1-cr)*randomIO + fetchRows*cr*c.rt()/8 + fetchRows*cfg.CPUSpeed
+	}
+	// Scan probe.
+	if fitsBP {
+		return tablePages*c.rt()*0.05 + innerRows*cfg.CPUSpeed
+	}
+	return tablePages*c.rt() + innerRows*cfg.CPUSpeed
+}
+
+// joinKeys finds the equi-join column positions between the two inputs.
+func (c *execContext) joinKeys(node *qgm.Node, outer, inner *rowset) (joinKey, []sqlparser.Predicate) {
+	outerInst := instanceSet(node.Outer)
+	innerInst := instanceSet(node.Inner)
+	var key joinKey
+	var used []sqlparser.Predicate
+	for _, p := range c.query.JoinPredicates() {
+		li := c.refToInst[strings.ToUpper(p.Left.Table)]
+		ri := c.refToInst[strings.ToUpper(p.Right.Table)]
+		var op, ip int
+		switch {
+		case outerInst[li] && innerInst[ri]:
+			op = outer.colIndex(li + "." + p.Left.Column)
+			ip = inner.colIndex(ri + "." + p.Right.Column)
+		case outerInst[ri] && innerInst[li]:
+			op = outer.colIndex(ri + "." + p.Right.Column)
+			ip = inner.colIndex(li + "." + p.Left.Column)
+		default:
+			continue
+		}
+		if op >= 0 && ip >= 0 {
+			key.outerPos = append(key.outerPos, op)
+			key.innerPos = append(key.innerPos, ip)
+			used = append(used, p)
+		}
+	}
+	return key, used
+}
+
+func instanceSet(n *qgm.Node) map[string]bool {
+	set := map[string]bool{}
+	n.Walk(func(x *qgm.Node) {
+		if x.TableInstance != "" {
+			set[x.TableInstance] = true
+		}
+	})
+	return set
+}
+
+// hashJoinRows computes the equi-join of two rowsets. With no key it degrades
+// to a cartesian product.
+func hashJoinRows(outer, inner *rowset, key joinKey) []storage.Row {
+	var out []storage.Row
+	if len(key.outerPos) == 0 {
+		for _, orow := range outer.rows {
+			for _, irow := range inner.rows {
+				out = append(out, concatRows(orow, irow))
+			}
+		}
+		return out
+	}
+	build := make(map[string][]storage.Row, len(inner.rows))
+	var kb strings.Builder
+	for _, irow := range inner.rows {
+		kb.Reset()
+		null := false
+		for _, p := range key.innerPos {
+			if irow[p].IsNull() {
+				null = true
+				break
+			}
+			kb.WriteString(irow[p].Key())
+			kb.WriteByte('|')
+		}
+		if null {
+			continue
+		}
+		build[kb.String()] = append(build[kb.String()], irow)
+	}
+	for _, orow := range outer.rows {
+		kb.Reset()
+		null := false
+		for _, p := range key.outerPos {
+			if orow[p].IsNull() {
+				null = true
+				break
+			}
+			kb.WriteString(orow[p].Key())
+			kb.WriteByte('|')
+		}
+		if null {
+			continue
+		}
+		for _, irow := range build[kb.String()] {
+			out = append(out, concatRows(orow, irow))
+		}
+	}
+	return out
+}
+
+func concatRows(a, b storage.Row) storage.Row {
+	out := make(storage.Row, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+func maxKey(rs *rowset, pos int) catalog.Value {
+	var max catalog.Value
+	for _, r := range rs.rows {
+		if max.IsNull() || catalog.Compare(r[pos], max) > 0 {
+			max = r[pos]
+		}
+	}
+	return max
+}
+
+// sortRowsBy is a helper used in tests to check result equivalence
+// independent of row order.
+func sortRowsBy(rows []storage.Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		for k := range rows[i] {
+			if k >= len(rows[j]) {
+				return false
+			}
+			if cmp := catalog.Compare(rows[i][k], rows[j][k]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return len(rows[i]) < len(rows[j])
+	})
+}

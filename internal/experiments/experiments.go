@@ -1,0 +1,444 @@
+// Package experiments implements the paper's evaluation harness: one function
+// per experiment (Exp-1 .. Exp-6, Figures 9-14), each returning the rows of
+// the corresponding figure or table so that the benchmarks in the repository
+// root and the galo-experiments command can regenerate them.
+//
+// Absolute numbers differ from the paper (the substrate is a simulator and
+// the data is scaled down); EXPERIMENTS.md records, per experiment, the shape
+// that is expected to hold and what was measured.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"galo/internal/core"
+	"galo/internal/expert"
+	"galo/internal/fuseki"
+	"galo/internal/kb"
+	"galo/internal/learning"
+	"galo/internal/matching"
+	"galo/internal/optimizer"
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+	"galo/internal/storage"
+	"galo/internal/workload/client"
+	"galo/internal/workload/tpcds"
+)
+
+// Config controls the scale of the experiment harness. The defaults keep
+// every experiment runnable in seconds on a laptop; raising Scale and the
+// query limits approaches the paper's setup.
+type Config struct {
+	Seed  int64
+	Scale float64
+	// TPCDSQueries / ClientQueries limit how many workload queries are used
+	// (0 = all: 99 and 116 respectively).
+	TPCDSQueries  int
+	ClientQueries int
+	// LearningOverrides tunes the learning engine for harness runs.
+	RandomPlans       int
+	Runs              int
+	PredicateVariants int
+	Workers           int
+}
+
+// DefaultConfig returns the laptop-scale configuration used by the
+// benchmarks.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              20190522,
+		Scale:             0.12,
+		TPCDSQueries:      28,
+		ClientQueries:     36,
+		RandomPlans:       6,
+		Runs:              2,
+		PredicateVariants: 1,
+		Workers:           4,
+	}
+}
+
+func (c Config) learningOptions(workload string, joinThreshold int) learning.Options {
+	opts := learning.DefaultOptions()
+	opts.JoinThreshold = joinThreshold
+	opts.RandomPlans = c.RandomPlans
+	opts.Runs = c.Runs
+	opts.PredicateVariants = c.PredicateVariants
+	opts.Workers = c.Workers
+	opts.MaxSubQueriesPerQuery = 16
+	opts.Seed = c.Seed
+	opts.Workload = workload
+	return opts
+}
+
+func (c Config) tpcdsQueries() []*sqlparser.Query {
+	qs := tpcds.Queries()
+	if c.TPCDSQueries > 0 && c.TPCDSQueries < len(qs) {
+		qs = qs[:c.TPCDSQueries]
+	}
+	return qs
+}
+
+func (c Config) clientQueries() []*sqlparser.Query {
+	qs := client.Queries()
+	if c.ClientQueries > 0 && c.ClientQueries < len(qs) {
+		qs = qs[:c.ClientQueries]
+	}
+	return qs
+}
+
+func (c Config) tpcdsDB() (*storage.Database, error) {
+	return tpcds.Generate(tpcds.GenOptions{Seed: c.Seed, Scale: c.Scale, Hazards: true})
+}
+
+func (c Config) clientDB() (*storage.Database, error) {
+	return client.Generate(client.GenOptions{Seed: c.Seed + 1, Scale: c.Scale, Hazards: true})
+}
+
+// --- Exp-1 / Figure 9: learning scalability ----------------------------------
+
+// Exp1Row is one point of Figure 9 plus the Exp-1 aggregate numbers.
+type Exp1Row struct {
+	JoinThreshold     int
+	AvgMsPerQuery     float64
+	AvgMsPerSubQuery  float64
+	SubQueries        int
+	TemplatesLearned  int
+	AvgImprovement    float64
+}
+
+// RunExp1 measures learning time per query and per sub-query as the
+// join-number threshold grows (Figure 9), and reports how many templates were
+// learned and their average improvement (Exp-1).
+func RunExp1(cfg Config, thresholds []int) ([]Exp1Row, error) {
+	if len(thresholds) == 0 {
+		thresholds = []int{1, 2, 3, 4}
+	}
+	queries := cfg.tpcdsQueries()
+	var rows []Exp1Row
+	for _, th := range thresholds {
+		db, err := cfg.tpcdsDB()
+		if err != nil {
+			return nil, err
+		}
+		knowledge := kb.New()
+		eng := learning.New(db, knowledge, cfg.learningOptions("tpcds", th))
+		report, err := eng.LearnWorkload(queries)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Exp1Row{
+			JoinThreshold:    th,
+			AvgMsPerQuery:    report.AvgWallPerQuery(),
+			AvgMsPerSubQuery: report.AvgWallPerSubQuery(),
+			SubQueries:       report.SubQueriesAnalyzed,
+			TemplatesLearned: report.TemplatesAdded,
+			AvgImprovement:   report.AvgImprovement,
+		})
+	}
+	return rows, nil
+}
+
+// --- Exp-2 / Figure 10: matching performance improvement ---------------------
+
+// Exp2Result holds the per-query outcomes for both workloads plus the
+// cross-workload reuse count.
+type Exp2Result struct {
+	TPCDS          []core.QueryOutcome
+	TPCDSSummary   core.WorkloadSummary
+	Client         []core.QueryOutcome
+	ClientSummary  core.WorkloadSummary
+	// TPCDSTemplates and ClientTemplates are the knowledge base sizes after
+	// learning each workload.
+	TPCDSTemplates  int
+	ClientTemplates int
+	// CrossWorkloadMatches counts client-workload queries improved by a
+	// rewrite learned on TPC-DS (the 6-out-of-23 result of Exp-2).
+	CrossWorkloadMatches int
+}
+
+// RunExp2 learns on both workloads and re-optimizes both, reporting Figure
+// 10a, Figure 10b and the cross-workload reuse count.
+func RunExp2(cfg Config) (*Exp2Result, error) {
+	out := &Exp2Result{}
+
+	// TPC-DS: learn then re-optimize (Figure 10a).
+	tpcdsDB, err := cfg.tpcdsDB()
+	if err != nil {
+		return nil, err
+	}
+	tpcdsSys := core.NewSystem(tpcdsDB, core.Config{
+		Learning: cfg.learningOptions("tpcds", 4),
+		Matching: matching.DefaultOptions(),
+	})
+	tpcdsQueries := cfg.tpcdsQueries()
+	if _, err := tpcdsSys.Learn(tpcdsQueries); err != nil {
+		return nil, err
+	}
+	out.TPCDSTemplates = tpcdsSys.KB.Size()
+	out.TPCDS, out.TPCDSSummary, err = tpcdsSys.ReoptimizeWorkload(tpcdsQueries)
+	if err != nil {
+		return nil, err
+	}
+
+	// Client: learn on the client workload, then merge in the TPC-DS
+	// knowledge so cross-workload reuse can be observed (Figure 10b).
+	clientDB, err := cfg.clientDB()
+	if err != nil {
+		return nil, err
+	}
+	clientSys := core.NewSystem(clientDB, core.Config{
+		Learning: cfg.learningOptions("client", 4),
+		Matching: matching.DefaultOptions(),
+	})
+	clientQueries := cfg.clientQueries()
+	if _, err := clientSys.Learn(clientQueries); err != nil {
+		return nil, err
+	}
+	out.ClientTemplates = clientSys.KB.Size()
+	if err := clientSys.ImportKB(tpcdsSys.KB); err != nil {
+		return nil, err
+	}
+	out.Client, out.ClientSummary, err = clientSys.ReoptimizeWorkload(clientQueries)
+	if err != nil {
+		return nil, err
+	}
+	out.CrossWorkloadMatches = countCrossWorkloadMatches(clientSys, clientQueries)
+	return out, nil
+}
+
+// countCrossWorkloadMatches re-runs matching for the improved client queries
+// and counts those whose matched template was learned on the TPC-DS workload.
+func countCrossWorkloadMatches(sys *core.System, queries []*sqlparser.Query) int {
+	byIRI := map[string]string{}
+	for _, t := range sys.KB.Templates() {
+		byIRI[t.ID] = t.SourceWorkload
+	}
+	count := 0
+	for _, q := range queries {
+		res, err := sys.Reoptimize(q)
+		if err != nil || len(res.Matches) == 0 {
+			continue
+		}
+		for _, m := range res.Matches {
+			id := m.TemplateIRI[strings.LastIndex(m.TemplateIRI, "/")+1:]
+			if byIRI[id] == "tpcds" {
+				count++
+				break
+			}
+		}
+	}
+	return count
+}
+
+// --- Exp-3 / Figure 11: matching scalability ---------------------------------
+
+// Exp3Row is one bucket of Figure 11: matching time per rewrite for queries of
+// a given join width.
+type Exp3Row struct {
+	Tables             int
+	MatchMillisPerCall float64
+	Fragments          int
+}
+
+// RunExp3 measures the time to probe the knowledge base as the number of
+// joined tables grows, using the wide TPC-DS queries.
+func RunExp3(cfg Config, widths []int) ([]Exp3Row, error) {
+	if len(widths) == 0 {
+		widths = []int{2, 4, 8, 15, 24, 32}
+	}
+	db, err := cfg.tpcdsDB()
+	if err != nil {
+		return nil, err
+	}
+	sys := core.NewSystem(db, core.Config{
+		Learning: cfg.learningOptions("tpcds", 4),
+		Matching: matching.DefaultOptions(),
+	})
+	// Learn over a handful of queries so the knowledge base is non-trivial.
+	if _, err := sys.Learn([]*sqlparser.Query{tpcds.Fig3Query(), tpcds.Fig4Query(), tpcds.Fig7Query(), tpcds.Fig8Query()}); err != nil {
+		return nil, err
+	}
+	var rows []Exp3Row
+	for _, w := range widths {
+		q := tpcds.WideQuery(w)
+		res, err := sys.Reoptimize(q)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := sys.Optimize(q)
+		if err != nil {
+			return nil, err
+		}
+		fragments := len(plan.EnumerateSubPlans(4))
+		per := 0.0
+		if fragments > 0 {
+			per = res.MatchMillis / float64(fragments)
+		}
+		rows = append(rows, Exp3Row{Tables: w, MatchMillisPerCall: per, Fragments: fragments})
+	}
+	return rows, nil
+}
+
+// --- Exp-4 / Figure 12: routinization -----------------------------------------
+
+// Exp4Row is one point of Figure 12: total time to match a workload of the
+// given size against a knowledge base of the given size.
+type Exp4Row struct {
+	Queries     int
+	KBTemplates int
+	TotalMillis float64
+}
+
+// RunExp4 measures how matching scales with workload size and knowledge base
+// size. The knowledge base is inflated with synthetic templates to reach the
+// requested sizes, as the paper does to reach 1,000 problem patterns.
+func RunExp4(cfg Config, querySizes, kbSizes []int) ([]Exp4Row, error) {
+	if len(querySizes) == 0 {
+		querySizes = []int{10, 20, 40}
+	}
+	if len(kbSizes) == 0 {
+		kbSizes = []int{50, 200, 1000}
+	}
+	db, err := cfg.tpcdsDB()
+	if err != nil {
+		return nil, err
+	}
+	allQueries := cfg.tpcdsQueries()
+	var rows []Exp4Row
+	for _, kbSize := range kbSizes {
+		knowledge := kb.New()
+		if err := InflateKB(knowledge, kbSize, cfg.Seed); err != nil {
+			return nil, err
+		}
+		eng := matching.New(db.Catalog, fuseki.LocalEndpoint{Store: knowledge.Store()}, matching.DefaultOptions())
+		opt := optimizer.New(db.Catalog, optimizer.DefaultOptions())
+		for _, qn := range querySizes {
+			queries := allQueries
+			for len(queries) < qn {
+				queries = append(queries, allQueries...)
+			}
+			queries = queries[:qn]
+			start := time.Now()
+			for _, q := range queries {
+				plan, _, err := opt.Optimize(q)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := eng.MatchPlan(plan); err != nil {
+					return nil, err
+				}
+			}
+			rows = append(rows, Exp4Row{
+				Queries:     qn,
+				KBTemplates: knowledge.Size(),
+				TotalMillis: float64(time.Since(start).Microseconds()) / 1000,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// InflateKB fills a knowledge base with synthetic problem-pattern templates
+// of realistic shapes (1-3 joins over canonical tables with random method and
+// cardinality bounds) until it holds n templates.
+func InflateKB(knowledge *kb.KB, n int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	methods := qgm.JoinMethods()
+	scans := []qgm.OpType{qgm.OpTBSCAN, qgm.OpIXSCAN, qgm.OpFETCH}
+	for knowledge.Size() < n {
+		joins := 1 + rng.Intn(3)
+		var node *qgm.Node
+		for i := 0; i <= joins; i++ {
+			op := scans[rng.Intn(len(scans))]
+			leaf := &qgm.Node{Op: op, Table: fmt.Sprintf("TABLE_%d", i+1), TableInstance: fmt.Sprintf("TABLE_%d", i+1),
+				EstCardinality: float64(10 + rng.Intn(1_000_000))}
+			if op != qgm.OpTBSCAN {
+				leaf.Index = fmt.Sprintf("INDEX_%d", i+1)
+			}
+			if node == nil {
+				node = leaf
+				continue
+			}
+			node = &qgm.Node{Op: methods[rng.Intn(len(methods))], Outer: node, Inner: leaf,
+				EstCardinality: float64(10 + rng.Intn(1_000_000))}
+		}
+		plan := qgm.NewPlan(node)
+		problem := plan.Root.Outer
+		bounds := map[int]kb.Range{}
+		problem.Walk(func(x *qgm.Node) {
+			bounds[x.ID] = kb.Range{Lo: x.EstCardinality / 2, Hi: x.EstCardinality * 2}
+		})
+		guidelineXML := "<OPTGUIDELINES><HSJOIN><TBSCAN TABID='TABLE_1'/><TBSCAN TABID='TABLE_2'/></HSJOIN></OPTGUIDELINES>"
+		_, err := knowledge.Add(&kb.Template{
+			Problem:        problem,
+			Bounds:         bounds,
+			GuidelineXML:   guidelineXML,
+			Improvement:    0.1 + rng.Float64()*0.5,
+			SourceWorkload: "synthetic",
+			SourceQuery:    fmt.Sprintf("SYN.%d", knowledge.Size()),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Exp-5 and Exp-6 / Figures 13 and 14: cost and quality vs experts --------
+
+// Exp56Row compares manual and automatic problem determination for one
+// problem query.
+type Exp56Row struct {
+	Pattern            int
+	Query              string
+	ExpertMinutes      float64
+	GaloMinutes        float64
+	ExpertImprovement  float64
+	GaloImprovement    float64
+	ExpertFoundFix     bool
+}
+
+// RunExp56 runs the comparative study over the four problem queries of Exp-5
+// and Exp-6: the simulated experts' diagnosis time and plan quality against
+// GALO's learning engine.
+func RunExp56(cfg Config) ([]Exp56Row, error) {
+	db, err := cfg.tpcdsDB()
+	if err != nil {
+		return nil, err
+	}
+	problems := []*sqlparser.Query{tpcds.Fig4Query(), tpcds.Fig8Query(), tpcds.Fig7Query(), tpcds.Fig3Query()}
+	var rows []Exp56Row
+	for i, q := range problems {
+		exp := expert.New(db, expert.DefaultOptions())
+		expRes, err := exp.Diagnose(q)
+		if err != nil {
+			return nil, err
+		}
+		knowledge := kb.New()
+		eng := learning.New(db, knowledge, cfg.learningOptions("exp56", 4))
+		galoRep, err := eng.LearnQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		galoImp := 0.0
+		for _, v := range galoRep.BestImprovements {
+			if v > galoImp {
+				galoImp = v
+			}
+		}
+		rows = append(rows, Exp56Row{
+			Pattern:           i + 1,
+			Query:             q.Name,
+			ExpertMinutes:     expRes.ManualMinutes + expRes.MachineMillis/60000,
+			GaloMinutes:       galoRep.SimulatedWorkMillis / 60000,
+			ExpertImprovement: expRes.Improvement,
+			GaloImprovement:   galoImp,
+			ExpertFoundFix:    expRes.Found,
+		})
+	}
+	return rows, nil
+}
+

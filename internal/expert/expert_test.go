@@ -1,0 +1,80 @@
+package expert
+
+import (
+	"testing"
+
+	"galo/internal/sqlparser"
+	"galo/internal/storage"
+	"galo/internal/workload/tpcds"
+)
+
+var db *storage.Database
+
+func expertDB(t *testing.T) *storage.Database {
+	t.Helper()
+	if db == nil {
+		var err error
+		db, err = tpcds.Generate(tpcds.GenOptions{Seed: 13, Scale: 0.08, Hazards: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestDiagnoseChargesManualEffort(t *testing.T) {
+	e := New(expertDB(t), DefaultOptions())
+	res, err := e.Diagnose(tpcds.Fig8Query())
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if res.PlansExamined == 0 || res.PlansExamined > e.Opts.Budget {
+		t.Errorf("PlansExamined = %d (budget %d)", res.PlansExamined, e.Opts.Budget)
+	}
+	if res.ManualMinutes < e.Opts.AnalysisMinutesPerPlan {
+		t.Errorf("ManualMinutes = %v", res.ManualMinutes)
+	}
+	if res.BestPlan == nil || res.MachineMillis <= 0 {
+		t.Errorf("incomplete result: %+v", res)
+	}
+	if res.Found && (res.Improvement <= 0 || res.Improvement >= 1) {
+		t.Errorf("inconsistent improvement: %+v", res)
+	}
+}
+
+func TestDiagnoseIsDeterministicForSameSeed(t *testing.T) {
+	a, err := New(expertDB(t), DefaultOptions()).Diagnose(tpcds.Fig7Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(expertDB(t), DefaultOptions()).Diagnose(tpcds.Fig7Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Improvement != b.Improvement || a.PlansExamined != b.PlansExamined {
+		t.Errorf("expert not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestSingleTableQueryHasNoAlternatives(t *testing.T) {
+	e := New(expertDB(t), DefaultOptions())
+	res, err := e.Diagnose(sqlparser.MustParse(`SELECT i_item_desc FROM item WHERE i_category = 'Music'`))
+	if err != nil {
+		t.Fatalf("Diagnose: %v", err)
+	}
+	if res.Found || res.PlansExamined != 0 {
+		t.Errorf("single-table diagnosis should find nothing: %+v", res)
+	}
+}
+
+func TestTighterBudgetExaminesFewerPlans(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Budget = 2
+	res, err := New(expertDB(t), opts).Diagnose(tpcds.Fig8Query())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PlansExamined > 2 {
+		t.Errorf("budget not respected: %d", res.PlansExamined)
+	}
+}

@@ -1,0 +1,230 @@
+// Package fuseki implements a small SPARQL-over-HTTP endpoint and client in
+// the spirit of Apache Jena's Fuseki server, which the paper uses to host the
+// knowledge base. The server exposes:
+//
+//	POST /query   — body (or form field "query") is a SPARQL SELECT query;
+//	                 the response is the SPARQL 1.1 JSON results format.
+//	GET  /query   — same, with the query in the "query" URL parameter.
+//	POST /data    — body is N-Triples to load into the store.
+//	GET  /data    — dumps the store as N-Triples.
+//	GET  /ping    — liveness check.
+//
+// The client side turns a remote endpoint back into the same Select/Load
+// interface the local store offers, so the knowledge base can be consulted
+// either in-process or over HTTP, exactly as GALO does with Fuseki.
+package fuseki
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"galo/internal/rdf"
+	"galo/internal/sparql"
+)
+
+// Server serves a triple store over HTTP.
+type Server struct {
+	Store *rdf.Store
+	mux   *http.ServeMux
+}
+
+// NewServer returns a server over the store.
+func NewServer(store *rdf.Store) *Server {
+	s := &Server{Store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/data", s.handleData)
+	s.mux.HandleFunc("/ping", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// jsonResults is the SPARQL JSON results document.
+type jsonResults struct {
+	Head    jsonHead    `json:"head"`
+	Results jsonBinding `json:"results"`
+}
+
+type jsonHead struct {
+	Vars []string `json:"vars"`
+}
+
+type jsonBinding struct {
+	Bindings []map[string]jsonTerm `json:"bindings"`
+}
+
+type jsonTerm struct {
+	Type  string `json:"type"` // "uri" or "literal"
+	Value string `json:"value"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var queryText string
+	switch r.Method {
+	case http.MethodGet:
+		queryText = r.URL.Query().Get("query")
+	case http.MethodPost:
+		if err := r.ParseForm(); err == nil && r.PostForm.Get("query") != "" {
+			queryText = r.PostForm.Get("query")
+		} else {
+			body, err := io.ReadAll(r.Body)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			queryText = string(body)
+		}
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if strings.TrimSpace(queryText) == "" {
+		http.Error(w, "missing query", http.StatusBadRequest)
+		return
+	}
+	q, err := sparql.Parse(queryText)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sols, err := sparql.Execute(q, s.Store)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	doc := jsonResults{Results: jsonBinding{Bindings: []map[string]jsonTerm{}}}
+	if q.SelectAll {
+		doc.Head.Vars = q.Vars()
+	} else {
+		doc.Head.Vars = q.Select
+	}
+	for _, sol := range sols {
+		row := map[string]jsonTerm{}
+		for v, term := range sol {
+			jt := jsonTerm{Type: "literal", Value: term.Value}
+			if term.IsIRI() {
+				jt.Type = "uri"
+			}
+			row[v] = jt
+		}
+		doc.Results.Bindings = append(doc.Results.Bindings, row)
+	}
+	w.Header().Set("Content-Type", "application/sparql-results+json")
+	_ = json.NewEncoder(w).Encode(doc)
+}
+
+func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/n-triples")
+		fmt.Fprint(w, s.Store.NTriples())
+	case http.MethodPost:
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.Store.LoadNTriples(string(body)); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// Client talks to a Fuseki-style endpoint.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient returns a client for the endpoint base URL (e.g.
+// "http://localhost:3030").
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// Select runs a SPARQL SELECT query remotely and converts the JSON results
+// back into solutions.
+func (c *Client) Select(queryText string) ([]sparql.Solution, error) {
+	form := url.Values{"query": {queryText}}
+	resp, err := c.HTTP.PostForm(c.BaseURL+"/query", form)
+	if err != nil {
+		return nil, fmt.Errorf("fuseki: query request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("fuseki: query failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var doc jsonResults
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("fuseki: decode results: %w", err)
+	}
+	var out []sparql.Solution
+	for _, b := range doc.Results.Bindings {
+		sol := sparql.Solution{}
+		for v, term := range b {
+			if term.Type == "uri" {
+				sol[v] = rdf.NewIRI(term.Value)
+			} else {
+				sol[v] = rdf.NewLiteral(term.Value)
+			}
+		}
+		out = append(out, sol)
+	}
+	return out, nil
+}
+
+// Load uploads N-Triples into the remote store.
+func (c *Client) Load(ntriples string) error {
+	resp, err := c.HTTP.Post(c.BaseURL+"/data", "application/n-triples", strings.NewReader(ntriples))
+	if err != nil {
+		return fmt.Errorf("fuseki: load request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("fuseki: load failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// Dump downloads the remote store as N-Triples.
+func (c *Client) Dump() (string, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/data")
+	if err != nil {
+		return "", fmt.Errorf("fuseki: dump request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("fuseki: dump failed: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+// LocalEndpoint adapts an in-process store to the same Select interface the
+// client offers, so callers can swap local and remote knowledge bases.
+type LocalEndpoint struct {
+	Store *rdf.Store
+}
+
+// Select parses and runs the query against the local store.
+func (l LocalEndpoint) Select(queryText string) ([]sparql.Solution, error) {
+	q, err := sparql.Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	return sparql.Execute(q, l.Store)
+}

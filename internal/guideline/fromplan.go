@@ -1,0 +1,72 @@
+package guideline
+
+import (
+	"fmt"
+
+	"galo/internal/qgm"
+)
+
+// FromPlanNode derives the guideline element that would force the optimizer
+// to reproduce the plan subtree rooted at n: join elements mirror the join
+// methods and input order, access elements mirror the access methods. SORT,
+// FILTER and GRPBY operators are transparent (the optimizer re-introduces
+// them as needed); the guideline describes only the decisions guidelines can
+// express.
+func FromPlanNode(n *qgm.Node) (*Element, error) {
+	if n == nil {
+		return nil, fmt.Errorf("guideline: nil plan node")
+	}
+	switch {
+	case n.Op.IsJoin():
+		op := ElemHSJOIN
+		switch n.Op {
+		case qgm.OpNLJOIN:
+			op = ElemNLJOIN
+		case qgm.OpMSJOIN:
+			op = ElemMSJOIN
+		}
+		outer, err := FromPlanNode(n.Outer)
+		if err != nil {
+			return nil, err
+		}
+		inner, err := FromPlanNode(n.Inner)
+		if err != nil {
+			return nil, err
+		}
+		return &Element{Op: op, Children: []*Element{outer, inner}}, nil
+	case n.Op.IsScan():
+		switch n.Op {
+		case qgm.OpTBSCAN:
+			return &Element{Op: ElemTBSCAN, TabID: n.TableInstance}, nil
+		default: // IXSCAN or FETCH
+			return &Element{Op: ElemIXSCAN, TabID: n.TableInstance, Index: n.Index}, nil
+		}
+	default:
+		// Transparent unary operator: descend.
+		if n.Outer == nil {
+			return nil, fmt.Errorf("guideline: operator %s has no input to descend into", n.Op)
+		}
+		return FromPlanNode(n.Outer)
+	}
+}
+
+// FromPlan derives a single-guideline document describing the whole plan
+// below the RETURN operator.
+func FromPlan(p *qgm.Plan) (*Document, error) {
+	if p == nil || p.Root == nil {
+		return nil, fmt.Errorf("guideline: empty plan")
+	}
+	root := p.Root
+	if root.Op == qgm.OpRETURN {
+		root = root.Outer
+	}
+	if root == nil {
+		return nil, fmt.Errorf("guideline: plan has no operators below RETURN")
+	}
+	g, err := FromPlanNode(root)
+	if err != nil {
+		return nil, err
+	}
+	d := &Document{Guidelines: []*Element{g}}
+	return d, d.Validate()
+}

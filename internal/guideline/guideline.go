@@ -1,0 +1,326 @@
+// Package guideline implements DB2-style optimization guideline documents
+// (the <OPTGUIDELINES> XML dialect shown in Figure 5 of the paper).
+//
+// A guideline is a partial specification of the plan the optimizer should
+// build: join methods, join order (the order of child elements — outer first,
+// inner second) and access methods, referencing table instances by TABID or
+// tables by name. A guideline is a strong suggestion, not a command: the
+// optimizer drops guidelines that become inapplicable (see
+// internal/optimizer).
+package guideline
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Element kinds. Join elements have exactly two children (outer, inner);
+// access elements are leaves.
+const (
+	ElemHSJOIN = "HSJOIN"
+	ElemMSJOIN = "MSJOIN"
+	ElemNLJOIN = "NLJOIN"
+	ElemTBSCAN = "TBSCAN"
+	ElemIXSCAN = "IXSCAN"
+)
+
+// Element is one node of the guideline tree.
+type Element struct {
+	// Op is one of the Elem* constants.
+	Op string
+	// TabID references a table instance (query qualifier such as Q2).
+	TabID string
+	// Table references a table by fully qualified name (alternative to TabID).
+	Table string
+	// Index optionally names the index an IXSCAN should use.
+	Index string
+	// Children holds the join inputs: Children[0] is the outer input,
+	// Children[1] the inner input. Access elements have no children.
+	Children []*Element
+}
+
+// IsJoin reports whether the element specifies a join method.
+func (e *Element) IsJoin() bool {
+	return e.Op == ElemHSJOIN || e.Op == ElemMSJOIN || e.Op == ElemNLJOIN
+}
+
+// IsAccess reports whether the element specifies a table access method.
+func (e *Element) IsAccess() bool {
+	return e.Op == ElemTBSCAN || e.Op == ElemIXSCAN
+}
+
+// TabIDs returns the set of table instances referenced in the subtree,
+// sorted.
+func (e *Element) TabIDs() []string {
+	seen := map[string]struct{}{}
+	e.walk(func(x *Element) {
+		if x.TabID != "" {
+			seen[strings.ToUpper(x.TabID)] = struct{}{}
+		}
+	})
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *Element) walk(fn func(*Element)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	for _, c := range e.Children {
+		c.walk(fn)
+	}
+}
+
+// Validate checks the structural rules of the guideline dialect.
+func (e *Element) Validate() error {
+	var err error
+	e.walk(func(x *Element) {
+		if err != nil {
+			return
+		}
+		switch {
+		case x.IsJoin():
+			if len(x.Children) != 2 {
+				err = fmt.Errorf("guideline: %s element must have exactly two children, has %d", x.Op, len(x.Children))
+			}
+		case x.IsAccess():
+			if len(x.Children) != 0 {
+				err = fmt.Errorf("guideline: %s element must be a leaf", x.Op)
+			}
+			if x.TabID == "" && x.Table == "" {
+				err = fmt.Errorf("guideline: %s element needs a TABID or TABLE attribute", x.Op)
+			}
+		default:
+			err = fmt.Errorf("guideline: unknown element %q", x.Op)
+		}
+	})
+	return err
+}
+
+// Document is a complete OPTGUIDELINES document: a list of independent
+// guideline trees, each constraining part of the plan.
+type Document struct {
+	Guidelines []*Element
+}
+
+// Empty reports whether the document carries no guidelines.
+func (d *Document) Empty() bool { return d == nil || len(d.Guidelines) == 0 }
+
+// Add appends a guideline tree to the document.
+func (d *Document) Add(e *Element) { d.Guidelines = append(d.Guidelines, e) }
+
+// Validate validates every guideline in the document.
+func (d *Document) Validate() error {
+	if d == nil {
+		return nil
+	}
+	for i, g := range d.Guidelines {
+		if err := g.Validate(); err != nil {
+			return fmt.Errorf("guideline %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// TabIDs returns all table instances referenced anywhere in the document.
+func (d *Document) TabIDs() []string {
+	if d == nil {
+		return nil
+	}
+	seen := map[string]struct{}{}
+	for _, g := range d.Guidelines {
+		for _, id := range g.TabIDs() {
+			seen[id] = struct{}{}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- XML encoding -----------------------------------------------------------
+
+// MarshalXML encodes the element using its operator as the XML element name,
+// matching the DB2 dialect.
+func (e *Element) MarshalXML(enc *xml.Encoder, _ xml.StartElement) error {
+	start := xml.StartElement{Name: xml.Name{Local: e.Op}}
+	if e.TabID != "" {
+		start.Attr = append(start.Attr, xml.Attr{Name: xml.Name{Local: "TABID"}, Value: e.TabID})
+	}
+	if e.Table != "" {
+		start.Attr = append(start.Attr, xml.Attr{Name: xml.Name{Local: "TABLE"}, Value: e.Table})
+	}
+	if e.Index != "" {
+		start.Attr = append(start.Attr, xml.Attr{Name: xml.Name{Local: "INDEX"}, Value: `"` + e.Index + `"`})
+	}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	for _, c := range e.Children {
+		if err := c.MarshalXML(enc, xml.StartElement{}); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(start.End())
+}
+
+// UnmarshalXML decodes an element whose XML name is the operator.
+func (e *Element) UnmarshalXML(dec *xml.Decoder, start xml.StartElement) error {
+	e.Op = strings.ToUpper(start.Name.Local)
+	for _, a := range start.Attr {
+		v := strings.Trim(a.Value, `"`)
+		switch strings.ToUpper(a.Name.Local) {
+		case "TABID":
+			e.TabID = v
+		case "TABLE":
+			e.Table = v
+		case "INDEX":
+			e.Index = v
+		}
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			child := &Element{}
+			if err := child.UnmarshalXML(dec, t); err != nil {
+				return err
+			}
+			e.Children = append(e.Children, child)
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+// MarshalXML encodes the document as <OPTGUIDELINES>...</OPTGUIDELINES>.
+func (d *Document) MarshalXML(enc *xml.Encoder, _ xml.StartElement) error {
+	start := xml.StartElement{Name: xml.Name{Local: "OPTGUIDELINES"}}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	for _, g := range d.Guidelines {
+		if err := g.MarshalXML(enc, xml.StartElement{}); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(start.End())
+}
+
+// UnmarshalXML decodes an OPTGUIDELINES document.
+func (d *Document) UnmarshalXML(dec *xml.Decoder, start xml.StartElement) error {
+	if !strings.EqualFold(start.Name.Local, "OPTGUIDELINES") {
+		return fmt.Errorf("guideline: expected OPTGUIDELINES root, got %s", start.Name.Local)
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			g := &Element{}
+			if err := g.UnmarshalXML(dec, t); err != nil {
+				return err
+			}
+			d.Guidelines = append(d.Guidelines, g)
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+// XML renders the document as an indented XML string.
+func (d *Document) XML() (string, error) {
+	var b strings.Builder
+	enc := xml.NewEncoder(&b)
+	enc.Indent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return "", err
+	}
+	if err := enc.Flush(); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// Parse decodes an OPTGUIDELINES document from XML text.
+func Parse(s string) (*Document, error) {
+	dec := xml.NewDecoder(strings.NewReader(s))
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, fmt.Errorf("guideline: no OPTGUIDELINES element found")
+		}
+		if err != nil {
+			return nil, err
+		}
+		if start, ok := tok.(xml.StartElement); ok {
+			d := &Document{}
+			if err := d.UnmarshalXML(dec, start); err != nil {
+				return nil, err
+			}
+			if err := d.Validate(); err != nil {
+				return nil, err
+			}
+			return d, nil
+		}
+	}
+}
+
+// Merge combines several documents into one, de-duplicating guidelines whose
+// rendered XML is identical.
+func Merge(docs ...*Document) *Document {
+	out := &Document{}
+	seen := map[string]bool{}
+	for _, d := range docs {
+		if d == nil {
+			continue
+		}
+		for _, g := range d.Guidelines {
+			key := fingerprint(g)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			out.Add(g)
+		}
+	}
+	return out
+}
+
+func fingerprint(e *Element) string {
+	var b strings.Builder
+	var rec func(*Element)
+	rec = func(x *Element) {
+		b.WriteString(x.Op)
+		b.WriteString("|")
+		b.WriteString(x.TabID)
+		b.WriteString("|")
+		b.WriteString(x.Table)
+		b.WriteString("|")
+		b.WriteString(x.Index)
+		b.WriteString("(")
+		for _, c := range x.Children {
+			rec(c)
+			b.WriteString(",")
+		}
+		b.WriteString(")")
+	}
+	rec(e)
+	return b.String()
+}

@@ -1,0 +1,277 @@
+// Package kb implements GALO's knowledge base: the collection of
+// problem-pattern templates (an abstracted plan fragment with per-operator
+// property bounds) and their recommended rewrites (a guideline document),
+// stored as an RDF graph and queried via SPARQL during online
+// re-optimization.
+//
+// Templates are abstracted with canonical symbol labels (TABLE_1, TABLE_2,
+// ...) so that a pattern learned over one query — or one workload — matches
+// structurally similar plans over entirely different tables, which is what
+// the paper's Exp-2 cross-workload reuse result relies on.
+package kb
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"sync"
+
+	"galo/internal/qgm"
+	"galo/internal/rdf"
+	"galo/internal/transform"
+)
+
+// Range is a closed numeric interval [Lo, Hi].
+type Range struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies within the range.
+func (r Range) Contains(v float64) bool { return v >= r.Lo && v <= r.Hi }
+
+// Widen extends the range to include v.
+func (r Range) Widen(v float64) Range {
+	if v < r.Lo {
+		r.Lo = v
+	}
+	if v > r.Hi {
+		r.Hi = v
+	}
+	return r
+}
+
+// Template is one problem-pattern template and its recommended rewrite.
+type Template struct {
+	// ID is the anonymized unique identifier of the template.
+	ID string
+	// Problem is the abstracted problem plan fragment (canonical labels).
+	Problem *qgm.Node
+	// Bounds maps the problem fragment's operator IDs to the cardinality
+	// interval within which the template applies (hasLowerCardinality /
+	// hasHigherCardinality in the RDF encoding).
+	Bounds map[int]Range
+	// GuidelineXML is the recommended rewrite as an OPTGUIDELINES document
+	// whose TABIDs are canonical labels.
+	GuidelineXML string
+	// Improvement is the observed relative improvement (0.40 = 40% faster).
+	Improvement float64
+	// SourceQuery and SourceWorkload record provenance.
+	SourceQuery    string
+	SourceWorkload string
+	// Joins is the number of join operators in the problem fragment.
+	Joins int
+}
+
+// Signature returns the structural signature used to de-duplicate templates.
+func (t *Template) Signature() string {
+	if t.Problem == nil {
+		return ""
+	}
+	return t.Problem.Signature()
+}
+
+// KB is the knowledge base.
+type KB struct {
+	mu          sync.RWMutex
+	store       *rdf.Store
+	templates   []*Template
+	bySignature map[string]*Template
+	seq         int
+}
+
+// New returns an empty knowledge base.
+func New() *KB {
+	return &KB{store: rdf.NewStore(), bySignature: map[string]*Template{}}
+}
+
+// Store exposes the underlying RDF store (for serving via Fuseki or for
+// SPARQL matching).
+func (kb *KB) Store() *rdf.Store { return kb.store }
+
+// Size returns the number of templates.
+func (kb *KB) Size() int {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	return len(kb.templates)
+}
+
+// Templates returns the templates sorted by ID.
+func (kb *KB) Templates() []*Template {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	out := append([]*Template(nil), kb.templates...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FindBySignature returns the template with the given problem signature, or
+// nil.
+func (kb *KB) FindBySignature(sig string) *Template {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	return kb.bySignature[sig]
+}
+
+// Add inserts a template. If a template with the same problem signature
+// already exists, the existing template is updated instead: its bounds are
+// widened to cover the new observation and its improvement/guideline are
+// replaced when the new observation is better. It returns true when a new
+// template was created.
+func (kb *KB) Add(t *Template) (bool, error) {
+	if t == nil || t.Problem == nil {
+		return false, fmt.Errorf("kb: template needs a problem fragment")
+	}
+	if t.GuidelineXML == "" {
+		return false, fmt.Errorf("kb: template needs a guideline")
+	}
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	sig := t.Problem.Signature()
+	if existing, ok := kb.bySignature[sig]; ok {
+		kb.mergeInto(existing, t)
+		return false, nil
+	}
+	if t.ID == "" {
+		t.ID = kb.newID(sig)
+	}
+	if t.Bounds == nil {
+		t.Bounds = map[int]Range{}
+	}
+	if t.Joins == 0 {
+		t.Joins = t.Problem.CountJoins()
+	}
+	kb.templates = append(kb.templates, t)
+	kb.bySignature[sig] = t
+	kb.writeTemplate(t)
+	return true, nil
+}
+
+// newID produces an anonymized unique identifier, as Section 3.2 requires to
+// avoid resource-name collisions between templates.
+func (kb *KB) newID(sig string) string {
+	kb.seq++
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(sig))
+	_, _ = h.Write([]byte(strconv.Itoa(kb.seq)))
+	return fmt.Sprintf("t%016x", h.Sum64())
+}
+
+// mergeInto widens the existing template with a new observation.
+func (kb *KB) mergeInto(existing, incoming *Template) {
+	for id, r := range incoming.Bounds {
+		if cur, ok := existing.Bounds[id]; ok {
+			cur = cur.Widen(r.Lo)
+			cur = cur.Widen(r.Hi)
+			existing.Bounds[id] = cur
+		} else {
+			existing.Bounds[id] = r
+		}
+	}
+	if incoming.Improvement > existing.Improvement {
+		existing.Improvement = incoming.Improvement
+		existing.GuidelineXML = incoming.GuidelineXML
+	}
+	kb.rewriteTemplate(existing)
+}
+
+// --- RDF encoding ------------------------------------------------------------
+
+func (kb *KB) writeTemplate(t *Template) {
+	tmplIRI := transform.TemplateIRI(t.ID)
+	add := func(s rdf.Term, prop string, o rdf.Term) {
+		kb.store.Add(rdf.Triple{S: s, P: transform.Prop(prop), O: o})
+	}
+	add(tmplIRI, transform.PropGuideline, rdf.NewLiteral(t.GuidelineXML))
+	add(tmplIRI, transform.PropImprovement, rdf.NewNumericLiteral(t.Improvement))
+	add(tmplIRI, transform.PropSignature, rdf.NewLiteral(t.Signature()))
+	add(tmplIRI, transform.PropJoinCount, rdf.NewNumericLiteral(float64(t.Joins)))
+	if t.SourceQuery != "" {
+		add(tmplIRI, transform.PropSourceQuery, rdf.NewLiteral(t.SourceQuery))
+	}
+	if t.SourceWorkload != "" {
+		add(tmplIRI, transform.PropSourceWorkload, rdf.NewLiteral(t.SourceWorkload))
+	}
+	t.Problem.Walk(func(n *qgm.Node) {
+		subj := transform.KBPopIRI(t.ID, n.ID)
+		add(subj, transform.PropPopType, rdf.NewLiteral(string(n.Op)))
+		add(subj, transform.PropInTemplate, tmplIRI)
+		bounds, ok := t.Bounds[n.ID]
+		if !ok {
+			bounds = defaultBounds(n.EstCardinality)
+		}
+		add(subj, transform.PropLowerCardinality, rdf.NewNumericLiteral(bounds.Lo))
+		add(subj, transform.PropHigherCardinality, rdf.NewNumericLiteral(bounds.Hi))
+		if n.Op.IsScan() {
+			add(subj, transform.PropCanonicalTable, rdf.NewLiteral(n.TableInstance))
+		}
+		if n.BloomFilter {
+			add(subj, transform.PropBloomFilter, rdf.NewLiteral("true"))
+		}
+		if n.Outer != nil {
+			add(subj, transform.PropOuterInput, transform.KBPopIRI(t.ID, n.Outer.ID))
+			add(transform.KBPopIRI(t.ID, n.Outer.ID), transform.PropOutputStream, subj)
+		}
+		if n.Inner != nil {
+			add(subj, transform.PropInnerInput, transform.KBPopIRI(t.ID, n.Inner.ID))
+			add(transform.KBPopIRI(t.ID, n.Inner.ID), transform.PropOutputStream, subj)
+		}
+	})
+}
+
+// rewriteTemplate removes the template's triples and writes them again
+// (bounds or guideline may have changed).
+func (kb *KB) rewriteTemplate(t *Template) {
+	tmplIRI := transform.TemplateIRI(t.ID)
+	kb.store.Remove(&tmplIRI, nil, nil)
+	t.Problem.Walk(func(n *qgm.Node) {
+		subj := transform.KBPopIRI(t.ID, n.ID)
+		kb.store.Remove(&subj, nil, nil)
+	})
+	kb.writeTemplate(t)
+}
+
+func defaultBounds(card float64) Range {
+	const slack = 4.0
+	lo := card / slack
+	if lo < 1 {
+		lo = 0
+	}
+	return Range{Lo: lo, Hi: card * slack}
+}
+
+// NTriples serializes the knowledge base graph.
+func (kb *KB) NTriples() string {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	return kb.store.NTriples()
+}
+
+// LoadNTriples loads a previously serialized knowledge base and reconstructs
+// the template index (the "KB to QEP mapper" of the paper's architecture).
+func (kb *KB) LoadNTriples(text string) error {
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	if err := kb.store.LoadNTriples(text); err != nil {
+		return err
+	}
+	return kb.reconstruct()
+}
+
+// Merge copies every template of other into this knowledge base (the paper's
+// unified knowledge base accumulated over multiple workloads).
+func (kb *KB) Merge(other *KB) error {
+	for _, t := range other.Templates() {
+		cp := *t
+		cp.Problem = t.Problem.Clone()
+		cp.Bounds = map[int]Range{}
+		for k, v := range t.Bounds {
+			cp.Bounds[k] = v
+		}
+		cp.ID = "" // re-identified to avoid collisions
+		if _, err := kb.Add(&cp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

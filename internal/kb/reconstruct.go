@@ -1,0 +1,125 @@
+package kb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"galo/internal/qgm"
+	"galo/internal/rdf"
+	"galo/internal/transform"
+)
+
+// reconstruct rebuilds the in-memory template index from the RDF graph. It is
+// the inverse of writeTemplate and implements the "KB to QEP mapper" role of
+// the paper's matching engine for knowledge bases loaded from disk or fetched
+// from a remote endpoint.
+func (kb *KB) reconstruct() error {
+	kb.templates = nil
+	kb.bySignature = map[string]*Template{}
+	guidelineProp := transform.Prop(transform.PropGuideline)
+	for _, tr := range kb.store.Match(nil, &guidelineProp, nil) {
+		tmplIRI := tr.S
+		id := strings.TrimPrefix(tmplIRI.Value, transform.KBTmplBase)
+		t := &Template{ID: id, GuidelineXML: tr.O.Value, Bounds: map[int]Range{}}
+		if v, ok := kb.store.FirstObject(tmplIRI, transform.Prop(transform.PropImprovement)); ok {
+			if f, ok := v.Float(); ok {
+				t.Improvement = f
+			}
+		}
+		if v, ok := kb.store.FirstObject(tmplIRI, transform.Prop(transform.PropSourceQuery)); ok {
+			t.SourceQuery = v.Value
+		}
+		if v, ok := kb.store.FirstObject(tmplIRI, transform.Prop(transform.PropSourceWorkload)); ok {
+			t.SourceWorkload = v.Value
+		}
+		problem, bounds, err := kb.reconstructProblem(id, tmplIRI)
+		if err != nil {
+			return fmt.Errorf("kb: template %s: %w", id, err)
+		}
+		t.Problem = problem
+		t.Bounds = bounds
+		t.Joins = problem.CountJoins()
+		kb.templates = append(kb.templates, t)
+		kb.bySignature[t.Signature()] = t
+		kb.seq++
+	}
+	return nil
+}
+
+// reconstructProblem rebuilds the problem fragment tree of one template from
+// its pop resources.
+func (kb *KB) reconstructProblem(templateID string, tmplIRI rdf.Term) (*qgm.Node, map[int]Range, error) {
+	inTemplate := transform.Prop(transform.PropInTemplate)
+	popTriples := kb.store.Match(nil, &inTemplate, &tmplIRI)
+	if len(popTriples) == 0 {
+		return nil, nil, fmt.Errorf("no operators recorded")
+	}
+	nodes := map[int]*qgm.Node{}
+	bounds := map[int]Range{}
+	prefix := transform.KBPopBase + templateID + "/"
+	idOf := func(t rdf.Term) (int, bool) {
+		if !strings.HasPrefix(t.Value, prefix) {
+			return 0, false
+		}
+		id, err := strconv.Atoi(strings.TrimPrefix(t.Value, prefix))
+		return id, err == nil
+	}
+	for _, tr := range popTriples {
+		id, ok := idOf(tr.S)
+		if !ok {
+			continue
+		}
+		n := &qgm.Node{ID: id}
+		if v, ok := kb.store.FirstObject(tr.S, transform.Prop(transform.PropPopType)); ok {
+			n.Op = qgm.OpType(v.Value)
+		}
+		if v, ok := kb.store.FirstObject(tr.S, transform.Prop(transform.PropCanonicalTable)); ok {
+			n.Table = v.Value
+			n.TableInstance = v.Value
+		}
+		if v, ok := kb.store.FirstObject(tr.S, transform.Prop(transform.PropBloomFilter)); ok && v.Value == "true" {
+			n.BloomFilter = true
+		}
+		var r Range
+		if v, ok := kb.store.FirstObject(tr.S, transform.Prop(transform.PropLowerCardinality)); ok {
+			r.Lo, _ = v.Float()
+		}
+		if v, ok := kb.store.FirstObject(tr.S, transform.Prop(transform.PropHigherCardinality)); ok {
+			r.Hi, _ = v.Float()
+		}
+		bounds[id] = r
+		n.EstCardinality = (r.Lo + r.Hi) / 2
+		nodes[id] = n
+	}
+	// Link children and find the root.
+	hasParent := map[int]bool{}
+	for id, n := range nodes {
+		subj := transform.KBPopIRI(templateID, id)
+		if v, ok := kb.store.FirstObject(subj, transform.Prop(transform.PropOuterInput)); ok {
+			if cid, ok := idOf(v); ok {
+				n.Outer = nodes[cid]
+				hasParent[cid] = true
+			}
+		}
+		if v, ok := kb.store.FirstObject(subj, transform.Prop(transform.PropInnerInput)); ok {
+			if cid, ok := idOf(v); ok {
+				n.Inner = nodes[cid]
+				hasParent[cid] = true
+			}
+		}
+	}
+	var root *qgm.Node
+	for id, n := range nodes {
+		if !hasParent[id] {
+			if root != nil {
+				return nil, nil, fmt.Errorf("multiple roots in template graph")
+			}
+			root = n
+		}
+	}
+	if root == nil {
+		return nil, nil, fmt.Errorf("no root operator found")
+	}
+	return root, bounds, nil
+}

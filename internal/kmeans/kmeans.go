@@ -1,0 +1,137 @@
+// Package kmeans implements the small one-dimensional k-means clustering the
+// paper's ranking module uses to separate "prospective" plan timings from
+// "anomaly" timings (noise from server or network load) before ranking.
+package kmeans
+
+import (
+	"math"
+	"sort"
+)
+
+// Result is the outcome of clustering.
+type Result struct {
+	// Assignments maps each input point to its cluster index.
+	Assignments []int
+	// Centroids holds the final cluster centers, sorted ascending.
+	Centroids []float64
+}
+
+// Cluster partitions the values into k clusters using Lloyd's algorithm with
+// deterministic quantile-based initialization. It returns a Result whose
+// centroids are sorted ascending, so cluster 0 is always the "low" cluster.
+func Cluster(values []float64, k int) Result {
+	n := len(values)
+	if k <= 0 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if n == 0 {
+		return Result{}
+	}
+	// Deterministic initialization: quantiles of the sorted values.
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	centroids := make([]float64, k)
+	for i := 0; i < k; i++ {
+		pos := int(float64(i) / float64(k) * float64(n-1))
+		if k > 1 {
+			pos = int(float64(i) / float64(k-1) * float64(n-1))
+		}
+		centroids[i] = sorted[pos]
+	}
+	assign := make([]int, n)
+	for iter := 0; iter < 100; iter++ {
+		changed := false
+		for i, v := range values {
+			bestC, bestD := 0, math.Inf(1)
+			for ci, c := range centroids {
+				d := math.Abs(v - c)
+				if d < bestD {
+					bestD, bestC = d, ci
+				}
+			}
+			if assign[i] != bestC {
+				assign[i] = bestC
+				changed = true
+			}
+		}
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for i, v := range values {
+			sums[assign[i]] += v
+			counts[assign[i]]++
+		}
+		for ci := range centroids {
+			if counts[ci] > 0 {
+				centroids[ci] = sums[ci] / float64(counts[ci])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	// Sort centroids ascending and remap assignments accordingly.
+	type ci struct {
+		center float64
+		old    int
+	}
+	order := make([]ci, k)
+	for i, c := range centroids {
+		order[i] = ci{c, i}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].center < order[j].center })
+	remap := make([]int, k)
+	outCentroids := make([]float64, k)
+	for newIdx, o := range order {
+		remap[o.old] = newIdx
+		outCentroids[newIdx] = o.center
+	}
+	for i := range assign {
+		assign[i] = remap[assign[i]]
+	}
+	return Result{Assignments: assign, Centroids: outCentroids}
+}
+
+// Prospective splits timing measurements into two clusters and returns the
+// values assigned to the lower ("prospective") cluster; values in the upper
+// ("anomaly") cluster are treated as noise and discarded, as the paper's
+// ranking module does. When there are fewer than three measurements, or the
+// clusters are not meaningfully separated, all values are kept.
+func Prospective(values []float64) []float64 {
+	if len(values) < 3 {
+		return append([]float64(nil), values...)
+	}
+	res := Cluster(values, 2)
+	if len(res.Centroids) < 2 {
+		return append([]float64(nil), values...)
+	}
+	lo, hi := res.Centroids[0], res.Centroids[1]
+	if hi < lo*1.5 {
+		// Not separated enough to call anything an anomaly.
+		return append([]float64(nil), values...)
+	}
+	var out []float64
+	for i, v := range values {
+		if res.Assignments[i] == 0 {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		return append([]float64(nil), values...)
+	}
+	return out
+}
+
+// Mean returns the arithmetic mean of the values (0 for an empty slice).
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}

@@ -1,0 +1,108 @@
+package kmeans
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClusterSeparatesTwoGroups(t *testing.T) {
+	values := []float64{10, 11, 12, 9, 10.5, 100, 105, 98}
+	res := Cluster(values, 2)
+	if len(res.Centroids) != 2 {
+		t.Fatalf("centroids = %v", res.Centroids)
+	}
+	if res.Centroids[0] > 20 || res.Centroids[1] < 80 {
+		t.Errorf("centroids not separated: %v", res.Centroids)
+	}
+	for i, v := range values {
+		want := 0
+		if v > 50 {
+			want = 1
+		}
+		if res.Assignments[i] != want {
+			t.Errorf("value %v assigned to cluster %d", v, res.Assignments[i])
+		}
+	}
+}
+
+func TestClusterEdgeCases(t *testing.T) {
+	if res := Cluster(nil, 2); len(res.Assignments) != 0 {
+		t.Errorf("empty input should produce empty result")
+	}
+	res := Cluster([]float64{5}, 2)
+	if len(res.Centroids) != 1 || res.Assignments[0] != 0 {
+		t.Errorf("single value result = %+v", res)
+	}
+	res = Cluster([]float64{3, 3, 3, 3}, 2)
+	for _, a := range res.Assignments {
+		if a != res.Assignments[0] {
+			t.Errorf("identical values split across clusters")
+		}
+	}
+	res = Cluster([]float64{1, 2, 3}, 0)
+	if len(res.Centroids) != 1 {
+		t.Errorf("k=0 should clamp to 1, got %v", res.Centroids)
+	}
+}
+
+func TestClusterCentroidsSortedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				vals = append(vals, math.Mod(math.Abs(v), 1e6))
+			}
+		}
+		res := Cluster(vals, 3)
+		for i := 1; i < len(res.Centroids); i++ {
+			if res.Centroids[i] < res.Centroids[i-1] {
+				return false
+			}
+		}
+		// Every assignment is a valid cluster index.
+		for _, a := range res.Assignments {
+			if a < 0 || a >= len(res.Centroids) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProspectiveRemovesAnomalies(t *testing.T) {
+	values := []float64{100, 102, 99, 101, 100, 950}
+	kept := Prospective(values)
+	if len(kept) != 5 {
+		t.Fatalf("Prospective kept %d values: %v", len(kept), kept)
+	}
+	for _, v := range kept {
+		if v > 200 {
+			t.Errorf("anomaly %v not removed", v)
+		}
+	}
+}
+
+func TestProspectiveKeepsTightMeasurements(t *testing.T) {
+	values := []float64{100, 101, 99, 100.5, 102}
+	kept := Prospective(values)
+	if len(kept) != len(values) {
+		t.Errorf("tight measurements should all be kept, got %d of %d", len(kept), len(values))
+	}
+	short := Prospective([]float64{50, 500})
+	if len(short) != 2 {
+		t.Errorf("short inputs should be returned unchanged")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Errorf("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{2, 4, 6}); got != 4 {
+		t.Errorf("Mean = %v", got)
+	}
+}

@@ -1,0 +1,435 @@
+// Package learning implements GALO's offline learning engine (Section 3.2 of
+// the paper): workload queries are decomposed into sub-queries, predicate
+// values are varied to cover different reduction factors, competing plans
+// from the Random Plan Generator are executed and ranked against the
+// optimizer's plan, and the winning rewrites are abstracted into
+// problem-pattern templates stored in the knowledge base.
+package learning
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"galo/internal/executor"
+	"galo/internal/guideline"
+	"galo/internal/kb"
+	"galo/internal/optimizer"
+	"galo/internal/qgm"
+	"galo/internal/randplan"
+	"galo/internal/sqlparser"
+	"galo/internal/storage"
+	"galo/internal/transform"
+)
+
+// Options configures the learning engine.
+type Options struct {
+	// JoinThreshold caps sub-query size in number of joins; the paper finds
+	// four to be the sweet spot.
+	JoinThreshold int
+	// MaxSubQueriesPerQuery caps sub-query enumeration for very wide queries.
+	MaxSubQueriesPerQuery int
+	// RandomPlans is how many alternative plans to request per sub-query.
+	RandomPlans int
+	// PredicateVariants is how many alternative predicate values to sample
+	// per equality predicate when establishing property ranges.
+	PredicateVariants int
+	// Runs is the number of measurement repetitions per plan.
+	Runs int
+	// MinImprovement is the relative improvement a rewrite must show over the
+	// optimizer's plan to enter the knowledge base.
+	MinImprovement float64
+	// BoundsSlack widens learned cardinality bounds by this factor so that
+	// structurally identical plans with nearby cardinalities still match.
+	BoundsSlack float64
+	// Workers is the parallelism of offline learning (the paper parallelizes
+	// over several machines during off-peak hours; here, over goroutines).
+	Workers int
+	// Seed drives random plan generation and measurement noise.
+	Seed int64
+	// Workload labels the provenance of learned templates.
+	Workload string
+}
+
+// DefaultOptions returns the configuration used in the experiments.
+func DefaultOptions() Options {
+	return Options{
+		JoinThreshold:         4,
+		MaxSubQueriesPerQuery: 48,
+		RandomPlans:           8,
+		PredicateVariants:     2,
+		Runs:                  3,
+		MinImprovement:        0.15,
+		BoundsSlack:           4.0,
+		Workers:               runtime.NumCPU(),
+		Seed:                  1,
+		Workload:              "default",
+	}
+}
+
+// Engine is the offline learning engine.
+type Engine struct {
+	DB   *storage.Database
+	KB   *kb.KB
+	Opts Options
+}
+
+// New returns a learning engine over the database that populates the given
+// knowledge base.
+func New(db *storage.Database, knowledge *kb.KB, opts Options) *Engine {
+	if opts.JoinThreshold <= 0 {
+		opts.JoinThreshold = 4
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.BoundsSlack < 1 {
+		opts.BoundsSlack = 1
+	}
+	return &Engine{DB: db, KB: knowledge, Opts: opts}
+}
+
+// QueryReport records the learning work done for one workload query.
+type QueryReport struct {
+	Query             string
+	SubQueries        int
+	CandidateRewrites int
+	TemplatesAdded    int
+	// BestImprovements holds the relative improvement of each rewrite found.
+	BestImprovements []float64
+	// WallMillis is the wall-clock analysis time; SimulatedWorkMillis is the
+	// total simulated execution time of all plans run (the dominant cost on a
+	// real system and the quantity compared against experts in Exp-5).
+	WallMillis          float64
+	SimulatedWorkMillis float64
+	SubQueryWallMillis  []float64
+}
+
+// Report summarizes learning over a workload.
+type Report struct {
+	Workload            string
+	QueriesAnalyzed     int
+	SubQueriesAnalyzed  int
+	TemplatesAdded      int
+	AvgImprovement      float64
+	WallMillis          float64
+	SimulatedWorkMillis float64
+	PerQuery            []QueryReport
+}
+
+// AvgWallPerQuery returns the average wall-clock analysis time per query.
+func (r *Report) AvgWallPerQuery() float64 {
+	if r.QueriesAnalyzed == 0 {
+		return 0
+	}
+	return r.WallMillis / float64(r.QueriesAnalyzed)
+}
+
+// AvgWallPerSubQuery returns the average wall-clock analysis time per
+// sub-query.
+func (r *Report) AvgWallPerSubQuery() float64 {
+	if r.SubQueriesAnalyzed == 0 {
+		return 0
+	}
+	total := 0.0
+	count := 0
+	for _, q := range r.PerQuery {
+		for _, ms := range q.SubQueryWallMillis {
+			total += ms
+			count++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// LearnWorkload analyzes every query of the workload in parallel and
+// populates the knowledge base. Sub-queries with the same structure across
+// queries are analyzed once.
+func (e *Engine) LearnWorkload(queries []*sqlparser.Query) (*Report, error) {
+	start := time.Now()
+	report := &Report{Workload: e.Opts.Workload}
+	var mu sync.Mutex
+	seenStructures := map[string]bool{}
+
+	type job struct {
+		idx int
+		q   *sqlparser.Query
+	}
+	jobs := make(chan job)
+	results := make([]*QueryReport, len(queries))
+	var wg sync.WaitGroup
+	var firstErr error
+
+	for w := 0; w < e.Opts.Workers; w++ {
+		wg.Add(1)
+		go func(workerID int) {
+			defer wg.Done()
+			for j := range jobs {
+				qr, err := e.learnQueryShared(j.q, int64(workerID), seenStructures, &mu)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("learning %s: %w", j.q.Name, err)
+					}
+					mu.Unlock()
+					continue
+				}
+				results[j.idx] = qr
+			}
+		}(w)
+	}
+	for i, q := range queries {
+		jobs <- job{i, q}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	improvements := []float64{}
+	for _, qr := range results {
+		if qr == nil {
+			continue
+		}
+		report.QueriesAnalyzed++
+		report.SubQueriesAnalyzed += qr.SubQueries
+		report.TemplatesAdded += qr.TemplatesAdded
+		report.SimulatedWorkMillis += qr.SimulatedWorkMillis
+		improvements = append(improvements, qr.BestImprovements...)
+		report.PerQuery = append(report.PerQuery, *qr)
+	}
+	if len(improvements) > 0 {
+		sum := 0.0
+		for _, v := range improvements {
+			sum += v
+		}
+		report.AvgImprovement = sum / float64(len(improvements))
+	}
+	report.WallMillis = float64(time.Since(start).Microseconds()) / 1000
+	return report, nil
+}
+
+// LearnQuery analyzes a single query.
+func (e *Engine) LearnQuery(q *sqlparser.Query) (*QueryReport, error) {
+	var mu sync.Mutex
+	return e.learnQueryShared(q, 0, map[string]bool{}, &mu)
+}
+
+func (e *Engine) learnQueryShared(q *sqlparser.Query, workerSeed int64, seenStructures map[string]bool, mu *sync.Mutex) (*QueryReport, error) {
+	start := time.Now()
+	qr := &QueryReport{Query: q.Name}
+	opt := optimizer.New(e.DB.Catalog, optimizer.DefaultOptions())
+	exec := executor.New(e.DB)
+	seed := e.Opts.Seed + workerSeed*7919 + int64(len(q.SQL()))
+	gen := storage.NewGenerator(seed)
+	rng := rand.New(rand.NewSource(seed))
+	planGen := randplan.New(opt, seed)
+	ranker := &Ranker{Exec: exec, Runs: e.Opts.Runs, NoiseRNG: rng}
+
+	// Decomposition needs resolved column references (to know which table
+	// each predicate belongs to), so work on a resolved clone.
+	work := q.Clone()
+	if err := sqlparser.Resolve(work, e.DB.Catalog.Schema); err != nil {
+		return nil, err
+	}
+	subs := SubQueries(work, e.Opts.JoinThreshold, e.Opts.MaxSubQueriesPerQuery)
+	for _, sub := range subs {
+		key := StructureKey(sub)
+		mu.Lock()
+		if seenStructures[key] {
+			mu.Unlock()
+			continue
+		}
+		seenStructures[key] = true
+		mu.Unlock()
+
+		subStart := time.Now()
+		qr.SubQueries++
+		candidates, work, err := e.analyzeSubQuery(sub, opt, planGen, ranker, gen)
+		qr.SimulatedWorkMillis += work
+		if err != nil {
+			// A sub-query that cannot be analyzed (e.g. unresolvable after
+			// projection) is skipped, not fatal: the paper's engine simply
+			// moves on to the next sub-query.
+			continue
+		}
+		for _, cand := range candidates {
+			qr.CandidateRewrites++
+			added, err := e.KB.Add(cand.template)
+			if err != nil {
+				return nil, err
+			}
+			if added {
+				qr.TemplatesAdded++
+			}
+			qr.BestImprovements = append(qr.BestImprovements, cand.improvement)
+		}
+		qr.SubQueryWallMillis = append(qr.SubQueryWallMillis, float64(time.Since(subStart).Microseconds())/1000)
+	}
+	qr.WallMillis = float64(time.Since(start).Microseconds()) / 1000
+	return qr, nil
+}
+
+// candidate is one rewrite discovered for a sub-query.
+type candidate struct {
+	template    *kb.Template
+	improvement float64
+}
+
+// analyzeSubQuery runs the Figure-3 / Section-3.2 loop for one sub-query:
+// vary predicates, generate random plans, rank against the optimizer's plan,
+// and abstract winning rewrites into templates.
+func (e *Engine) analyzeSubQuery(sub *sqlparser.Query, opt *optimizer.Optimizer,
+	planGen *randplan.Generator, ranker *Ranker, gen *storage.Generator) ([]candidate, float64, error) {
+
+	variants := PredicateVariants(e.DB, sub, e.Opts.PredicateVariants, gen)
+	type observation struct {
+		problem     *qgm.Node
+		solution    *qgm.Plan
+		improvement float64
+	}
+	groups := map[string][]observation{}
+	totalWork := 0.0
+
+	for _, variant := range variants {
+		basePlan, _, err := opt.Optimize(variant)
+		if err != nil {
+			return nil, totalWork, err
+		}
+		baseline := ranker.Measure(basePlan, variant)
+		totalWork += baseline.SimulatedWorkMillis
+		if baseline.Err != nil {
+			return nil, totalWork, baseline.Err
+		}
+		alts, err := planGen.RandomPlans(variant, e.Opts.RandomPlans)
+		if err != nil {
+			return nil, totalWork, err
+		}
+		if len(alts) == 0 {
+			continue
+		}
+		ranked := ranker.Rank(alts, variant)
+		for _, m := range ranked {
+			totalWork += m.SimulatedWorkMillis
+		}
+		best := ranked[0]
+		if best.Err != nil || best.MeanMillis <= 0 || baseline.MeanMillis <= 0 {
+			continue
+		}
+		improvement := (baseline.MeanMillis - best.MeanMillis) / baseline.MeanMillis
+		if improvement < e.Opts.MinImprovement {
+			continue
+		}
+		problemFrag := problemFragment(basePlan)
+		solutionFrag := problemFragment(best.Plan)
+		if problemFrag == nil || solutionFrag == nil || problemFrag.CountJoins() == 0 {
+			continue
+		}
+		key := problemFrag.Signature() + "=>" + solutionFrag.Signature()
+		groups[key] = append(groups[key], observation{problem: problemFrag, solution: best.Plan, improvement: improvement})
+	}
+
+	var out []candidate
+	for _, obs := range groups {
+		tmpl, err := e.buildTemplate(sub, obs[0].problem, obs[0].solution)
+		if err != nil {
+			continue
+		}
+		// Establish property ranges across the variants that shared this
+		// problem/solution pair, then widen by the slack factor.
+		bounds := map[int]kb.Range{}
+		for _, o := range obs {
+			ids := map[int]float64{}
+			o.problem.Walk(func(n *qgm.Node) { ids[n.ID] = n.EstCardinality })
+			for id, card := range ids {
+				if r, ok := bounds[id]; ok {
+					bounds[id] = r.Widen(card)
+				} else {
+					bounds[id] = kb.Range{Lo: card, Hi: card}
+				}
+			}
+		}
+		for id, r := range bounds {
+			bounds[id] = kb.Range{Lo: r.Lo / e.Opts.BoundsSlack, Hi: r.Hi * e.Opts.BoundsSlack}
+		}
+		tmpl.Bounds = bounds
+		mean := 0.0
+		for _, o := range obs {
+			mean += o.improvement
+		}
+		mean /= float64(len(obs))
+		tmpl.Improvement = mean
+		out = append(out, candidate{template: tmpl, improvement: mean})
+	}
+	return out, totalWork, nil
+}
+
+// problemFragment extracts the join-rooted fragment below RETURN (and any
+// final SORT/GRPBY operators) of a plan.
+func problemFragment(p *qgm.Plan) *qgm.Node {
+	if p == nil || p.Root == nil {
+		return nil
+	}
+	n := p.Root
+	for n != nil && !n.Op.IsJoin() && !n.Op.IsScan() {
+		n = n.Outer
+	}
+	return n
+}
+
+// buildTemplate abstracts a problem/solution pair into a knowledge base
+// template: canonical labels replace table names, and the solution becomes an
+// OPTGUIDELINES document whose TABIDs are canonical labels.
+func (e *Engine) buildTemplate(sub *sqlparser.Query, problem *qgm.Node, solution *qgm.Plan) (*kb.Template, error) {
+	labels := transform.CanonicalLabels(problem)
+	abstractProblem := transform.Abstract(problem, labels)
+	// Re-assign IDs on the abstracted fragment so bounds keyed by operator ID
+	// are stable for the template.
+	wrapped := qgm.NewPlan(abstractProblem.Clone())
+	abstractProblem = wrapped.Root.Outer
+
+	doc, err := guideline.FromPlan(solution)
+	if err != nil {
+		return nil, err
+	}
+	for _, g := range doc.Guidelines {
+		canonicalizeGuideline(g, labels)
+	}
+	xmlText, err := doc.XML()
+	if err != nil {
+		return nil, err
+	}
+	return &kb.Template{
+		Problem:        abstractProblem,
+		GuidelineXML:   xmlText,
+		SourceQuery:    sub.Name,
+		SourceWorkload: e.Opts.Workload,
+		Joins:          abstractProblem.CountJoins(),
+	}, nil
+}
+
+// canonicalizeGuideline replaces concrete table instances with canonical
+// labels and strips index names (indexes are context specific; the access
+// method is what generalizes).
+func canonicalizeGuideline(g *guideline.Element, labels map[string]string) {
+	if g == nil {
+		return
+	}
+	if g.TabID != "" {
+		if label, ok := labels[strings.ToUpper(g.TabID)]; ok {
+			g.TabID = label
+		}
+	}
+	g.Table = ""
+	g.Index = ""
+	for _, c := range g.Children {
+		canonicalizeGuideline(c, labels)
+	}
+}

@@ -1,0 +1,251 @@
+package learning
+
+import (
+	"math/rand"
+	"testing"
+
+	"galo/internal/executor"
+	"galo/internal/kb"
+	"galo/internal/optimizer"
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+	"galo/internal/storage"
+	"galo/internal/workload/tpcds"
+)
+
+var sharedDB *storage.Database
+
+func learnDB(t *testing.T) *storage.Database {
+	t.Helper()
+	if sharedDB == nil {
+		var err error
+		sharedDB, err = tpcds.Generate(tpcds.GenOptions{Seed: 9, Scale: 0.08, Hazards: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sharedDB
+}
+
+func fastOptions() Options {
+	o := DefaultOptions()
+	o.RandomPlans = 6
+	o.PredicateVariants = 1
+	o.Runs = 2
+	o.Workers = 2
+	o.MaxSubQueriesPerQuery = 12
+	o.Workload = "tpcds-test"
+	return o
+}
+
+func resolved(t *testing.T, q *sqlparser.Query) *sqlparser.Query {
+	t.Helper()
+	work := q.Clone()
+	if err := sqlparser.Resolve(work, tpcds.Schema()); err != nil {
+		t.Fatalf("resolve %s: %v", q.Name, err)
+	}
+	return work
+}
+
+func TestSubQueriesFigure3(t *testing.T) {
+	q := resolved(t, tpcds.Fig3Query()) // web_sales x item x date_dim, 2 joins
+	subs := SubQueries(q, 4, 64)
+	// Connected subsets: {ws,item}, {ws,date}, {ws,item,date} = 3.
+	if len(subs) != 3 {
+		t.Fatalf("SubQueries = %d, want 3", len(subs))
+	}
+	var twoWay *sqlparser.Query
+	for _, s := range subs {
+		if len(s.From) == 2 {
+			names := map[string]bool{}
+			for _, tr := range s.From {
+				names[tr.Table] = true
+			}
+			if names["WEB_SALES"] && names["ITEM"] {
+				twoWay = s
+			}
+		}
+	}
+	if twoWay == nil {
+		t.Fatal("web_sales x item sub-query not generated")
+	}
+	// The Figure 3b projection: join predicate plus the item category filter,
+	// and not the date predicate.
+	if twoWay.NumJoins() != 1 {
+		t.Errorf("sub-query joins = %d", twoWay.NumJoins())
+	}
+	for _, p := range twoWay.LocalPredicates() {
+		if p.Left.Column == "D_YEAR" {
+			t.Errorf("date predicate leaked into the web_sales/item sub-query: %v", p)
+		}
+	}
+	if len(twoWay.Select) == 0 {
+		t.Errorf("sub-query should project columns from its tables")
+	}
+	// Threshold caps the size.
+	capped := SubQueries(resolved(t, tpcds.WideQuery(12)), 2, 1000)
+	for _, s := range capped {
+		if len(s.From) > 3 {
+			t.Errorf("sub-query exceeds join threshold: %d tables", len(s.From))
+		}
+	}
+	// Cap on enumeration.
+	limited := SubQueries(resolved(t, tpcds.WideQuery(20)), 4, 10)
+	if len(limited) > 10 {
+		t.Errorf("MaxSubQueries cap not applied: %d", len(limited))
+	}
+	if SubQueries(resolved(t, sqlparser.MustParse("SELECT i_item_desc FROM item")), 4, 10) != nil {
+		t.Errorf("single-table query should produce no sub-queries")
+	}
+}
+
+func TestStructureKeyMergesSameShape(t *testing.T) {
+	a := sqlparser.MustParse(`SELECT i_item_desc FROM web_sales, item WHERE ws_item_sk = i_item_sk AND i_category = 'Music'`)
+	b := sqlparser.MustParse(`SELECT i_item_desc FROM web_sales, item WHERE ws_item_sk = i_item_sk AND i_category = 'Books'`)
+	c := sqlparser.MustParse(`SELECT i_item_desc FROM store_sales, item WHERE ss_item_sk = i_item_sk AND i_category = 'Music'`)
+	if StructureKey(a) != StructureKey(b) {
+		t.Errorf("same structure with different values should share a key")
+	}
+	if StructureKey(a) == StructureKey(c) {
+		t.Errorf("different tables should not share a key")
+	}
+}
+
+func TestPredicateVariantsSampleDatabase(t *testing.T) {
+	db := learnDB(t)
+	q := resolved(t, sqlparser.MustParse(`SELECT i_item_desc FROM web_sales, item WHERE ws_item_sk = i_item_sk AND i_category = 'Jewelry'`))
+	gen := storage.NewGenerator(3)
+	variants := PredicateVariants(db, q, 3, gen)
+	if len(variants) < 2 {
+		t.Fatalf("expected variants beyond the original, got %d", len(variants))
+	}
+	if variants[0] != q {
+		t.Errorf("original query must be the first variant")
+	}
+	seen := map[string]bool{}
+	for _, v := range variants[1:] {
+		for _, p := range v.LocalPredicates() {
+			if p.Left.Column == "I_CATEGORY" {
+				if p.Value.S == "Jewelry" {
+					t.Errorf("variant kept the original value")
+				}
+				seen[p.Value.S] = true
+			}
+		}
+	}
+	if len(seen) == 0 {
+		t.Errorf("no sampled category values")
+	}
+	// No variants requested.
+	if got := PredicateVariants(db, q, 0, gen); len(got) != 1 {
+		t.Errorf("PredicateVariants(0) = %d", len(got))
+	}
+}
+
+func TestRankerPrefersFasterPlanAndRemovesNoise(t *testing.T) {
+	db := learnDB(t)
+	opt := optimizer.New(db.Catalog, optimizer.DefaultOptions())
+	exec := executor.New(db)
+	q := sqlparser.MustParse(`SELECT i_item_desc, ss_quantity FROM store_sales, item
+		WHERE ss_item_sk = i_item_sk AND i_category = 'Jewelry'`)
+	good, err := opt.BuildPlan(q, optimizer.Join(qgm.OpHSJOIN,
+		optimizer.Leaf("STORE_SALES"), optimizer.Leaf("ITEM")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deliberately bad plan: nested loops probing the fact table with full
+	// scans of the inner for every outer row.
+	bad, err := opt.BuildPlan(q, optimizer.Join(qgm.OpNLJOIN,
+		optimizer.LeafAccess("ITEM", qgm.OpTBSCAN, ""),
+		optimizer.LeafAccess("STORE_SALES", qgm.OpTBSCAN, "")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranker := &Ranker{Exec: exec, Runs: 4, NoiseRNG: rand.New(rand.NewSource(1))}
+	m := ranker.Measure(good, q)
+	if m.Err != nil {
+		t.Fatalf("Measure: %v", m.Err)
+	}
+	if len(m.Runs) != 4 || m.MeanMillis <= 0 {
+		t.Errorf("measurement = %+v", m)
+	}
+	if len(m.Prospective) == 0 || len(m.Prospective) > len(m.Runs) {
+		t.Errorf("prospective runs = %d of %d", len(m.Prospective), len(m.Runs))
+	}
+	ranked := ranker.Rank([]*qgm.Plan{bad, good}, q)
+	if len(ranked) != 2 || ranked[0].Err != nil {
+		t.Fatalf("Rank failed: %+v", ranked)
+	}
+	if ranked[0].Plan.Signature() != good.Signature() {
+		t.Errorf("ranker preferred the slower plan: best mean %.2f vs %.2f",
+			ranked[0].MeanMillis, ranked[1].MeanMillis)
+	}
+}
+
+func TestLearnQueryFindsRewritesOnHazardousWorkload(t *testing.T) {
+	db := learnDB(t)
+	knowledge := kb.New()
+	eng := New(db, knowledge, fastOptions())
+	report, err := eng.LearnQuery(tpcds.Fig8Query())
+	if err != nil {
+		t.Fatalf("LearnQuery: %v", err)
+	}
+	if report.SubQueries == 0 {
+		t.Fatalf("no sub-queries analyzed")
+	}
+	if report.WallMillis <= 0 || report.SimulatedWorkMillis <= 0 {
+		t.Errorf("timings not recorded: %+v", report)
+	}
+	if report.TemplatesAdded == 0 {
+		t.Errorf("expected at least one template learned from the hazardous Figure 8 query (candidates=%d)", report.CandidateRewrites)
+	}
+	if knowledge.Size() != report.TemplatesAdded {
+		t.Errorf("KB size %d != templates added %d", knowledge.Size(), report.TemplatesAdded)
+	}
+	for _, tmpl := range knowledge.Templates() {
+		if tmpl.Improvement < eng.Opts.MinImprovement {
+			t.Errorf("template improvement %v below threshold", tmpl.Improvement)
+		}
+		for _, scan := range tmpl.Problem.Scans() {
+			if scan.Table != "" && scan.Table[:6] != "TABLE_" {
+				t.Errorf("template not abstracted: %s", scan.Table)
+			}
+		}
+		if tmpl.GuidelineXML == "" || tmpl.SourceWorkload != "tpcds-test" {
+			t.Errorf("template metadata incomplete: %+v", tmpl)
+		}
+	}
+}
+
+func TestLearnWorkloadParallelAndDeduplicates(t *testing.T) {
+	db := learnDB(t)
+	knowledge := kb.New()
+	eng := New(db, knowledge, fastOptions())
+	queries := []*sqlparser.Query{tpcds.Fig3Query(), tpcds.Fig8Query(), tpcds.Fig7Query()}
+	report, err := eng.LearnWorkload(queries)
+	if err != nil {
+		t.Fatalf("LearnWorkload: %v", err)
+	}
+	if report.QueriesAnalyzed != 3 {
+		t.Errorf("QueriesAnalyzed = %d", report.QueriesAnalyzed)
+	}
+	if report.SubQueriesAnalyzed == 0 {
+		t.Errorf("no sub-queries analyzed")
+	}
+	if report.TemplatesAdded != knowledge.Size() {
+		t.Errorf("report/KB disagreement: %d vs %d", report.TemplatesAdded, knowledge.Size())
+	}
+	if report.AvgWallPerQuery() <= 0 {
+		t.Errorf("AvgWallPerQuery = %v", report.AvgWallPerQuery())
+	}
+	// Fig3 and Fig8 share the store_sales/date_dim/item structure only
+	// partially; but repeated runs over the same workload should not grow the
+	// KB because structures are already known.
+	sizeBefore := knowledge.Size()
+	if _, err := eng.LearnWorkload(queries); err != nil {
+		t.Fatal(err)
+	}
+	if knowledge.Size() != sizeBefore {
+		t.Errorf("re-learning the same workload grew the KB from %d to %d", sizeBefore, knowledge.Size())
+	}
+}

@@ -1,0 +1,129 @@
+package learning
+
+import (
+	"math/rand"
+
+	"galo/internal/executor"
+	"galo/internal/kmeans"
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+)
+
+// Measurement is the ranked runtime profile of one candidate plan.
+type Measurement struct {
+	Plan *qgm.Plan
+	// Runs holds the raw per-run elapsed measurements (after noise), and
+	// Prospective the subset kept after k-means outlier removal.
+	Runs        []float64
+	Prospective []float64
+	// MeanMillis is the mean of the prospective runs — the ranking score.
+	MeanMillis float64
+	// Tie-break resource features (Section 3.2's ranking module).
+	PhysicalReads  int64
+	LogicalReads   int64
+	CPURows        int64
+	SortHeapPages  int64
+	// SimulatedWorkMillis is the total simulated execution time spent
+	// obtaining this measurement (all runs), used for the Exp-5 cost study.
+	SimulatedWorkMillis float64
+	// Err records an execution failure (the plan is then unrankable).
+	Err error
+}
+
+// Ranker executes candidate plans repeatedly, removes anomalous runs with
+// k-means clustering and ranks plans by mean elapsed time, breaking ties with
+// resource-usage features — the paper's ranking module, with db2batch
+// replaced by the executor's simulated runtime.
+type Ranker struct {
+	Exec *executor.Executor
+	// Runs is the number of repetitions per plan.
+	Runs int
+	// NoiseRNG injects deterministic measurement noise so the k-means outlier
+	// removal has something to do; nil disables noise.
+	NoiseRNG *rand.Rand
+}
+
+// Measure runs one plan and returns its measurement.
+func (r *Ranker) Measure(plan *qgm.Plan, q *sqlparser.Query) Measurement {
+	runs := r.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	m := Measurement{Plan: plan}
+	for i := 0; i < runs; i++ {
+		res, err := r.Exec.Execute(plan, q)
+		if err != nil {
+			m.Err = err
+			return m
+		}
+		elapsed := res.Stats.ElapsedMillis
+		m.SimulatedWorkMillis += elapsed
+		if r.NoiseRNG != nil {
+			noise := 1 + r.NoiseRNG.Float64()*0.04
+			if r.NoiseRNG.Float64() < 0.12 {
+				noise *= 2.5 + r.NoiseRNG.Float64()
+			}
+			elapsed *= noise
+		}
+		m.Runs = append(m.Runs, elapsed)
+		if i == 0 {
+			m.PhysicalReads = res.Stats.PhysicalReads
+			m.LogicalReads = res.Stats.LogicalReads
+			m.CPURows = res.Stats.CPURows
+			m.SortHeapPages = res.Stats.SortHeapPages
+		}
+	}
+	m.Prospective = kmeans.Prospective(m.Runs)
+	m.MeanMillis = kmeans.Mean(m.Prospective)
+	return m
+}
+
+// Rank measures every plan and returns the measurements with the best plan
+// first. Ties within 2% of elapsed time are broken by physical reads, then
+// CPU rows, then sort-heap usage.
+func (r *Ranker) Rank(plans []*qgm.Plan, q *sqlparser.Query) []Measurement {
+	ms := make([]Measurement, 0, len(plans))
+	for _, p := range plans {
+		ms = append(ms, r.Measure(p, q))
+	}
+	sortMeasurements(ms)
+	return ms
+}
+
+func sortMeasurements(ms []Measurement) {
+	less := func(a, b Measurement) bool {
+		if a.Err != nil || b.Err != nil {
+			return a.Err == nil
+		}
+		hi := a.MeanMillis
+		if b.MeanMillis > hi {
+			hi = b.MeanMillis
+		}
+		if hi > 0 && absF(a.MeanMillis-b.MeanMillis)/hi > 0.02 {
+			return a.MeanMillis < b.MeanMillis
+		}
+		if a.PhysicalReads != b.PhysicalReads {
+			return a.PhysicalReads < b.PhysicalReads
+		}
+		if a.CPURows != b.CPURows {
+			return a.CPURows < b.CPURows
+		}
+		if a.SortHeapPages != b.SortHeapPages {
+			return a.SortHeapPages < b.SortHeapPages
+		}
+		return a.MeanMillis < b.MeanMillis
+	}
+	// Insertion sort keeps this dependency-free and stable for small slices.
+	for i := 1; i < len(ms); i++ {
+		for j := i; j > 0 && less(ms[j], ms[j-1]); j-- {
+			ms[j], ms[j-1] = ms[j-1], ms[j]
+		}
+	}
+}
+
+func absF(f float64) float64 {
+	if f < 0 {
+		return -f
+	}
+	return f
+}

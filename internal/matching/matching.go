@@ -1,0 +1,275 @@
+// Package matching implements GALO's online matching engine (Section 3.3 of
+// the paper): an incoming query's plan is segmented into sub-plans (climbing
+// the tree up to the RETURN operator, capped by the same join threshold used
+// during learning), each segment is turned into a SPARQL query by the
+// transformation engine and run against the knowledge base, and the matched
+// templates' guidelines — with canonical table labels mapped back to the
+// query's table instances — are collected into a guideline document with
+// which the query is re-optimized.
+package matching
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"galo/internal/catalog"
+	"galo/internal/guideline"
+	"galo/internal/optimizer"
+	"galo/internal/qgm"
+	"galo/internal/sparql"
+	"galo/internal/sqlparser"
+	"galo/internal/transform"
+)
+
+// Endpoint is anything that can answer SPARQL SELECT queries: the in-process
+// knowledge base (fuseki.LocalEndpoint) or a remote Fuseki-style server
+// (fuseki.Client).
+type Endpoint interface {
+	Select(query string) ([]sparql.Solution, error)
+}
+
+// Options configures the matching engine.
+type Options struct {
+	// MaxJoins caps the size of matched sub-plans; the paper uses the same
+	// threshold (four) as the learning engine.
+	MaxJoins int
+	// OptimizerOptions configures the optimizer used for the initial plan and
+	// the re-optimization pass.
+	OptimizerOptions optimizer.Options
+}
+
+// DefaultOptions returns the configuration used in the experiments.
+func DefaultOptions() Options {
+	return Options{MaxJoins: 4, OptimizerOptions: optimizer.DefaultOptions()}
+}
+
+// Engine is the online matching engine.
+type Engine struct {
+	Cat      *catalog.Catalog
+	Endpoint Endpoint
+	Opts     Options
+}
+
+// New returns a matching engine over the catalog and knowledge base endpoint.
+func New(cat *catalog.Catalog, endpoint Endpoint, opts Options) *Engine {
+	if opts.MaxJoins <= 0 {
+		opts.MaxJoins = 4
+	}
+	return &Engine{Cat: cat, Endpoint: endpoint, Opts: opts}
+}
+
+// Match is one problem pattern found in a plan.
+type Match struct {
+	// FragmentRootID is the operator ID of the matched sub-plan's root in the
+	// original plan.
+	FragmentRootID int
+	// FragmentJoins is the number of joins in the matched sub-plan.
+	FragmentJoins int
+	// TemplateIRI identifies the knowledge base template that matched.
+	TemplateIRI string
+	// Improvement is the improvement the template recorded when it was
+	// learned.
+	Improvement float64
+	// Guideline is the template's rewrite with TABIDs mapped to the incoming
+	// query's table instances.
+	Guideline *guideline.Element
+	// MatchMillis is the wall-clock time spent matching this fragment
+	// against the knowledge base (the quantity reported in Exp-3).
+	MatchMillis float64
+}
+
+// MatchPlan probes the knowledge base for every sub-plan of the plan and
+// returns the matches found. Fragments are tried from the largest (most
+// context) down to single joins, and fragments overlapping an already-matched
+// fragment are skipped, so each part of the plan is rewritten by at most one
+// template.
+func (e *Engine) MatchPlan(plan *qgm.Plan) ([]Match, error) {
+	if plan == nil || plan.Root == nil {
+		return nil, fmt.Errorf("matching: empty plan")
+	}
+	fragments := plan.EnumerateSubPlans(e.Opts.MaxJoins)
+	// Largest fragments first.
+	for i, j := 0, len(fragments)-1; i < j; i, j = i+1, j-1 {
+		fragments[i], fragments[j] = fragments[j], fragments[i]
+	}
+	var matches []Match
+	claimed := map[string]bool{}
+	for _, frag := range fragments {
+		if overlapsClaimed(frag.Root, claimed) {
+			continue
+		}
+		m, ok, err := e.matchFragment(frag.Root)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		m.FragmentJoins = frag.Joins
+		matches = append(matches, m)
+		for inst := range frag.Root.TableInstances() {
+			claimed[inst] = true
+		}
+	}
+	return matches, nil
+}
+
+func overlapsClaimed(frag *qgm.Node, claimed map[string]bool) bool {
+	for inst := range frag.TableInstances() {
+		if claimed[inst] {
+			return true
+		}
+	}
+	return false
+}
+
+// matchFragment matches one sub-plan against the knowledge base and, when a
+// template matches, maps its guideline back to the incoming plan's table
+// instances.
+func (e *Engine) matchFragment(frag *qgm.Node) (Match, bool, error) {
+	start := time.Now()
+	queryText, info, err := transform.FragmentMatchQuery(frag)
+	if err != nil {
+		return Match{}, false, err
+	}
+	sols, err := e.Endpoint.Select(queryText)
+	if err != nil {
+		return Match{}, false, fmt.Errorf("matching: knowledge base query failed: %w", err)
+	}
+	elapsed := float64(time.Since(start).Microseconds()) / 1000
+	if len(sols) == 0 {
+		return Match{MatchMillis: elapsed}, false, nil
+	}
+	best, improvement := pickBestSolution(sols, info)
+	guidelineXML := best[info.GuidelineVar].Value
+	doc, err := guideline.Parse(guidelineXML)
+	if err != nil || len(doc.Guidelines) == 0 {
+		return Match{}, false, fmt.Errorf("matching: template carries an invalid guideline: %v", err)
+	}
+	// Canonical label -> incoming instance.
+	canonicalToInstance := map[string]string{}
+	for instance, varName := range info.CanonicalVarByInstance {
+		if term, ok := best[varName]; ok {
+			canonicalToInstance[strings.ToUpper(term.Value)] = instance
+		}
+	}
+	g := doc.Guidelines[0]
+	if !rebindGuideline(g, canonicalToInstance) {
+		return Match{MatchMillis: elapsed}, false, nil
+	}
+	m := Match{
+		FragmentRootID: frag.ID,
+		TemplateIRI:    best[info.TemplateVar].Value,
+		Improvement:    improvement,
+		Guideline:      g,
+		MatchMillis:    elapsed,
+	}
+	return m, true, nil
+}
+
+// pickBestSolution chooses the matching template with the highest recorded
+// improvement.
+func pickBestSolution(sols []sparql.Solution, info *transform.MatchQueryInfo) (sparql.Solution, float64) {
+	best := sols[0]
+	bestImp := improvementOf(best, info)
+	for _, s := range sols[1:] {
+		if imp := improvementOf(s, info); imp > bestImp {
+			best, bestImp = s, imp
+		}
+	}
+	return best, bestImp
+}
+
+func improvementOf(s sparql.Solution, info *transform.MatchQueryInfo) float64 {
+	term, ok := s[info.ImprovementVar]
+	if !ok {
+		return 0
+	}
+	f, _ := term.Float()
+	return f
+}
+
+// rebindGuideline replaces canonical TABIDs with the incoming plan's table
+// instances; it reports false when a canonical label has no counterpart (the
+// guideline would then be inapplicable).
+func rebindGuideline(g *guideline.Element, canonicalToInstance map[string]string) bool {
+	ok := true
+	var walk func(*guideline.Element)
+	walk = func(e *guideline.Element) {
+		if e == nil || !ok {
+			return
+		}
+		if e.TabID != "" {
+			inst, found := canonicalToInstance[strings.ToUpper(e.TabID)]
+			if !found {
+				ok = false
+				return
+			}
+			e.TabID = inst
+		}
+		for _, c := range e.Children {
+			walk(c)
+		}
+	}
+	walk(g)
+	return ok
+}
+
+// Result is the outcome of re-optimizing one query.
+type Result struct {
+	Query           *sqlparser.Query
+	OriginalPlan    *qgm.Plan
+	ReoptimizedPlan *qgm.Plan
+	Matches         []Match
+	Guidelines      *guideline.Document
+	Report          *optimizer.Report
+	// MatchMillis is the total time spent querying the knowledge base.
+	MatchMillis float64
+}
+
+// Rewritten reports whether re-optimization produced a different plan.
+func (r *Result) Rewritten() bool {
+	return r.ReoptimizedPlan != nil && r.OriginalPlan != nil &&
+		r.ReoptimizedPlan.Signature() != r.OriginalPlan.Signature()
+}
+
+// Reoptimize runs the full online workflow for one query: plan it, match the
+// plan against the knowledge base, and — when rewrites match — pass the query
+// with the collected guideline document through the optimizer again. The
+// original plan is always returned; the re-optimized plan is nil when nothing
+// matched.
+func (e *Engine) Reoptimize(q *sqlparser.Query) (*Result, error) {
+	opt := optimizer.New(e.Cat, e.Opts.OptimizerOptions)
+	original, _, err := opt.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	matches, err := e.MatchPlan(original)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Query: q, OriginalPlan: original, Matches: matches}
+	for _, m := range matches {
+		res.MatchMillis += m.MatchMillis
+	}
+	if len(matches) == 0 {
+		return res, nil
+	}
+	doc := &guideline.Document{}
+	for _, m := range matches {
+		doc.Add(m.Guideline)
+	}
+	res.Guidelines = guideline.Merge(doc)
+
+	reoptOptions := e.Opts.OptimizerOptions
+	reoptOptions.Guidelines = res.Guidelines
+	reopt := optimizer.New(e.Cat, reoptOptions)
+	replanned, report, err := reopt.Optimize(q)
+	if err != nil {
+		return nil, err
+	}
+	res.ReoptimizedPlan = replanned
+	res.Report = report
+	return res, nil
+}

@@ -1,0 +1,232 @@
+package optimizer
+
+import (
+	"strings"
+
+	"galo/internal/guideline"
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+)
+
+// accessConstraint forces the access method (and optionally the index) used
+// for one table instance.
+type accessConstraint struct {
+	instance string
+	method   qgm.OpType // OpTBSCAN, or OpIXSCAN meaning "index access"
+	index    string
+	gIndex   int
+}
+
+// joinConstraint forces one join: the instances of all must be joined with
+// method, with outer as the first input and inner as the second.
+type joinConstraint struct {
+	method       qgm.OpType
+	outer, inner map[string]bool
+	all          map[string]bool
+	gIndex       int
+}
+
+// constraintSet is the combination of constraints from the active guidelines.
+type constraintSet struct {
+	access map[string]accessConstraint
+	joins  []joinConstraint
+}
+
+// allowsJoin reports whether joining left (outer) and right (inner) with the
+// given method is compatible with the constraints for the combined set.
+func (c constraintSet) allowsJoin(set, left, right map[string]bool, method qgm.OpType) bool {
+	for _, jc := range c.joins {
+		if !sameSet(jc.all, set) {
+			continue
+		}
+		if jc.method != method || !sameSet(jc.outer, left) || !sameSet(jc.inner, right) {
+			return false
+		}
+	}
+	return true
+}
+
+// allowsPartition reports whether splitting set into (left, right) keeps every
+// constrained sub-join intact: a guideline join over a subset of set must not
+// be split across the two inputs, otherwise it could never be built.
+func (c constraintSet) allowsPartition(set, left, right map[string]bool) bool {
+	for _, jc := range c.joins {
+		if !subsetOf(jc.all, set) || sameSet(jc.all, set) {
+			continue
+		}
+		if !subsetOf(jc.all, left) && !subsetOf(jc.all, right) {
+			return false
+		}
+	}
+	return true
+}
+
+// guidelineConstraints is the decomposition of one top-level guideline.
+type guidelineConstraints struct {
+	access  []accessConstraint
+	joins   []joinConstraint
+	invalid bool // references instances or tables not present in the query
+}
+
+// satisfiedBy checks whether the final plan honours every constraint of the
+// guideline.
+func (g guidelineConstraints) satisfiedBy(root *qgm.Node) bool {
+	if g.invalid || root == nil {
+		return false
+	}
+	for _, ac := range g.access {
+		if !accessSatisfied(root, ac) {
+			return false
+		}
+	}
+	for _, jc := range g.joins {
+		if !joinSatisfied(root, jc) {
+			return false
+		}
+	}
+	return true
+}
+
+func accessSatisfied(root *qgm.Node, ac accessConstraint) bool {
+	ok := false
+	root.Walk(func(n *qgm.Node) {
+		if ok || !n.Op.IsScan() || !strings.EqualFold(n.TableInstance, ac.instance) {
+			return
+		}
+		switch ac.method {
+		case qgm.OpTBSCAN:
+			ok = n.Op == qgm.OpTBSCAN
+		default: // index access
+			if n.Op != qgm.OpIXSCAN && n.Op != qgm.OpFETCH {
+				return
+			}
+			ok = ac.index == "" || strings.EqualFold(ac.index, n.Index)
+		}
+	})
+	return ok
+}
+
+func nodeInstanceSet(n *qgm.Node) map[string]bool {
+	set := map[string]bool{}
+	n.Walk(func(x *qgm.Node) {
+		if x.TableInstance != "" {
+			set[x.TableInstance] = true
+		}
+	})
+	return set
+}
+
+func joinSatisfied(root *qgm.Node, jc joinConstraint) bool {
+	ok := false
+	root.Walk(func(n *qgm.Node) {
+		if ok || !n.Op.IsJoin() || n.Op != jc.method {
+			return
+		}
+		if n.Outer == nil || n.Inner == nil {
+			return
+		}
+		if sameSet(nodeInstanceSet(n), jc.all) &&
+			sameSet(nodeInstanceSet(n.Outer), jc.outer) &&
+			sameSet(nodeInstanceSet(n.Inner), jc.inner) {
+			ok = true
+		}
+	})
+	return ok
+}
+
+// buildConstraints decomposes the guideline document (if any) against the
+// query's quantifiers. It returns the combined constraint set over all valid
+// guidelines plus the per-guideline decomposition used for retry/reporting.
+func (o *Optimizer) buildConstraints(q *sqlparser.Query, quants []*Quantifier, report *Report) (constraintSet, []guidelineConstraints) {
+	doc := o.Opts.Guidelines
+	if doc.Empty() {
+		return constraintSet{access: map[string]accessConstraint{}}, nil
+	}
+	instanceExists := map[string]bool{}
+	tableToInstances := map[string][]string{}
+	for _, qt := range quants {
+		instanceExists[qt.Instance] = true
+		tbl := strings.ToUpper(qt.Ref.Table)
+		tableToInstances[tbl] = append(tableToInstances[tbl], qt.Instance)
+	}
+	resolveInstance := func(e *guideline.Element) (string, bool) {
+		if e.TabID != "" {
+			id := strings.ToUpper(e.TabID)
+			return id, instanceExists[id]
+		}
+		if e.Table != "" {
+			insts := tableToInstances[strings.ToUpper(e.Table)]
+			if len(insts) == 1 {
+				return insts[0], true
+			}
+		}
+		return "", false
+	}
+
+	perGuideline := make([]guidelineConstraints, len(doc.Guidelines))
+	for gi, g := range doc.Guidelines {
+		gc := &perGuideline[gi]
+		var collect func(e *guideline.Element) map[string]bool
+		collect = func(e *guideline.Element) map[string]bool {
+			if gc.invalid || e == nil {
+				return map[string]bool{}
+			}
+			if e.IsAccess() {
+				inst, ok := resolveInstance(e)
+				if !ok {
+					gc.invalid = true
+					return map[string]bool{}
+				}
+				method := qgm.OpTBSCAN
+				if e.Op == guideline.ElemIXSCAN {
+					method = qgm.OpIXSCAN
+				}
+				gc.access = append(gc.access, accessConstraint{instance: inst, method: method, index: e.Index, gIndex: gi})
+				return map[string]bool{inst: true}
+			}
+			// Join element.
+			if len(e.Children) != 2 {
+				gc.invalid = true
+				return map[string]bool{}
+			}
+			outer := collect(e.Children[0])
+			inner := collect(e.Children[1])
+			if gc.invalid {
+				return map[string]bool{}
+			}
+			method := qgm.OpHSJOIN
+			switch e.Op {
+			case guideline.ElemNLJOIN:
+				method = qgm.OpNLJOIN
+			case guideline.ElemMSJOIN:
+				method = qgm.OpMSJOIN
+			}
+			all := unionSets(outer, inner)
+			gc.joins = append(gc.joins, joinConstraint{method: method, outer: outer, inner: inner, all: all, gIndex: gi})
+			return all
+		}
+		collect(g)
+		_ = report
+	}
+	active := make([]bool, len(perGuideline))
+	for i := range active {
+		active[i] = true
+	}
+	return filterConstraints(constraintSet{}, perGuideline, active), perGuideline
+}
+
+// filterConstraints combines the constraints of the guidelines that are still
+// active and valid.
+func filterConstraints(_ constraintSet, perGuideline []guidelineConstraints, active []bool) constraintSet {
+	out := constraintSet{access: map[string]accessConstraint{}}
+	for i, gc := range perGuideline {
+		if gc.invalid || i >= len(active) || !active[i] {
+			continue
+		}
+		for _, ac := range gc.access {
+			out.access[ac.instance] = ac
+		}
+		out.joins = append(out.joins, gc.joins...)
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package optimizer
+
+import (
+	"math"
+
+	"galo/internal/catalog"
+)
+
+// The cost model measures everything in milliseconds-equivalent "timerons":
+// sequential page reads cost TransferRate each, random page reads cost
+// Overhead each (discounted when the table fits in the buffer pool), and rows
+// processed cost CPUSpeed each. Sorts and hash joins that exceed the sort
+// heap spill and pay the pages back out and in again. These are the same
+// levers DB2's cost model exposes, which is what lets the Figure 7
+// transfer-rate problem pattern arise here.
+
+func pagesOf(cfg catalog.SystemConfig, rows float64, rowWidth int) float64 {
+	if rowWidth <= 0 {
+		rowWidth = 64
+	}
+	pageSize := float64(cfg.PageSizeBytes)
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	pages := rows * float64(rowWidth) / pageSize
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}
+
+// tbscanCost is the cost of a full sequential scan of a table.
+func tbscanCost(cfg catalog.SystemConfig, tablePages, tableRows float64) float64 {
+	return tablePages*cfg.TransferRate + tableRows*cfg.CPUSpeed
+}
+
+// ixscanCost is the cost of an index scan matching matchRows of tableRows.
+// If fetch is true the base rows must also be fetched, paying random I/O on
+// the unclustered fraction; poorly clustered indexes over tables larger than
+// the buffer pool are where the Figure 4 "flooding" cost explodes.
+func ixscanCost(cfg catalog.SystemConfig, tablePages, tableRows, matchRows float64,
+	clusterRatio float64, fetch bool, rowsPerPage float64) float64 {
+	if matchRows < 1 {
+		matchRows = 1
+	}
+	leafPages := tableRows / 300
+	if leafPages < 1 {
+		leafPages = 1
+	}
+	frac := matchRows / math.Max(tableRows, 1)
+	cost := cfg.Overhead + leafPages*frac*cfg.TransferRate + matchRows*cfg.CPUSpeed*0.5
+	if fetch {
+		if rowsPerPage < 1 {
+			rowsPerPage = 1
+		}
+		clustered := matchRows * clusterRatio
+		unclustered := matchRows * (1 - clusterRatio)
+		cost += (clustered / rowsPerPage) * cfg.TransferRate
+		randomIO := cfg.Overhead
+		if tablePages <= float64(cfg.BufferPoolPages) {
+			// Table fits in the buffer pool: random reads hit cache after the
+			// first pass.
+			randomIO = cfg.TransferRate * 0.25
+		}
+		cost += unclustered * randomIO
+		cost += matchRows * cfg.CPUSpeed
+	}
+	return cost
+}
+
+// sortCost is the cost of sorting rows of the given width, including spill
+// I/O when the run exceeds the sort heap.
+func sortCost(cfg catalog.SystemConfig, rows float64, rowWidth int) float64 {
+	if rows < 2 {
+		return cfg.CPUSpeed
+	}
+	cost := rows * math.Log2(rows) * cfg.CPUSpeed
+	pages := pagesOf(cfg, rows, rowWidth)
+	if pages > float64(cfg.SortHeapPages) {
+		// External sort: write and re-read the spilled pages.
+		cost += 2 * pages * cfg.TransferRate * 1.5
+	}
+	return cost
+}
+
+// hsjoinCost is the incremental cost of a hash join given already-costed
+// inputs: build on the inner, probe with the outer, plus spill I/O when the
+// build side exceeds the sort heap. A bloom filter discounts probe CPU and
+// the spilled outer fraction.
+func hsjoinCost(cfg catalog.SystemConfig, outerRows, innerRows float64,
+	outerWidth, innerWidth int, bloom bool) float64 {
+	build := innerRows * cfg.CPUSpeed * 2
+	probeFactor := 1.0
+	if bloom {
+		probeFactor = 0.6
+	}
+	probe := outerRows * cfg.CPUSpeed * probeFactor
+	cost := build + probe
+	buildPages := pagesOf(cfg, innerRows, innerWidth)
+	if buildPages > float64(cfg.SortHeapPages) {
+		spill := buildPages
+		outerPages := pagesOf(cfg, outerRows, outerWidth)
+		if bloom {
+			outerPages *= 0.5
+		}
+		spill += outerPages
+		cost += 2 * spill * cfg.TransferRate
+	}
+	return cost
+}
+
+// msjoinCost is the incremental cost of a merge join over two sorted inputs.
+func msjoinCost(cfg catalog.SystemConfig, outerRows, innerRows, outRows float64) float64 {
+	return (outerRows+innerRows)*cfg.CPUSpeed + outRows*cfg.CPUSpeed*0.5
+}
+
+// nljoinProbeCost is the per-probe cost of re-evaluating the inner input of a
+// nested-loop join. For an index access the probe is one index lookup; for a
+// scan the probe re-reads the inner (discounted when it fits in the buffer
+// pool and is therefore cached after the first pass).
+func nljoinProbeCost(cfg catalog.SystemConfig, inner accessPath, innerQ *Quantifier, matchPerProbe float64) float64 {
+	if inner.usesIndex() {
+		cr := inner.clusterRatio()
+		perProbe := cfg.Overhead * 0.5
+		if innerQ.Pages <= float64(cfg.BufferPoolPages) {
+			perProbe = cfg.TransferRate
+		}
+		fetchRows := matchPerProbe
+		if fetchRows < 1 {
+			fetchRows = 1
+		}
+		randomIO := cfg.Overhead
+		if innerQ.Pages <= float64(cfg.BufferPoolPages) {
+			randomIO = cfg.TransferRate * 0.25
+		}
+		return perProbe + fetchRows*(1-cr)*randomIO + fetchRows*cr*cfg.TransferRate/8 + fetchRows*cfg.CPUSpeed
+	}
+	// Scan probe: first pass reads all pages; later passes are cached when the
+	// inner fits in the buffer pool.
+	if innerQ.Pages <= float64(cfg.BufferPoolPages) {
+		return innerQ.Pages*cfg.TransferRate*0.05 + innerQ.RawCard*cfg.CPUSpeed
+	}
+	return innerQ.Pages*cfg.TransferRate + innerQ.RawCard*cfg.CPUSpeed
+}

@@ -1,0 +1,671 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+)
+
+// accessPath is one way to read a quantifier's base table.
+type accessPath struct {
+	op           qgm.OpType
+	indexName    string
+	indexCluster float64
+	cost         float64
+	card         float64
+	sortedOn     string // "Qi.COL" when the access produces that order
+}
+
+func (a accessPath) usesIndex() bool { return a.op == qgm.OpIXSCAN || a.op == qgm.OpFETCH }
+
+func (a accessPath) clusterRatio() float64 {
+	if a.indexCluster == 0 {
+		return 0.5
+	}
+	return a.indexCluster
+}
+
+// planCand is a partial plan over a set of quantifier instances.
+type planCand struct {
+	node     *qgm.Node
+	cost     float64
+	card     float64
+	rowSize  int
+	sortedOn string
+	set      map[string]bool // instance names covered
+}
+
+func setKey(set map[string]bool) string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ",")
+}
+
+func unionSets(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}
+
+func subsetOf(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameSet(a, b map[string]bool) bool {
+	return len(a) == len(b) && subsetOf(a, b)
+}
+
+// enumerate drives cost-based plan construction, retrying with progressively
+// fewer guidelines when the constrained search cannot produce a plan. This is
+// the paper's "not all guidelines may be honored" behaviour.
+func (o *Optimizer) enumerate(q *sqlparser.Query, quants []*Quantifier, report *Report) (*qgm.Node, error) {
+	cons, perGuideline := o.buildConstraints(q, quants, report)
+	active := make([]bool, len(perGuideline))
+	for i := range active {
+		active[i] = true
+	}
+	for {
+		cands := filterConstraints(cons, perGuideline, active)
+		root, considered, err := o.enumerateWith(q, quants, cands)
+		report.PlansConsidered += considered
+		if err == nil {
+			o.reportGuidelineOutcome(root, perGuideline, active, report)
+			return root, nil
+		}
+		// Drop the last still-active guideline and retry.
+		dropped := false
+		for i := len(active) - 1; i >= 0; i-- {
+			if active[i] {
+				active[i] = false
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			return nil, err
+		}
+	}
+}
+
+func (o *Optimizer) reportGuidelineOutcome(root *qgm.Node, perGuideline []guidelineConstraints, active []bool, report *Report) {
+	for i, gc := range perGuideline {
+		switch {
+		case !active[i] || gc.invalid:
+			report.GuidelinesIgnored = append(report.GuidelinesIgnored, i)
+		case gc.satisfiedBy(root):
+			report.GuidelinesApplied = append(report.GuidelinesApplied, i)
+		default:
+			report.GuidelinesIgnored = append(report.GuidelinesIgnored, i)
+		}
+	}
+}
+
+// enumerateWith builds the join tree honouring the given constraints. It
+// returns an error when no complete plan satisfies them.
+func (o *Optimizer) enumerateWith(q *sqlparser.Query, quants []*Quantifier, cons constraintSet) (*qgm.Node, int, error) {
+	if len(quants) == 0 {
+		return nil, 0, fmt.Errorf("optimizer: query references no tables")
+	}
+	considered := 0
+	// Single-table query: best access path only.
+	if len(quants) == 1 {
+		cand, err := o.bestAccess(q, quants[0], cons)
+		if err != nil {
+			return nil, 0, err
+		}
+		return cand.node, 1, nil
+	}
+	byName := refNameMap(quants)
+	if len(quants) <= o.Opts.JoinEnumDPLimit {
+		o.lastUsedDP = true
+		root, n, err := o.dpEnumerate(q, quants, byName, cons)
+		considered += n
+		return root, considered, err
+	}
+	o.lastUsedDP = false
+	root, n, err := o.greedyEnumerate(q, quants, byName, cons)
+	considered += n
+	return root, considered, err
+}
+
+func refNameMap(quants []*Quantifier) map[string]*Quantifier {
+	m := make(map[string]*Quantifier, len(quants))
+	for _, qt := range quants {
+		m[strings.ToUpper(qt.Ref.Name())] = qt
+		m[qt.Instance] = qt
+	}
+	return m
+}
+
+// --- access path selection --------------------------------------------------
+
+// accessPaths lists the valid ways to read one quantifier, honouring access
+// constraints when present.
+func (o *Optimizer) accessPaths(q *sqlparser.Query, qt *Quantifier, cons constraintSet) []accessPath {
+	cfg := o.Cat.Config
+	sel := o.localSelectivity(qt.Ref.Table, qt.LocalPreds)
+	outCard := clampCard(qt.RawCard * sel)
+	rowsPerPage := math.Max(qt.RawCard/math.Max(qt.Pages, 1), 1)
+	var paths []accessPath
+
+	ac, hasAC := cons.access[qt.Instance]
+
+	if !hasAC || ac.method == qgm.OpTBSCAN {
+		paths = append(paths, accessPath{
+			op:   qgm.OpTBSCAN,
+			cost: tbscanCost(cfg, qt.Pages, qt.RawCard),
+			card: outCard,
+		})
+	}
+	if qt.Table != nil && (!hasAC || ac.method != qgm.OpTBSCAN) {
+		needed := referencedColumns(q, qt)
+		for i := range qt.Table.Indexes {
+			idx := &qt.Table.Indexes[i]
+			if hasAC && ac.index != "" && !strings.EqualFold(ac.index, idx.Name) {
+				continue
+			}
+			lead := idx.Columns[0]
+			idxSel := o.leadingColumnSelectivity(qt, lead)
+			matchRows := clampCard(qt.RawCard * idxSel)
+			indexOnly := coversAll(idx.Columns, needed)
+			op := qgm.OpFETCH
+			if indexOnly {
+				op = qgm.OpIXSCAN
+			}
+			cost := ixscanCost(cfg, qt.Pages, qt.RawCard, matchRows, idx.ClusterRatio, !indexOnly, rowsPerPage)
+			paths = append(paths, accessPath{
+				op:           op,
+				indexName:    idx.Name,
+				indexCluster: idx.ClusterRatio,
+				cost:         cost,
+				card:         outCard,
+				sortedOn:     qt.Instance + "." + lead,
+			})
+		}
+	}
+	if len(paths) == 0 {
+		// The access constraint could not be satisfied (e.g. IXSCAN requested
+		// but the table has no index): fall back to a table scan so that the
+		// query can still be planned; the guideline will be reported ignored.
+		paths = append(paths, accessPath{
+			op:   qgm.OpTBSCAN,
+			cost: tbscanCost(cfg, qt.Pages, qt.RawCard),
+			card: outCard,
+		})
+	}
+	return paths
+}
+
+// leadingColumnSelectivity estimates how selective the quantifier's local
+// predicates on the given column are (1.0 when there is none).
+func (o *Optimizer) leadingColumnSelectivity(qt *Quantifier, column string) float64 {
+	ts := o.Cat.Stats(qt.Ref.Table)
+	sel := 1.0
+	for _, p := range qt.LocalPreds {
+		if strings.EqualFold(p.Left.Column, column) {
+			sel *= o.predicateSelectivity(ts, p)
+		}
+	}
+	return clampSel(sel)
+}
+
+// referencedColumns returns the columns of the quantifier's table referenced
+// anywhere in the query.
+func referencedColumns(q *sqlparser.Query, qt *Quantifier) []string {
+	name := strings.ToUpper(qt.Ref.Name())
+	seen := map[string]struct{}{}
+	add := func(c sqlparser.ColumnRef) {
+		if strings.EqualFold(c.Table, name) {
+			seen[strings.ToUpper(c.Column)] = struct{}{}
+		}
+	}
+	for _, c := range q.Select {
+		add(c)
+	}
+	for _, p := range q.Where {
+		add(p.Left)
+		if p.Kind == sqlparser.PredJoin {
+			add(p.Right)
+		}
+	}
+	for _, c := range q.GroupBy {
+		add(c)
+	}
+	for _, c := range q.OrderBy {
+		add(c)
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func coversAll(indexCols, needed []string) bool {
+	have := map[string]bool{}
+	for _, c := range indexCols {
+		have[strings.ToUpper(c)] = true
+	}
+	for _, c := range needed {
+		if !have[strings.ToUpper(c)] {
+			return false
+		}
+	}
+	return true
+}
+
+// bestAccess returns the cheapest access path wrapped as a plan candidate.
+func (o *Optimizer) bestAccess(q *sqlparser.Query, qt *Quantifier, cons constraintSet) (*planCand, error) {
+	paths := o.accessPaths(q, qt, cons)
+	best := paths[0]
+	for _, p := range paths[1:] {
+		if p.cost < best.cost {
+			best = p
+		}
+	}
+	return o.accessCand(qt, best), nil
+}
+
+func (o *Optimizer) accessCand(qt *Quantifier, path accessPath) *planCand {
+	node := &qgm.Node{
+		Op:             path.op,
+		Table:          strings.ToUpper(qt.Ref.Table),
+		TableInstance:  qt.Instance,
+		Index:          path.indexName,
+		EstCardinality: path.card,
+		EstCost:        path.cost,
+		RowSize:        qt.RowWidth,
+		Pages:          qt.Pages,
+	}
+	for _, p := range qt.LocalPreds {
+		node.Predicates = append(node.Predicates, p.String())
+	}
+	return &planCand{
+		node:     node,
+		cost:     path.cost,
+		card:     path.card,
+		rowSize:  qt.RowWidth,
+		sortedOn: path.sortedOn,
+		set:      map[string]bool{qt.Instance: true},
+	}
+}
+
+// --- join construction -------------------------------------------------------
+
+// joinPredsBetween returns the join predicates connecting the quantifier sets.
+func joinPredsBetween(q *sqlparser.Query, byName map[string]*Quantifier, left, right map[string]bool) []sqlparser.Predicate {
+	var out []sqlparser.Predicate
+	for _, p := range q.JoinPredicates() {
+		lq := byName[strings.ToUpper(p.Left.Table)]
+		rq := byName[strings.ToUpper(p.Right.Table)]
+		if lq == nil || rq == nil {
+			continue
+		}
+		if (left[lq.Instance] && right[rq.Instance]) || (left[rq.Instance] && right[lq.Instance]) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// joinSelAcross multiplies the per-predicate join selectivities between two
+// sets.
+func (o *Optimizer) joinSelAcross(q *sqlparser.Query, byName map[string]*Quantifier, preds []sqlparser.Predicate) float64 {
+	sel := 1.0
+	for _, p := range preds {
+		lq := byName[strings.ToUpper(p.Left.Table)]
+		rq := byName[strings.ToUpper(p.Right.Table)]
+		if lq == nil || rq == nil {
+			continue
+		}
+		ndvL := columnNDV(o.Cat, lq.Ref.Table, p.Left.Column)
+		ndvR := columnNDV(o.Cat, rq.Ref.Table, p.Right.Column)
+		maxNDV := ndvL
+		if ndvR > maxNDV {
+			maxNDV = ndvR
+		}
+		if maxNDV > 0 {
+			sel *= 1.0 / float64(maxNDV)
+		} else {
+			sel *= defaultJoinSel
+		}
+	}
+	return clampSel(sel)
+}
+
+// buildJoinCand constructs a join candidate from two inputs, returning nil
+// when the method is not applicable (NLJOIN over a multi-table inner).
+func (o *Optimizer) buildJoinCand(method qgm.OpType, q *sqlparser.Query, byName map[string]*Quantifier,
+	left, right *planCand, quantsByInstance map[string]*Quantifier) *planCand {
+	cfg := o.Cat.Config
+	preds := joinPredsBetween(q, byName, left.set, right.set)
+	sel := 1.0
+	if len(preds) > 0 {
+		sel = o.joinSelAcross(q, byName, preds)
+	}
+	outCard := clampCard(left.card * right.card * sel)
+	joinCols := make([]string, 0, len(preds))
+	for _, p := range preds {
+		joinCols = append(joinCols, p.String())
+	}
+	node := &qgm.Node{
+		Op:             method,
+		EstCardinality: outCard,
+		RowSize:        left.rowSize + right.rowSize,
+		JoinCols:       joinCols,
+	}
+	cand := &planCand{
+		node:    node,
+		card:    outCard,
+		rowSize: left.rowSize + right.rowSize,
+		set:     unionSets(left.set, right.set),
+	}
+
+	switch method {
+	case qgm.OpHSJOIN:
+		bloom := o.Opts.EnableBloomFilters && right.card <= left.card
+		node.BloomFilter = bloom
+		inc := hsjoinCost(cfg, left.card, right.card, left.rowSize, right.rowSize, bloom)
+		cand.cost = left.cost + right.cost + inc
+		node.Outer, node.Inner = left.node, right.node
+		cand.sortedOn = left.sortedOn
+	case qgm.OpNLJOIN:
+		// Nested loops only when the inner is a single base-table access.
+		if len(right.set) != 1 || !right.node.Op.IsScan() {
+			return nil
+		}
+		var innerQ *Quantifier
+		for inst := range right.set {
+			innerQ = quantsByInstance[inst]
+		}
+		if innerQ == nil {
+			return nil
+		}
+		matchPerProbe := right.card * sel
+		ap := accessPath{op: right.node.Op, indexName: right.node.Index, indexCluster: 0.5}
+		if right.node.Index != "" && innerQ.Table != nil {
+			if idx := innerQ.Table.IndexByName(right.node.Index); idx != nil {
+				ap.indexCluster = idx.ClusterRatio
+			}
+		}
+		probe := nljoinProbeCost(cfg, ap, innerQ, matchPerProbe)
+		inc := left.card*probe + outCard*cfg.CPUSpeed
+		cand.cost = left.cost + inc
+		// The inner's own scan cost is not paid up-front; probes pay it.
+		node.Outer, node.Inner = left.node, right.node
+		cand.sortedOn = left.sortedOn
+	case qgm.OpMSJOIN:
+		if len(preds) == 0 {
+			return nil // merge join needs an equality join predicate
+		}
+		// Determine the sort columns required on each side.
+		lCol, rCol := o.mergeColumns(preds[0], byName, left.set)
+		leftNode, leftCost := left.node, left.cost
+		if !strings.EqualFold(left.sortedOn, lCol) {
+			leftCost += sortCost(cfg, left.card, left.rowSize)
+			leftNode = &qgm.Node{Op: qgm.OpSORT, Outer: leftNode, EstCardinality: left.card, EstCost: leftCost, RowSize: left.rowSize}
+		}
+		rightNode, rightCost := right.node, right.cost
+		if !strings.EqualFold(right.sortedOn, rCol) {
+			rightCost += sortCost(cfg, right.card, right.rowSize)
+			rightNode = &qgm.Node{Op: qgm.OpSORT, Outer: rightNode, EstCardinality: right.card, EstCost: rightCost, RowSize: right.rowSize}
+		}
+		inc := msjoinCost(cfg, left.card, right.card, outCard)
+		cand.cost = leftCost + rightCost + inc
+		node.Outer, node.Inner = leftNode, rightNode
+		node.EarlyOut = true
+		cand.sortedOn = lCol
+	default:
+		return nil
+	}
+	node.EstCost = cand.cost
+	return cand
+}
+
+// mergeColumns returns the instance-qualified sort columns required by a
+// merge join for the left and right inputs.
+func (o *Optimizer) mergeColumns(p sqlparser.Predicate, byName map[string]*Quantifier, leftSet map[string]bool) (string, string) {
+	lq := byName[strings.ToUpper(p.Left.Table)]
+	rq := byName[strings.ToUpper(p.Right.Table)]
+	if lq == nil || rq == nil {
+		return "", ""
+	}
+	if leftSet[lq.Instance] {
+		return lq.Instance + "." + p.Left.Column, rq.Instance + "." + p.Right.Column
+	}
+	return rq.Instance + "." + p.Right.Column, lq.Instance + "." + p.Left.Column
+}
+
+// --- dynamic programming -----------------------------------------------------
+
+func (o *Optimizer) dpEnumerate(q *sqlparser.Query, quants []*Quantifier, byName map[string]*Quantifier, cons constraintSet) (*qgm.Node, int, error) {
+	n := len(quants)
+	considered := 0
+	quantsByInstance := map[string]*Quantifier{}
+	for _, qt := range quants {
+		quantsByInstance[qt.Instance] = qt
+	}
+	best := make(map[uint64]*planCand)
+	instBit := map[string]uint64{}
+	for i, qt := range quants {
+		instBit[qt.Instance] = 1 << uint(i)
+		// Keep the overall-cheapest access path and, separately, remember all
+		// paths for NLJOIN inner use at join time.
+		cand, err := o.bestAccess(q, qt, cons)
+		if err != nil {
+			return nil, considered, err
+		}
+		best[1<<uint(i)] = cand
+	}
+	maskSet := func(mask uint64) map[string]bool {
+		set := map[string]bool{}
+		for i, qt := range quants {
+			if mask&(1<<uint(i)) != 0 {
+				set[qt.Instance] = true
+			}
+		}
+		return set
+	}
+
+	full := uint64(1)<<uint(n) - 1
+	for size := 2; size <= n; size++ {
+		for mask := uint64(1); mask <= full; mask++ {
+			if popcount(mask) != size {
+				continue
+			}
+			set := maskSet(mask)
+			var bestCand *planCand
+			// Enumerate proper splits; (sub, rest) visits both orders.
+			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+				rest := mask ^ sub
+				left, right := best[sub], best[rest]
+				if left == nil || right == nil {
+					continue
+				}
+				if len(joinPredsBetween(q, byName, left.set, right.set)) == 0 && hasConnectedSplit(q, byName, mask, best, maskSet) {
+					continue // avoid cartesian products when a connected split exists
+				}
+				if !cons.allowsPartition(set, left.set, right.set) {
+					continue
+				}
+				for _, method := range qgm.JoinMethods() {
+					if !cons.allowsJoin(set, left.set, right.set, method) {
+						continue
+					}
+					cand := o.buildJoinCand(method, q, byName, left, right, quantsByInstance)
+					considered++
+					if cand == nil {
+						continue
+					}
+					if bestCand == nil || cand.cost < bestCand.cost {
+						bestCand = cand
+					}
+				}
+			}
+			if bestCand != nil {
+				best[mask] = bestCand
+			}
+		}
+	}
+	if best[full] == nil {
+		return nil, considered, fmt.Errorf("optimizer: no plan satisfies the active guideline constraints")
+	}
+	return best[full].node, considered, nil
+}
+
+func hasConnectedSplit(q *sqlparser.Query, byName map[string]*Quantifier, mask uint64, best map[uint64]*planCand, maskSet func(uint64) map[string]bool) bool {
+	for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+		rest := mask ^ sub
+		if best[sub] == nil || best[rest] == nil {
+			continue
+		}
+		if len(joinPredsBetween(q, byName, maskSet(sub), maskSet(rest))) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func popcount(x uint64) int {
+	count := 0
+	for x != 0 {
+		x &= x - 1
+		count++
+	}
+	return count
+}
+
+// --- greedy enumeration ------------------------------------------------------
+
+// greedyEnumerate plans very large queries by repeatedly merging the pair of
+// components with the cheapest join, honouring guideline constraints first.
+func (o *Optimizer) greedyEnumerate(q *sqlparser.Query, quants []*Quantifier, byName map[string]*Quantifier, cons constraintSet) (*qgm.Node, int, error) {
+	considered := 0
+	quantsByInstance := map[string]*Quantifier{}
+	for _, qt := range quants {
+		quantsByInstance[qt.Instance] = qt
+	}
+	var comps []*planCand
+	for _, qt := range quants {
+		cand, err := o.bestAccess(q, qt, cons)
+		if err != nil {
+			return nil, considered, err
+		}
+		comps = append(comps, cand)
+	}
+	for len(comps) > 1 {
+		type merge struct {
+			i, j int
+			cand *planCand
+		}
+		var best *merge
+		// Honour guideline join constraints first: when two components match a
+		// constrained join's outer and inner sets exactly, perform that merge
+		// now so the constrained subtree exists in the final plan (DP gets
+		// this for free; greedy must construct it eagerly).
+		constrained := false
+		for _, jc := range cons.joins {
+			oi, ii := -1, -1
+			for k, c := range comps {
+				if sameSet(c.set, jc.outer) {
+					oi = k
+				}
+				if sameSet(c.set, jc.inner) {
+					ii = k
+				}
+			}
+			if oi < 0 || ii < 0 || oi == ii {
+				continue
+			}
+			cand := o.buildJoinCand(jc.method, q, byName, comps[oi], comps[ii], quantsByInstance)
+			considered++
+			if cand == nil {
+				continue
+			}
+			var next []*planCand
+			for k, c := range comps {
+				if k != oi && k != ii {
+					next = append(next, c)
+				}
+			}
+			comps = append(next, cand)
+			constrained = true
+			break
+		}
+		if constrained {
+			continue
+		}
+		tryPair := func(i, j int, requireConn bool) {
+			left, right := comps[i], comps[j]
+			connected := len(joinPredsBetween(q, byName, left.set, right.set)) > 0
+			if requireConn && !connected {
+				return
+			}
+			set := unionSets(left.set, right.set)
+			if !cons.allowsPartition(set, left.set, right.set) {
+				return
+			}
+			for _, method := range qgm.JoinMethods() {
+				if !cons.allowsJoin(set, left.set, right.set, method) {
+					continue
+				}
+				cand := o.buildJoinCand(method, q, byName, left, right, quantsByInstance)
+				considered++
+				if cand == nil {
+					continue
+				}
+				if best == nil || cand.cost < best.cand.cost {
+					best = &merge{i: i, j: j, cand: cand}
+				}
+			}
+		}
+		for i := 0; i < len(comps); i++ {
+			for j := 0; j < len(comps); j++ {
+				if i == j {
+					continue
+				}
+				tryPair(i, j, true)
+			}
+		}
+		if best == nil {
+			// No connected pair: allow a cartesian product.
+			for i := 0; i < len(comps); i++ {
+				for j := 0; j < len(comps); j++ {
+					if i != j {
+						tryPair(i, j, false)
+					}
+				}
+			}
+		}
+		if best == nil {
+			return nil, considered, fmt.Errorf("optimizer: greedy enumeration found no joinable pair under the active constraints")
+		}
+		var next []*planCand
+		for k, c := range comps {
+			if k != best.i && k != best.j {
+				next = append(next, c)
+			}
+		}
+		next = append(next, best.cand)
+		comps = next
+	}
+	return comps[0].node, considered, nil
+}

@@ -1,0 +1,229 @@
+package optimizer
+
+import (
+	"strings"
+
+	"galo/internal/catalog"
+	"galo/internal/sqlparser"
+)
+
+// Selectivity defaults used when statistics are missing, mirroring the
+// classic System-R reduction factors.
+const (
+	defaultEqSel      = 0.01
+	defaultRangeSel   = 1.0 / 3.0
+	defaultBetweenSel = 0.25
+	defaultLikeSel    = 0.10
+	defaultJoinSel    = 0.01
+)
+
+// localSelectivity estimates the combined selectivity of local predicates on
+// one table. Under the default configuration predicates are assumed
+// independent (their selectivities multiply); with UseColumnGroups the
+// estimator consults column-group statistics to correct for correlation.
+func (o *Optimizer) localSelectivity(table string, preds []sqlparser.Predicate) float64 {
+	if len(preds) == 0 {
+		return 1.0
+	}
+	ts := o.Cat.Stats(table)
+	sel := 1.0
+	for _, p := range preds {
+		sel *= o.predicateSelectivity(ts, p)
+	}
+	if o.Opts.UseColumnGroups && ts != nil && len(preds) >= 2 {
+		// If every predicate is an equality and a group statistic covers the
+		// predicate columns exactly, the combined selectivity is 1/groupNDV.
+		allEq := true
+		cols := make([]string, 0, len(preds))
+		for _, p := range preds {
+			if p.Kind != sqlparser.PredCompare || p.Op != "=" {
+				allEq = false
+				break
+			}
+			cols = append(cols, p.Left.Column)
+		}
+		if allEq {
+			if gndv := ts.GroupNDV(cols); gndv > 0 {
+				groupSel := 1.0 / float64(gndv)
+				if groupSel > sel {
+					sel = groupSel
+				}
+			}
+		}
+	}
+	if sel < 1e-9 {
+		sel = 1e-9
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// predicateSelectivity estimates one predicate's reduction factor.
+func (o *Optimizer) predicateSelectivity(ts *catalog.TableStats, p sqlparser.Predicate) float64 {
+	var cs *catalog.ColumnStats
+	if ts != nil {
+		cs = ts.ColumnStats(p.Left.Column)
+	}
+	switch p.Kind {
+	case sqlparser.PredCompare:
+		return compareSelectivity(cs, p)
+	case sqlparser.PredBetween:
+		s := rangeFraction(cs, &p.Lo, &p.Hi)
+		if s < 0 {
+			s = defaultBetweenSel
+		}
+		if p.Not {
+			s = 1 - s
+		}
+		return clampSel(s)
+	case sqlparser.PredIn:
+		eq := defaultEqSel
+		if cs != nil && cs.NDV > 0 {
+			eq = 1.0 / float64(cs.NDV)
+		}
+		s := float64(len(p.Values)) * eq
+		if p.Not {
+			s = 1 - s
+		}
+		return clampSel(s)
+	case sqlparser.PredLike:
+		s := defaultLikeSel
+		if p.Not {
+			s = 1 - s
+		}
+		return clampSel(s)
+	case sqlparser.PredIsNull:
+		s := 0.05
+		if cs != nil && cs.RowCount > 0 {
+			s = float64(cs.NullCount) / float64(cs.RowCount)
+		}
+		if p.Not {
+			s = 1 - s
+		}
+		return clampSel(s)
+	default:
+		return defaultEqSel
+	}
+}
+
+func compareSelectivity(cs *catalog.ColumnStats, p sqlparser.Predicate) float64 {
+	switch p.Op {
+	case "=":
+		if cs != nil {
+			if n, ok := cs.FrequencyOf(p.Value); ok && cs.RowCount > 0 {
+				return clampSel(float64(n) / float64(cs.RowCount))
+			}
+			if cs.NDV > 0 {
+				return clampSel(1.0 / float64(cs.NDV))
+			}
+		}
+		return defaultEqSel
+	case "<>":
+		if cs != nil && cs.NDV > 0 {
+			return clampSel(1 - 1.0/float64(cs.NDV))
+		}
+		return clampSel(1 - defaultEqSel)
+	case "<", "<=":
+		s := rangeFraction(cs, nil, &p.Value)
+		if s < 0 {
+			return defaultRangeSel
+		}
+		return clampSel(s)
+	case ">", ">=":
+		s := rangeFraction(cs, &p.Value, nil)
+		if s < 0 {
+			return defaultRangeSel
+		}
+		return clampSel(s)
+	default:
+		return defaultRangeSel
+	}
+}
+
+// rangeFraction interpolates what fraction of the column's [min,max] domain
+// the range [lo,hi] covers; it returns -1 when interpolation is impossible
+// (missing stats or non-numeric domain).
+func rangeFraction(cs *catalog.ColumnStats, lo, hi *catalog.Value) float64 {
+	if cs == nil || cs.Min.IsNull() || cs.Max.IsNull() {
+		return -1
+	}
+	switch cs.Min.K {
+	case catalog.KindInt, catalog.KindFloat, catalog.KindDate:
+	default:
+		return -1
+	}
+	minV, maxV := cs.Min.AsFloat(), cs.Max.AsFloat()
+	if maxV <= minV {
+		return -1
+	}
+	loV, hiV := minV, maxV
+	if lo != nil && !lo.IsNull() {
+		loV = lo.AsFloat()
+	}
+	if hi != nil && !hi.IsNull() {
+		hiV = hi.AsFloat()
+	}
+	if hiV < loV {
+		return 0
+	}
+	if loV < minV {
+		loV = minV
+	}
+	if hiV > maxV {
+		hiV = maxV
+	}
+	return (hiV - loV) / (maxV - minV)
+}
+
+// joinSelectivity estimates the selectivity of the equality join predicates
+// between two quantifiers using 1/max(NDV_left, NDV_right) per predicate.
+func (o *Optimizer) joinSelectivity(q *sqlparser.Query, left, right *Quantifier) float64 {
+	preds := sqlparser.JoinsBetween(q, left.Ref.Name(), right.Ref.Name())
+	if len(preds) == 0 {
+		return 1.0 // cartesian product
+	}
+	sel := 1.0
+	for _, p := range preds {
+		lq, rq := left, right
+		lcol, rcol := p.Left, p.Right
+		if !strings.EqualFold(p.Left.Table, left.Ref.Name()) {
+			lcol, rcol = p.Right, p.Left
+		}
+		ndvL := columnNDV(o.Cat, lq.Ref.Table, lcol.Column)
+		ndvR := columnNDV(o.Cat, rq.Ref.Table, rcol.Column)
+		maxNDV := ndvL
+		if ndvR > maxNDV {
+			maxNDV = ndvR
+		}
+		if maxNDV > 0 {
+			sel *= 1.0 / float64(maxNDV)
+		} else {
+			sel *= defaultJoinSel
+		}
+	}
+	return clampSel(sel)
+}
+
+func columnNDV(cat *catalog.Catalog, table, column string) int64 {
+	ts := cat.Stats(table)
+	if ts == nil {
+		return 0
+	}
+	cs := ts.ColumnStats(column)
+	if cs == nil {
+		return 0
+	}
+	return cs.NDV
+}
+
+func clampSel(s float64) float64 {
+	if s < 1e-9 {
+		return 1e-9
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}

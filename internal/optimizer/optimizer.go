@@ -1,0 +1,205 @@
+// Package optimizer implements the minidb two-tier optimizer the paper's
+// system sits on top of: a query-rewrite tier applying heuristic
+// simplifications, and a cost-based tier performing System-R style dynamic
+// programming join enumeration with access-path and join-method selection.
+//
+// The optimizer plans from catalog statistics (which may be stale, sampled or
+// missing correlation information), so its estimates can diverge from the
+// runtime truth — that divergence is what GALO's learning engine harvests.
+// The optimizer also honours OPTGUIDELINES documents (internal/guideline),
+// which is the mechanism GALO uses for re-optimization: guidelines constrain
+// join methods, join order and access methods, and inapplicable guidelines
+// are dropped, exactly as in the paper.
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"galo/internal/catalog"
+	"galo/internal/guideline"
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+)
+
+// Options configures the optimizer.
+type Options struct {
+	// JoinEnumDPLimit is the maximum number of table references planned with
+	// exhaustive dynamic programming; larger queries use a greedy heuristic,
+	// mirroring how production optimizers cap enumeration.
+	JoinEnumDPLimit int
+	// UseColumnGroups makes the estimator consult column-group (correlation)
+	// statistics when present. Off by default: the independence assumption is
+	// one of the estimation errors the paper's problem patterns stem from.
+	UseColumnGroups bool
+	// EnableBloomFilters lets hash joins build a bloom filter on the inner
+	// input (the fix of Figure 4).
+	EnableBloomFilters bool
+	// Guidelines optionally constrains planning (re-optimization).
+	Guidelines *guideline.Document
+}
+
+// DefaultOptions returns the configuration used by the experiments.
+func DefaultOptions() Options {
+	return Options{JoinEnumDPLimit: 10, EnableBloomFilters: true}
+}
+
+// Report describes what the optimizer did with a query, including which
+// guidelines were honoured (the matching engine surfaces this to the user).
+type Report struct {
+	// UsedDP is true when exhaustive enumeration was used.
+	UsedDP bool
+	// PlansConsidered counts join combinations examined.
+	PlansConsidered int
+	// GuidelinesApplied and GuidelinesIgnored index into the guideline
+	// document passed in Options.
+	GuidelinesApplied []int
+	GuidelinesIgnored []int
+	// RewriteNotes describes tier-1 rewrites that fired.
+	RewriteNotes []string
+}
+
+// Optimizer plans SQL queries against a catalog.
+type Optimizer struct {
+	Cat  *catalog.Catalog
+	Opts Options
+
+	// lastUsedDP records whether the most recent enumeration was exhaustive;
+	// it feeds the Report.
+	lastUsedDP bool
+}
+
+// New returns an optimizer over the catalog with the given options.
+func New(cat *catalog.Catalog, opts Options) *Optimizer {
+	if opts.JoinEnumDPLimit <= 0 {
+		opts.JoinEnumDPLimit = 10
+	}
+	return &Optimizer{Cat: cat, Opts: opts}
+}
+
+// Quantifier is one table reference of the query being planned, with the
+// estimates the optimizer derived for it. Instances are named Q1..Qn in FROM
+// order, matching the TABID references used by guidelines.
+type Quantifier struct {
+	Ref        sqlparser.TableRef
+	Instance   string
+	Table      *catalog.Table
+	LocalPreds []sqlparser.Predicate
+	// RawCard is the optimizer's belief of the table cardinality.
+	RawCard float64
+	// Card is the estimated cardinality after local predicates.
+	Card     float64
+	RowWidth int
+	Pages    float64
+}
+
+// Optimize plans the query: it resolves column references, applies the
+// query-rewrite tier, then runs cost-based enumeration. The returned plan has
+// estimated cardinalities and costs on every operator.
+func (o *Optimizer) Optimize(q *sqlparser.Query) (*qgm.Plan, *Report, error) {
+	if q == nil {
+		return nil, nil, fmt.Errorf("optimizer: nil query")
+	}
+	work := q.Clone()
+	if err := sqlparser.Resolve(work, o.Cat.Schema); err != nil {
+		return nil, nil, err
+	}
+	report := &Report{}
+	o.rewrite(work, report)
+	quants := o.Quantifiers(work)
+	root, err := o.enumerate(work, quants, report)
+	if err != nil {
+		return nil, nil, err
+	}
+	report.UsedDP = o.lastUsedDP
+	root = o.addFinalOperators(work, root)
+	plan := qgm.NewPlan(root)
+	plan.SQL = work.SQL()
+	plan.QueryName = work.Name
+	plan.TotalCost = root.EstCost
+	plan.EstimatedMillis = root.EstCost
+	return plan, report, nil
+}
+
+// MustOptimize is Optimize but panics on error; for tests and examples.
+func (o *Optimizer) MustOptimize(q *sqlparser.Query) *qgm.Plan {
+	p, _, err := o.Optimize(q)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Quantifiers assigns table instances (Q1..Qn, in FROM order) and derives the
+// per-reference estimates.
+func (o *Optimizer) Quantifiers(q *sqlparser.Query) []*Quantifier {
+	out := make([]*Quantifier, 0, len(q.From))
+	for i, ref := range q.From {
+		inst := fmt.Sprintf("Q%d", i+1)
+		tbl := o.Cat.Table(ref.Table)
+		quant := &Quantifier{
+			Ref:      ref,
+			Instance: inst,
+			Table:    tbl,
+			RawCard:  o.Cat.EstimatedCardinality(ref.Table),
+			Pages:    o.Cat.EstimatedPages(ref.Table),
+		}
+		if ts := o.Cat.Stats(ref.Table); ts != nil && ts.RowWidth > 0 {
+			quant.RowWidth = ts.RowWidth
+		} else {
+			quant.RowWidth = 64
+		}
+		quant.LocalPreds = sqlparser.PredicatesFor(q, ref.Name())
+		sel := o.localSelectivity(ref.Table, quant.LocalPreds)
+		quant.Card = clampCard(quant.RawCard * sel)
+		out = append(out, quant)
+	}
+	return out
+}
+
+// addFinalOperators adds SORT (for ORDER BY) and GRPBY (for GROUP BY)
+// operators on top of the join tree.
+func (o *Optimizer) addFinalOperators(q *sqlparser.Query, root *qgm.Node) *qgm.Node {
+	if len(q.GroupBy) > 0 {
+		card := root.EstCardinality
+		groups := card / 10
+		if groups < 1 {
+			groups = 1
+		}
+		root = &qgm.Node{
+			Op:             qgm.OpGRPBY,
+			Outer:          root,
+			EstCardinality: groups,
+			EstCost:        root.EstCost + card*o.Cat.Config.CPUSpeed,
+			RowSize:        root.RowSize,
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		card := root.EstCardinality
+		root = &qgm.Node{
+			Op:             qgm.OpSORT,
+			Outer:          root,
+			EstCardinality: card,
+			EstCost:        root.EstCost + sortCost(o.Cat.Config, card, root.RowSize),
+			RowSize:        root.RowSize,
+		}
+	}
+	return root
+}
+
+// InstanceFor returns the instance name assigned to a FROM reference name.
+func InstanceFor(q *sqlparser.Query, refName string) string {
+	for i, ref := range q.From {
+		if strings.EqualFold(ref.Name(), refName) {
+			return fmt.Sprintf("Q%d", i+1)
+		}
+	}
+	return ""
+}
+
+func clampCard(c float64) float64 {
+	if c < 1 {
+		return 1
+	}
+	return c
+}

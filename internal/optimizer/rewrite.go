@@ -1,0 +1,67 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"galo/internal/catalog"
+	"galo/internal/sqlparser"
+)
+
+// rewrite is the tier-1 query-rewrite engine: heuristic, semantics-preserving
+// transformations applied before cost-based planning, as in DB2's query
+// rewrite stage. Implemented rewrites:
+//
+//   - duplicate predicate elimination;
+//   - predicate transitivity: a.x = b.y AND b.y = c  ==>  also a.x = c, which
+//     gives the cost-based tier more local filtering opportunities;
+//   - contradiction detection for BETWEEN with an empty range (noted, the
+//     predicate is kept so the executor still returns zero rows).
+func (o *Optimizer) rewrite(q *sqlparser.Query, report *Report) {
+	// Duplicate elimination.
+	seen := map[string]bool{}
+	var dedup []sqlparser.Predicate
+	for _, p := range q.Where {
+		key := p.String()
+		if seen[key] {
+			report.RewriteNotes = append(report.RewriteNotes, fmt.Sprintf("removed duplicate predicate %s", key))
+			continue
+		}
+		seen[key] = true
+		dedup = append(dedup, p)
+	}
+	q.Where = dedup
+
+	// Predicate transitivity across equality join predicates.
+	var inferred []sqlparser.Predicate
+	for _, jp := range q.JoinPredicates() {
+		for _, lp := range q.LocalPredicates() {
+			if lp.Kind != sqlparser.PredCompare || lp.Op != "=" {
+				continue
+			}
+			var target sqlparser.ColumnRef
+			if lp.Left == jp.Left {
+				target = jp.Right
+			} else if lp.Left == jp.Right {
+				target = jp.Left
+			} else {
+				continue
+			}
+			cand := sqlparser.Predicate{Kind: sqlparser.PredCompare, Left: target, Op: "=", Value: lp.Value}
+			if !seen[cand.String()] {
+				seen[cand.String()] = true
+				inferred = append(inferred, cand)
+				report.RewriteNotes = append(report.RewriteNotes,
+					fmt.Sprintf("inferred %s from %s and %s", cand.String(), jp.String(), lp.String()))
+			}
+		}
+	}
+	q.Where = append(q.Where, inferred...)
+
+	// Contradiction detection.
+	for _, p := range q.Where {
+		if p.Kind == sqlparser.PredBetween && !p.Not && catalog.Compare(p.Lo, p.Hi) > 0 {
+			report.RewriteNotes = append(report.RewriteNotes,
+				fmt.Sprintf("predicate %s can never be satisfied", p.String()))
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package qgm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Plan is a complete query execution plan: a tree of LOLEPOPs rooted at a
+// RETURN operator, plus whole-plan properties.
+type Plan struct {
+	Root *Node
+	// QueryName labels the originating workload query (e.g. "TPCDS.Q08").
+	QueryName string
+	// SQL is the originating SQL text, when known.
+	SQL string
+	// TotalCost is the optimizer's cumulative cost estimate in timerons.
+	TotalCost float64
+	// EstimatedMillis is the optimizer's runtime estimate.
+	EstimatedMillis float64
+	// ActualMillis is filled after execution.
+	ActualMillis float64
+}
+
+// NewPlan wraps a root operator into a Plan, adding a RETURN node on top if
+// one is not already present, and assigns operator IDs.
+func NewPlan(root *Node) *Plan {
+	if root == nil {
+		return &Plan{}
+	}
+	if root.Op != OpRETURN {
+		root = &Node{Op: OpRETURN, Outer: root, EstCardinality: root.EstCardinality, EstCost: root.EstCost}
+	}
+	p := &Plan{Root: root, TotalCost: root.EstCost}
+	p.AssignIDs()
+	return p
+}
+
+// AssignIDs numbers the operators the way DB2's explain output does: the
+// RETURN is #1 and the remaining operators are numbered in pre-order
+// (outer before inner).
+func (p *Plan) AssignIDs() {
+	if p.Root == nil {
+		return
+	}
+	id := 0
+	p.Root.Walk(func(n *Node) {
+		id++
+		n.ID = id
+	})
+}
+
+// Clone deep-copies the plan.
+func (p *Plan) Clone() *Plan {
+	if p == nil {
+		return nil
+	}
+	cp := *p
+	cp.Root = p.Root.Clone()
+	return &cp
+}
+
+// Operators returns all LOLEPOPs in pre-order.
+func (p *Plan) Operators() []*Node {
+	var out []*Node
+	if p.Root != nil {
+		p.Root.Walk(func(n *Node) { out = append(out, n) })
+	}
+	return out
+}
+
+// Find returns the operator with the given ID, or nil.
+func (p *Plan) Find(id int) *Node {
+	if p.Root == nil {
+		return nil
+	}
+	return p.Root.Find(id)
+}
+
+// NumJoins returns the number of join operators in the plan.
+func (p *Plan) NumJoins() int {
+	if p.Root == nil {
+		return 0
+	}
+	return p.Root.CountJoins()
+}
+
+// NumOps returns the number of LOLEPOPs in the plan (the paper's measure of
+// workload complexity).
+func (p *Plan) NumOps() int {
+	if p.Root == nil {
+		return 0
+	}
+	return p.Root.CountOps()
+}
+
+// TableInstances returns the table-instance map of the whole plan.
+func (p *Plan) TableInstances() map[string]string {
+	if p.Root == nil {
+		return map[string]string{}
+	}
+	return p.Root.TableInstances()
+}
+
+// Signature returns the structural fingerprint of the whole plan.
+func (p *Plan) Signature() string {
+	if p.Root == nil {
+		return ""
+	}
+	return p.Root.Signature()
+}
+
+// Validate checks structural invariants: joins have two children, scans have
+// none, unary operators have exactly one, IDs are unique, and every scan
+// names a table and instance.
+func (p *Plan) Validate() error {
+	if p.Root == nil {
+		return fmt.Errorf("qgm: plan has no root")
+	}
+	if p.Root.Op != OpRETURN {
+		return fmt.Errorf("qgm: plan root must be RETURN, got %s", p.Root.Op)
+	}
+	seen := map[int]bool{}
+	var err error
+	p.Root.Walk(func(n *Node) {
+		if err != nil {
+			return
+		}
+		if seen[n.ID] {
+			err = fmt.Errorf("qgm: duplicate operator ID %d", n.ID)
+			return
+		}
+		seen[n.ID] = true
+		switch {
+		case n.Op.IsJoin():
+			if n.Outer == nil || n.Inner == nil {
+				err = fmt.Errorf("qgm: join %s(%d) must have two inputs", n.Op, n.ID)
+			}
+		case n.Op.IsScan():
+			if n.Outer != nil || n.Inner != nil {
+				err = fmt.Errorf("qgm: scan %s(%d) must be a leaf", n.Op, n.ID)
+			}
+			if n.Table == "" || n.TableInstance == "" {
+				err = fmt.Errorf("qgm: scan %s(%d) missing table or instance", n.Op, n.ID)
+			}
+			if (n.Op == OpIXSCAN || n.Op == OpFETCH) && n.Index == "" {
+				err = fmt.Errorf("qgm: %s(%d) missing index name", n.Op, n.ID)
+			}
+		default:
+			if n.Outer == nil || n.Inner != nil {
+				err = fmt.Errorf("qgm: %s(%d) must have exactly one input", n.Op, n.ID)
+			}
+		}
+	})
+	return err
+}
+
+// SubPlan describes one contiguous fragment of a plan considered for
+// matching or learning: the subtree rooted at Root.
+type SubPlan struct {
+	Root  *Node
+	Joins int
+	Ops   int
+}
+
+// EnumerateSubPlans returns the sub-QGMs of the plan: every subtree rooted at
+// a join operator whose join count is between 1 and maxJoins. This is the
+// segmentation the matching engine climbs (Section 3.3): fragments are
+// considered bottom-up, capped by the same join-number threshold used during
+// learning.
+func (p *Plan) EnumerateSubPlans(maxJoins int) []SubPlan {
+	if p.Root == nil {
+		return nil
+	}
+	var out []SubPlan
+	p.Root.Walk(func(n *Node) {
+		if !n.Op.IsJoin() {
+			return
+		}
+		j := n.CountJoins()
+		if j >= 1 && j <= maxJoins {
+			out = append(out, SubPlan{Root: n, Joins: j, Ops: n.CountOps()})
+		}
+	})
+	// Bottom-up order: smaller fragments first, then by operator ID for
+	// determinism.
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Joins != out[j].Joins {
+			return out[i].Joins < out[j].Joins
+		}
+		return out[i].Root.ID > out[j].Root.ID
+	})
+	return out
+}
+
+// ReplaceSubtree substitutes the subtree rooted at the operator with ID
+// targetID by the given replacement, returning false when the target is not
+// found. IDs are re-assigned afterwards.
+func (p *Plan) ReplaceSubtree(targetID int, replacement *Node) bool {
+	if p.Root == nil || replacement == nil {
+		return false
+	}
+	if p.Root.ID == targetID {
+		if replacement.Op != OpRETURN {
+			p.Root = &Node{Op: OpRETURN, Outer: replacement}
+		} else {
+			p.Root = replacement
+		}
+		p.AssignIDs()
+		return true
+	}
+	replaced := false
+	p.Root.Walk(func(n *Node) {
+		if replaced {
+			return
+		}
+		if n.Outer != nil && n.Outer.ID == targetID {
+			n.Outer = replacement
+			replaced = true
+			return
+		}
+		if n.Inner != nil && n.Inner.ID == targetID {
+			n.Inner = replacement
+			replaced = true
+			return
+		}
+	})
+	if replaced {
+		p.AssignIDs()
+	}
+	return replaced
+}
+
+// Summary returns a one-line description of the plan, useful in logs:
+// "cost=1234.5 joins=3 ops=9 HSJOIN(HSJOIN(TBSCAN:Q1,TBSCAN:Q2),IXSCAN:Q3)".
+func (p *Plan) Summary() string {
+	if p.Root == nil {
+		return "<empty plan>"
+	}
+	return fmt.Sprintf("cost=%.1f joins=%d ops=%d %s",
+		p.TotalCost, p.NumJoins(), p.NumOps(), strings.TrimPrefix(p.Signature(), "RETURN("))
+}

@@ -1,0 +1,154 @@
+// Package randplan implements the Random Plan Generator: the DB2-internal
+// tool the paper's learning engine uses to produce competing plans for a
+// (sub-)query, which are then executed and ranked against the optimizer's
+// choice.
+//
+// Plans are sampled as explicit plan specs (join order, join methods, access
+// methods) and materialized/costed through the optimizer's spec builder, so
+// every generated plan is a valid executable plan over the same query.
+package randplan
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"galo/internal/optimizer"
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+)
+
+// Generator samples random plans for queries.
+type Generator struct {
+	opt *optimizer.Optimizer
+	rng *rand.Rand
+}
+
+// New returns a generator over the given optimizer (whose catalog provides
+// the schema and statistics) seeded deterministically.
+func New(opt *optimizer.Optimizer, seed int64) *Generator {
+	return &Generator{opt: opt, rng: rand.New(rand.NewSource(seed))}
+}
+
+// RandomSpec samples one random, connected plan spec for the query: a mostly
+// left-deep join tree (occasionally bushy at the top) over a random join
+// order, with random join methods and access methods.
+func (g *Generator) RandomSpec(q *sqlparser.Query) (*optimizer.Spec, error) {
+	if len(q.From) == 0 {
+		return nil, fmt.Errorf("randplan: query has no tables")
+	}
+	refs := make([]string, len(q.From))
+	for i, tr := range q.From {
+		refs[i] = strings.ToUpper(tr.Name())
+	}
+	if len(refs) == 1 {
+		return g.randomLeaf(q, refs[0]), nil
+	}
+	// Build a connected random order: start anywhere, repeatedly add a
+	// reference joined to the current set (falling back to any reference if
+	// the join graph is disconnected).
+	remaining := append([]string(nil), refs...)
+	g.rng.Shuffle(len(remaining), func(i, j int) { remaining[i], remaining[j] = remaining[j], remaining[i] })
+	order := []string{remaining[0]}
+	remaining = remaining[1:]
+	for len(remaining) > 0 {
+		pick := -1
+		for idx, cand := range remaining {
+			if connectedToAny(q, cand, order) {
+				pick = idx
+				break
+			}
+		}
+		if pick < 0 {
+			pick = 0
+		}
+		order = append(order, remaining[pick])
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+	}
+	// Left-deep tree over the order with random methods; the inner of every
+	// join is a single leaf so NLJOIN stays applicable.
+	tree := g.randomLeaf(q, order[0])
+	for _, ref := range order[1:] {
+		method := g.randomMethod()
+		leaf := g.randomLeaf(q, ref)
+		if g.rng.Float64() < 0.5 {
+			tree = optimizer.Join(method, tree, leaf)
+		} else {
+			// Swapping puts the composite on the inner side, where NLJOIN is
+			// not applicable; fall back to a hash or merge join.
+			if method == qgm.OpNLJOIN {
+				method = qgm.OpHSJOIN
+			}
+			tree = optimizer.Join(method, leaf, tree)
+		}
+	}
+	return tree, nil
+}
+
+func connectedToAny(q *sqlparser.Query, ref string, set []string) bool {
+	for _, s := range set {
+		if len(sqlparser.JoinsBetween(q, ref, s)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *Generator) randomMethod() qgm.OpType {
+	methods := qgm.JoinMethods()
+	return methods[g.rng.Intn(len(methods))]
+}
+
+func (g *Generator) randomLeaf(q *sqlparser.Query, ref string) *optimizer.Spec {
+	tr := q.TableByName(ref)
+	var indexes []string
+	if tr != nil {
+		if tbl := g.opt.Cat.Table(tr.Table); tbl != nil {
+			for _, idx := range tbl.Indexes {
+				indexes = append(indexes, idx.Name)
+			}
+		}
+	}
+	switch {
+	case len(indexes) > 0 && g.rng.Float64() < 0.5:
+		return optimizer.LeafAccess(ref, qgm.OpIXSCAN, indexes[g.rng.Intn(len(indexes))])
+	case g.rng.Float64() < 0.5:
+		return optimizer.LeafAccess(ref, qgm.OpTBSCAN, "")
+	default:
+		return optimizer.Leaf(ref) // cheapest access, optimizer's choice
+	}
+}
+
+// RandomPlans samples up to n plans with distinct structural signatures for
+// the query. Sampling stops early when the plan space is exhausted (after a
+// bounded number of attempts without finding a new signature).
+func (g *Generator) RandomPlans(q *sqlparser.Query, n int) ([]*qgm.Plan, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	seen := map[string]bool{}
+	var out []*qgm.Plan
+	misses := 0
+	maxMisses := 20 + 4*n
+	for len(out) < n && misses < maxMisses {
+		spec, err := g.RandomSpec(q)
+		if err != nil {
+			return nil, err
+		}
+		plan, err := g.opt.BuildPlan(q, spec)
+		if err != nil {
+			// Some random combinations are invalid (e.g. an index requested
+			// on a reference whose table lost it); just resample.
+			misses++
+			continue
+		}
+		sig := plan.Signature()
+		if seen[sig] {
+			misses++
+			continue
+		}
+		seen[sig] = true
+		out = append(out, plan)
+	}
+	return out, nil
+}

@@ -1,0 +1,138 @@
+package randplan
+
+import (
+	"testing"
+
+	"galo/internal/executor"
+	"galo/internal/optimizer"
+	"galo/internal/sqlparser"
+	"galo/internal/storage"
+	"galo/internal/workload/tpcds"
+)
+
+var testDB *storage.Database
+
+func setup(t *testing.T) (*optimizer.Optimizer, *Generator) {
+	t.Helper()
+	if testDB == nil {
+		var err error
+		testDB, err = tpcds.Generate(tpcds.GenOptions{Seed: 3, Scale: 0.08, Hazards: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	opt := optimizer.New(testDB.Catalog, optimizer.DefaultOptions())
+	return opt, New(opt, 99)
+}
+
+func TestRandomPlansAreValidAndDistinct(t *testing.T) {
+	_, gen := setup(t)
+	q := tpcds.Fig3Query()
+	plans, err := gen.RandomPlans(q, 12)
+	if err != nil {
+		t.Fatalf("RandomPlans: %v", err)
+	}
+	if len(plans) < 4 {
+		t.Fatalf("expected several distinct plans, got %d", len(plans))
+	}
+	seen := map[string]bool{}
+	for _, p := range plans {
+		if err := p.Validate(); err != nil {
+			t.Errorf("invalid random plan: %v", err)
+		}
+		if len(p.TableInstances()) != len(q.From) {
+			t.Errorf("plan covers %d instances, want %d", len(p.TableInstances()), len(q.From))
+		}
+		if seen[p.Signature()] {
+			t.Errorf("duplicate signature %s", p.Signature())
+		}
+		seen[p.Signature()] = true
+		if p.TotalCost <= 0 {
+			t.Errorf("random plan has no cost estimate")
+		}
+	}
+}
+
+func TestRandomPlansDeterministicAcrossSeeds(t *testing.T) {
+	opt, _ := setup(t)
+	q := tpcds.Fig3Query()
+	a, err := New(opt, 7).RandomPlans(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(opt, 7).RandomPlans(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("different plan counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Signature() != b[i].Signature() {
+			t.Errorf("plan %d differs across identically seeded generators", i)
+		}
+	}
+	c, err := New(opt, 8).RandomPlans(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if i >= len(c) || a[i].Signature() != c[i].Signature() {
+			same = false
+		}
+	}
+	if same && len(a) == len(c) {
+		t.Errorf("different seeds produced identical plan sequences (suspicious)")
+	}
+}
+
+func TestRandomPlansExecuteToSameResult(t *testing.T) {
+	// All random plans for a query are semantically equivalent: they must
+	// produce the same number of result rows as the optimizer's plan.
+	opt, gen := setup(t)
+	ex := executor.New(testDB)
+	q := sqlparser.MustParse(`SELECT i_item_desc, ws_quantity FROM web_sales, item, date_dim
+		WHERE ws_item_sk = i_item_sk AND ws_sold_date_sk = d_date_sk AND i_category = 'Sports'`)
+	baseline := opt.MustOptimize(q)
+	baseRes, err := ex.Execute(baseline, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plans, err := gen.RandomPlans(q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plans {
+		res, err := ex.Execute(p, q)
+		if err != nil {
+			t.Fatalf("execute random plan %s: %v", p.Signature(), err)
+		}
+		if len(res.Rows) != len(baseRes.Rows) {
+			t.Errorf("plan %s produced %d rows, optimizer plan produced %d",
+				p.Signature(), len(res.Rows), len(baseRes.Rows))
+		}
+	}
+}
+
+func TestRandomSpecSingleTable(t *testing.T) {
+	opt, gen := setup(t)
+	q := sqlparser.MustParse(`SELECT i_item_desc FROM item WHERE i_category = 'Music'`)
+	spec, err := gen.RandomSpec(q)
+	if err != nil {
+		t.Fatalf("RandomSpec: %v", err)
+	}
+	plan, err := opt.BuildPlan(q, spec)
+	if err != nil {
+		t.Fatalf("BuildPlan: %v", err)
+	}
+	if plan.NumJoins() != 0 {
+		t.Errorf("single-table random plan has joins")
+	}
+	if _, err := gen.RandomSpec(&sqlparser.Query{}); err == nil {
+		t.Errorf("empty query should fail")
+	}
+	if plans, err := gen.RandomPlans(q, 0); err != nil || plans != nil {
+		t.Errorf("RandomPlans(0) = %v, %v", plans, err)
+	}
+}

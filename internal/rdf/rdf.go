@@ -1,0 +1,337 @@
+// Package rdf implements the in-memory RDF triple store GALO's knowledge base
+// is built on, replacing the Apache Jena RDF API / TDB store used by the
+// paper. It supports the subset GALO needs: IRIs and literals, triple
+// insertion, wildcard matching over SPO/POS/OSP indexes, and N-Triples
+// serialization for persistence and for the Fuseki-style HTTP endpoint.
+package rdf
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// TermKind distinguishes IRIs from literals.
+type TermKind uint8
+
+// Term kinds.
+const (
+	IRI TermKind = iota
+	Literal
+)
+
+// Term is one RDF term: an IRI resource or a literal value.
+type Term struct {
+	Kind  TermKind
+	Value string
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(v string) Term { return Term{Kind: IRI, Value: v} }
+
+// NewLiteral returns a string literal term.
+func NewLiteral(v string) Term { return Term{Kind: Literal, Value: v} }
+
+// NewNumericLiteral returns a literal holding the decimal rendering of v.
+func NewNumericLiteral(v float64) Term {
+	return Term{Kind: Literal, Value: strconv.FormatFloat(v, 'f', -1, 64)}
+}
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// Float parses the literal as a float64; ok is false for IRIs and
+// non-numeric literals.
+func (t Term) Float() (float64, bool) {
+	if t.Kind != Literal {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(t.Value), 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	if t.Kind == IRI {
+		return "<" + t.Value + ">"
+	}
+	return strconv.Quote(t.Value)
+}
+
+// Triple is one RDF statement.
+type Triple struct {
+	S, P, O Term
+}
+
+// String renders the triple in N-Triples syntax.
+func (t Triple) String() string {
+	return fmt.Sprintf("%s %s %s .", t.S, t.P, t.O)
+}
+
+// Store is an in-memory triple store with subject/predicate/object indexes.
+// It is safe for concurrent use.
+type Store struct {
+	mu  sync.RWMutex
+	spo map[Term]map[Term][]Term
+	pos map[Term]map[Term][]Term
+	osp map[Term]map[Term][]Term
+	n   int
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{
+		spo: map[Term]map[Term][]Term{},
+		pos: map[Term]map[Term][]Term{},
+		osp: map[Term]map[Term][]Term{},
+	}
+}
+
+// Add inserts a triple (duplicates are ignored).
+func (s *Store) Add(t Triple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if containsTerm(s.spo[t.S][t.P], t.O) {
+		return
+	}
+	addIndex(s.spo, t.S, t.P, t.O)
+	addIndex(s.pos, t.P, t.O, t.S)
+	addIndex(s.osp, t.O, t.S, t.P)
+	s.n++
+}
+
+// AddAll inserts several triples.
+func (s *Store) AddAll(ts []Triple) {
+	for _, t := range ts {
+		s.Add(t)
+	}
+}
+
+func addIndex(idx map[Term]map[Term][]Term, a, b, c Term) {
+	m, ok := idx[a]
+	if !ok {
+		m = map[Term][]Term{}
+		idx[a] = m
+	}
+	m[b] = append(m[b], c)
+}
+
+func containsTerm(ts []Term, t Term) bool {
+	for _, x := range ts {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of distinct triples stored.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// Match returns the triples matching the pattern; nil components are
+// wildcards. Results are returned in a deterministic order.
+func (s *Store) Match(subj, pred, obj *Term) []Triple {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Triple
+	switch {
+	case subj != nil:
+		for p, objs := range s.spo[*subj] {
+			if pred != nil && p != *pred {
+				continue
+			}
+			for _, o := range objs {
+				if obj != nil && o != *obj {
+					continue
+				}
+				out = append(out, Triple{*subj, p, o})
+			}
+		}
+	case pred != nil:
+		for o, subjs := range s.pos[*pred] {
+			if obj != nil && o != *obj {
+				continue
+			}
+			for _, su := range subjs {
+				out = append(out, Triple{su, *pred, o})
+			}
+		}
+	case obj != nil:
+		for su, preds := range s.osp[*obj] {
+			for _, p := range preds {
+				out = append(out, Triple{su, p, *obj})
+			}
+		}
+	default:
+		for su, pm := range s.spo {
+			for p, objs := range pm {
+				for _, o := range objs {
+					out = append(out, Triple{su, p, o})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// Subjects returns every distinct subject in the store, sorted.
+func (s *Store) Subjects() []Term {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Term, 0, len(s.spo))
+	for su := range s.spo {
+		out = append(out, su)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// ObjectsOf returns the objects of (subject, predicate), in insertion order.
+func (s *Store) ObjectsOf(subject, predicate Term) []Term {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]Term(nil), s.spo[subject][predicate]...)
+}
+
+// FirstObject returns the first object of (subject, predicate) and whether it
+// exists.
+func (s *Store) FirstObject(subject, predicate Term) (Term, bool) {
+	objs := s.ObjectsOf(subject, predicate)
+	if len(objs) == 0 {
+		return Term{}, false
+	}
+	return objs[0], true
+}
+
+// Remove deletes matching triples and returns how many were removed; nil
+// components are wildcards.
+func (s *Store) Remove(subj, pred, obj *Term) int {
+	victims := s.Match(subj, pred, obj)
+	if len(victims) == 0 {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range victims {
+		removeIndex(s.spo, t.S, t.P, t.O)
+		removeIndex(s.pos, t.P, t.O, t.S)
+		removeIndex(s.osp, t.O, t.S, t.P)
+		s.n--
+	}
+	return len(victims)
+}
+
+func removeIndex(idx map[Term]map[Term][]Term, a, b, c Term) {
+	m := idx[a]
+	if m == nil {
+		return
+	}
+	list := m[b]
+	for i, x := range list {
+		if x == c {
+			m[b] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(m[b]) == 0 {
+		delete(m, b)
+	}
+	if len(m) == 0 {
+		delete(idx, a)
+	}
+}
+
+// NTriples serializes the whole store in N-Triples format with a
+// deterministic line order.
+func (s *Store) NTriples() string {
+	triples := s.Match(nil, nil, nil)
+	var b strings.Builder
+	for _, t := range triples {
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// ParseNTriples parses N-Triples text (as produced by NTriples) into triples.
+func ParseNTriples(text string) ([]Triple, error) {
+	var out []Triple
+	for lineNo, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := parseNTripleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("rdf: line %d: %w", lineNo+1, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+func parseNTripleLine(line string) (Triple, error) {
+	line = strings.TrimSuffix(strings.TrimSpace(line), ".")
+	line = strings.TrimSpace(line)
+	terms, err := splitTerms(line)
+	if err != nil {
+		return Triple{}, err
+	}
+	if len(terms) != 3 {
+		return Triple{}, fmt.Errorf("expected 3 terms, got %d in %q", len(terms), line)
+	}
+	return Triple{terms[0], terms[1], terms[2]}, nil
+}
+
+func splitTerms(line string) ([]Term, error) {
+	var out []Term
+	i := 0
+	for i < len(line) {
+		switch {
+		case line[i] == ' ' || line[i] == '\t':
+			i++
+		case line[i] == '<':
+			end := strings.IndexByte(line[i:], '>')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated IRI in %q", line)
+			}
+			out = append(out, NewIRI(line[i+1:i+end]))
+			i += end + 1
+		case line[i] == '"':
+			rest := line[i:]
+			val, err := strconv.QuotedPrefix(rest)
+			if err != nil {
+				return nil, fmt.Errorf("bad literal in %q: %w", line, err)
+			}
+			unq, err := strconv.Unquote(val)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, NewLiteral(unq))
+			i += len(val)
+		default:
+			return nil, fmt.Errorf("unexpected character %q in %q", line[i], line)
+		}
+	}
+	return out, nil
+}
+
+// LoadNTriples parses and adds the triples to the store.
+func (s *Store) LoadNTriples(text string) error {
+	ts, err := ParseNTriples(text)
+	if err != nil {
+		return err
+	}
+	s.AddAll(ts)
+	return nil
+}

@@ -1,0 +1,298 @@
+package sparql
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"galo/internal/rdf"
+)
+
+// Execute evaluates the query against the store and returns its solutions.
+// Basic graph patterns are matched by backtracking joins in pattern order;
+// filters are applied as soon as all of their variables are bound.
+func Execute(q *Query, store *rdf.Store) ([]Solution, error) {
+	if q == nil || len(q.Patterns) == 0 {
+		return nil, fmt.Errorf("sparql: empty query")
+	}
+	ev := &evaluator{q: q, store: store}
+	ev.filterVars = make([][]string, len(q.Filters))
+	for i, f := range q.Filters {
+		ev.filterVars[i] = exprVars(f)
+	}
+	ev.match(0, Solution{}, map[int]bool{})
+	solutions := ev.results
+	if q.Limit > 0 && len(solutions) > q.Limit {
+		solutions = solutions[:q.Limit]
+	}
+	// Project.
+	if !q.SelectAll && len(q.Select) > 0 {
+		projected := make([]Solution, len(solutions))
+		for i, sol := range solutions {
+			row := Solution{}
+			for _, v := range q.Select {
+				if t, ok := sol[v]; ok {
+					row[v] = t
+				}
+			}
+			projected[i] = row
+		}
+		solutions = projected
+	}
+	return solutions, nil
+}
+
+type evaluator struct {
+	q          *Query
+	store      *rdf.Store
+	results    []Solution
+	filterVars [][]string
+}
+
+func (ev *evaluator) match(patIdx int, binding Solution, applied map[int]bool) {
+	// Apply any filter whose variables are all bound and which has not been
+	// applied yet; abandon this branch if one fails.
+	for fi, vars := range ev.filterVars {
+		if applied[fi] {
+			continue
+		}
+		ready := true
+		for _, v := range vars {
+			if _, ok := binding[v]; !ok {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		if !evalExpr(ev.q.Filters[fi], binding) {
+			return
+		}
+		applied = cloneApplied(applied)
+		applied[fi] = true
+	}
+	if patIdx == len(ev.q.Patterns) {
+		// All patterns matched; any remaining filters have unbound variables
+		// and evaluate to an error → treat as failure per SPARQL semantics.
+		for fi := range ev.q.Filters {
+			if !applied[fi] {
+				return
+			}
+		}
+		ev.results = append(ev.results, cloneSolution(binding))
+		return
+	}
+	pat := ev.q.Patterns[patIdx]
+	starts := ev.resolveStarts(pat.S, binding)
+	for _, start := range starts {
+		ends := ev.walkPath(start, pat.Path)
+		for _, end := range ends {
+			newBinding, ok := extend(binding, pat, start, end)
+			if !ok {
+				continue
+			}
+			ev.match(patIdx+1, newBinding, applied)
+		}
+	}
+}
+
+// resolveStarts returns the candidate subjects for a pattern given the
+// current binding: the bound term, the concrete term, or every subject in
+// the store.
+func (ev *evaluator) resolveStarts(s NodeRef, binding Solution) []rdf.Term {
+	if s.IsVar {
+		if t, ok := binding[s.Var]; ok {
+			return []rdf.Term{t}
+		}
+		return ev.store.Subjects()
+	}
+	return []rdf.Term{s.Term}
+}
+
+// walkPath follows the property path from the start term and returns every
+// reachable object.
+func (ev *evaluator) walkPath(start rdf.Term, path []PredStep) []rdf.Term {
+	current := []rdf.Term{start}
+	for _, step := range path {
+		next := map[rdf.Term]bool{}
+		if step.OneOrMore {
+			// Transitive closure of the predicate from each current node.
+			for _, c := range current {
+				frontier := []rdf.Term{c}
+				visited := map[rdf.Term]bool{}
+				for len(frontier) > 0 {
+					n := frontier[0]
+					frontier = frontier[1:]
+					for _, o := range ev.store.ObjectsOf(n, step.Pred) {
+						if !visited[o] {
+							visited[o] = true
+							next[o] = true
+							frontier = append(frontier, o)
+						}
+					}
+				}
+			}
+		} else {
+			for _, c := range current {
+				for _, o := range ev.store.ObjectsOf(c, step.Pred) {
+					next[o] = true
+				}
+			}
+		}
+		current = current[:0]
+		for t := range next {
+			current = append(current, t)
+		}
+		sort.Slice(current, func(i, j int) bool { return current[i].Value < current[j].Value })
+	}
+	return current
+}
+
+func extend(binding Solution, pat Pattern, start, end rdf.Term) (Solution, bool) {
+	out := cloneSolution(binding)
+	if pat.S.IsVar {
+		if existing, ok := out[pat.S.Var]; ok && existing != start {
+			return nil, false
+		}
+		out[pat.S.Var] = start
+	} else if pat.S.Term != start {
+		return nil, false
+	}
+	if pat.O.IsVar {
+		if existing, ok := out[pat.O.Var]; ok && existing != end {
+			return nil, false
+		}
+		out[pat.O.Var] = end
+	} else if pat.O.Term != end {
+		return nil, false
+	}
+	return out, true
+}
+
+func cloneSolution(s Solution) Solution {
+	out := make(Solution, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneApplied(m map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// exprVars lists the variables an expression references.
+func exprVars(e Expr) []string {
+	seen := map[string]bool{}
+	var collect func(Expr)
+	addOp := func(o Operand) {
+		if o.Var != "" {
+			seen[o.Var] = true
+		}
+		if o.StrVar != "" {
+			seen[o.StrVar] = true
+		}
+	}
+	collect = func(e Expr) {
+		switch x := e.(type) {
+		case Comparison:
+			addOp(x.L)
+			addOp(x.R)
+		case And:
+			collect(x.L)
+			collect(x.R)
+		case Or:
+			collect(x.L)
+			collect(x.R)
+		}
+	}
+	collect(e)
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// evalExpr evaluates a filter expression under a binding.
+func evalExpr(e Expr, binding Solution) bool {
+	switch x := e.(type) {
+	case And:
+		return evalExpr(x.L, binding) && evalExpr(x.R, binding)
+	case Or:
+		return evalExpr(x.L, binding) || evalExpr(x.R, binding)
+	case Comparison:
+		l, lok := operandValue(x.L, binding)
+		r, rok := operandValue(x.R, binding)
+		if !lok || !rok {
+			return false
+		}
+		return compareValues(x.Op, l, r)
+	default:
+		return false
+	}
+}
+
+// operandValue resolves an operand to a string representation (numbers keep
+// their text form; numeric comparison is attempted first in compareValues).
+func operandValue(o Operand, binding Solution) (string, bool) {
+	switch {
+	case o.Num != nil:
+		return strconv.FormatFloat(*o.Num, 'f', -1, 64), true
+	case o.Str != nil:
+		return *o.Str, true
+	case o.StrVar != "":
+		t, ok := binding[o.StrVar]
+		if !ok {
+			return "", false
+		}
+		return t.Value, true
+	case o.Var != "":
+		t, ok := binding[o.Var]
+		if !ok {
+			return "", false
+		}
+		return t.Value, true
+	default:
+		return "", false
+	}
+}
+
+func compareValues(op, l, r string) bool {
+	lf, lerr := strconv.ParseFloat(strings.TrimSpace(l), 64)
+	rf, rerr := strconv.ParseFloat(strings.TrimSpace(r), 64)
+	var cmp int
+	if lerr == nil && rerr == nil {
+		switch {
+		case lf < rf:
+			cmp = -1
+		case lf > rf:
+			cmp = 1
+		}
+	} else {
+		cmp = strings.Compare(l, r)
+	}
+	switch op {
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	case ">":
+		return cmp > 0
+	case ">=":
+		return cmp >= 0
+	case "=":
+		return cmp == 0
+	case "!=":
+		return cmp != 0
+	default:
+		return false
+	}
+}

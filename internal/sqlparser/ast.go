@@ -1,0 +1,248 @@
+// Package sqlparser implements the SQL subset used by the evaluation
+// workloads: conjunctive SELECT-PROJECT-JOIN queries over base tables, with
+// optional GROUP BY and ORDER BY.
+//
+// It replaces DB2's SQL front end in the paper's architecture. The parser
+// produces an AST that the optimizer plans and that GALO's learning engine
+// decomposes into sub-queries (Figure 3 of the paper).
+package sqlparser
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"galo/internal/catalog"
+)
+
+// ColumnRef names a column, optionally qualified by a table name or alias.
+type ColumnRef struct {
+	Table  string // alias or table name; empty if unqualified
+	Column string
+}
+
+// String renders the reference as it appears in SQL.
+func (c ColumnRef) String() string {
+	if c.Table == "" {
+		return c.Column
+	}
+	return c.Table + "." + c.Column
+}
+
+// TableRef names a table in the FROM clause with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the name by which the table is referenced in the query: the
+// alias when present, the table name otherwise.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// String renders the table reference as SQL.
+func (t TableRef) String() string {
+	if t.Alias != "" && !strings.EqualFold(t.Alias, t.Table) {
+		return t.Table + " " + t.Alias
+	}
+	return t.Table
+}
+
+// PredKind enumerates the predicate forms the parser accepts.
+type PredKind uint8
+
+// Predicate kinds.
+const (
+	// PredJoin is column-to-column equality, e.g. ws_item_sk = i_item_sk.
+	PredJoin PredKind = iota
+	// PredCompare is column-to-literal comparison with =, <>, <, <=, >, >=.
+	PredCompare
+	// PredBetween is col BETWEEN lo AND hi.
+	PredBetween
+	// PredIn is col IN (v1, v2, ...).
+	PredIn
+	// PredLike is col LIKE 'pattern'.
+	PredLike
+	// PredIsNull is col IS [NOT] NULL.
+	PredIsNull
+)
+
+// Predicate is one conjunct of the WHERE clause.
+type Predicate struct {
+	Kind   PredKind
+	Left   ColumnRef
+	Op     string // for PredCompare: =, <>, <, <=, >, >=
+	Right  ColumnRef
+	Value  catalog.Value
+	Lo, Hi catalog.Value
+	Values []catalog.Value
+	Not    bool // for IS NOT NULL, NOT LIKE, NOT IN
+}
+
+// IsJoin reports whether the predicate joins two different table references.
+func (p Predicate) IsJoin() bool { return p.Kind == PredJoin }
+
+// String renders the predicate as SQL.
+func (p Predicate) String() string {
+	switch p.Kind {
+	case PredJoin:
+		return fmt.Sprintf("%s = %s", p.Left, p.Right)
+	case PredCompare:
+		return fmt.Sprintf("%s %s %s", p.Left, p.Op, p.Value.SQLLiteral())
+	case PredBetween:
+		return fmt.Sprintf("%s BETWEEN %s AND %s", p.Left, p.Lo.SQLLiteral(), p.Hi.SQLLiteral())
+	case PredIn:
+		vals := make([]string, len(p.Values))
+		for i, v := range p.Values {
+			vals[i] = v.SQLLiteral()
+		}
+		not := ""
+		if p.Not {
+			not = "NOT "
+		}
+		return fmt.Sprintf("%s %sIN (%s)", p.Left, not, strings.Join(vals, ", "))
+	case PredLike:
+		not := ""
+		if p.Not {
+			not = "NOT "
+		}
+		return fmt.Sprintf("%s %sLIKE %s", p.Left, not, p.Value.SQLLiteral())
+	case PredIsNull:
+		if p.Not {
+			return fmt.Sprintf("%s IS NOT NULL", p.Left)
+		}
+		return fmt.Sprintf("%s IS NULL", p.Left)
+	default:
+		return "<?>"
+	}
+}
+
+// Query is the AST of one parsed SELECT statement.
+type Query struct {
+	// Select lists the projected columns; Star is true for SELECT *.
+	Select []ColumnRef
+	Star   bool
+	From   []TableRef
+	Where  []Predicate
+	GroupBy []ColumnRef
+	OrderBy []ColumnRef
+	// Name optionally labels the query (workload query id such as "Q08").
+	Name string
+}
+
+// TableByName returns the FROM entry referenced by the given alias or table
+// name (case-insensitive), or nil.
+func (q *Query) TableByName(name string) *TableRef {
+	for i := range q.From {
+		if strings.EqualFold(q.From[i].Name(), name) || strings.EqualFold(q.From[i].Table, name) {
+			return &q.From[i]
+		}
+	}
+	return nil
+}
+
+// JoinPredicates returns the column-to-column equality predicates.
+func (q *Query) JoinPredicates() []Predicate {
+	var out []Predicate
+	for _, p := range q.Where {
+		if p.IsJoin() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LocalPredicates returns the non-join predicates.
+func (q *Query) LocalPredicates() []Predicate {
+	var out []Predicate
+	for _, p := range q.Where {
+		if !p.IsJoin() {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NumJoins returns the number of join predicates (the paper's "join number").
+func (q *Query) NumJoins() int { return len(q.JoinPredicates()) }
+
+// TableNames returns the referenced table names (not aliases), sorted and
+// de-duplicated.
+func (q *Query) TableNames() []string {
+	seen := map[string]struct{}{}
+	var out []string
+	for _, t := range q.From {
+		key := strings.ToUpper(t.Table)
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, key)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SQL renders the query back to SQL text.
+func (q *Query) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Star || len(q.Select) == 0 {
+		b.WriteString("*")
+	} else {
+		parts := make([]string, len(q.Select))
+		for i, c := range q.Select {
+			parts[i] = c.String()
+		}
+		b.WriteString(strings.Join(parts, ", "))
+	}
+	b.WriteString(" FROM ")
+	tables := make([]string, len(q.From))
+	for i, t := range q.From {
+		tables[i] = t.String()
+	}
+	b.WriteString(strings.Join(tables, ", "))
+	if len(q.Where) > 0 {
+		b.WriteString(" WHERE ")
+		preds := make([]string, len(q.Where))
+		for i, p := range q.Where {
+			preds[i] = p.String()
+		}
+		b.WriteString(strings.Join(preds, " AND "))
+	}
+	if len(q.GroupBy) > 0 {
+		parts := make([]string, len(q.GroupBy))
+		for i, c := range q.GroupBy {
+			parts[i] = c.String()
+		}
+		b.WriteString(" GROUP BY " + strings.Join(parts, ", "))
+	}
+	if len(q.OrderBy) > 0 {
+		parts := make([]string, len(q.OrderBy))
+		for i, c := range q.OrderBy {
+			parts[i] = c.String()
+		}
+		b.WriteString(" ORDER BY " + strings.Join(parts, ", "))
+	}
+	return b.String()
+}
+
+// Clone returns a deep copy of the query.
+func (q *Query) Clone() *Query {
+	cp := *q
+	cp.Select = append([]ColumnRef(nil), q.Select...)
+	cp.From = append([]TableRef(nil), q.From...)
+	cp.Where = make([]Predicate, len(q.Where))
+	for i, p := range q.Where {
+		pc := p
+		pc.Values = append([]catalog.Value(nil), p.Values...)
+		cp.Where[i] = pc
+	}
+	cp.GroupBy = append([]ColumnRef(nil), q.GroupBy...)
+	cp.OrderBy = append([]ColumnRef(nil), q.OrderBy...)
+	return &cp
+}

@@ -1,0 +1,121 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+
+	"galo/internal/catalog"
+)
+
+// Resolve binds every column reference in the query to the table reference
+// (alias) that defines it, using the schema. After Resolve, every ColumnRef
+// has a non-empty Table field naming the FROM-clause reference (alias when
+// present). Resolve also validates that every referenced table exists.
+func Resolve(q *Query, schema *catalog.Schema) error {
+	if len(q.From) == 0 {
+		return fmt.Errorf("sqlparser: query has no FROM clause")
+	}
+	// Validate tables and build alias -> table map.
+	aliasToTable := make(map[string]string, len(q.From))
+	for _, tr := range q.From {
+		if schema.Table(tr.Table) == nil {
+			return fmt.Errorf("sqlparser: unknown table %s", tr.Table)
+		}
+		aliasToTable[strings.ToUpper(tr.Name())] = strings.ToUpper(tr.Table)
+	}
+	resolveRef := func(c *ColumnRef) error {
+		c.Column = strings.ToUpper(c.Column)
+		if c.Table != "" {
+			c.Table = strings.ToUpper(c.Table)
+			tbl, ok := aliasToTable[c.Table]
+			if !ok {
+				return fmt.Errorf("sqlparser: column %s references unknown table/alias %s", c, c.Table)
+			}
+			if !schema.Table(tbl).HasColumn(c.Column) {
+				return fmt.Errorf("sqlparser: table %s has no column %s", tbl, c.Column)
+			}
+			return nil
+		}
+		// Unqualified: find owning table among FROM entries.
+		var owner string
+		for _, tr := range q.From {
+			if schema.Table(tr.Table).HasColumn(c.Column) {
+				if owner != "" && owner != strings.ToUpper(tr.Name()) {
+					return fmt.Errorf("sqlparser: column %s is ambiguous", c.Column)
+				}
+				owner = strings.ToUpper(tr.Name())
+			}
+		}
+		if owner == "" {
+			return fmt.Errorf("sqlparser: column %s not found in any FROM table", c.Column)
+		}
+		c.Table = owner
+		return nil
+	}
+	for i := range q.Select {
+		if err := resolveRef(&q.Select[i]); err != nil {
+			return err
+		}
+	}
+	for i := range q.Where {
+		if err := resolveRef(&q.Where[i].Left); err != nil {
+			return err
+		}
+		if q.Where[i].Kind == PredJoin {
+			if err := resolveRef(&q.Where[i].Right); err != nil {
+				return err
+			}
+			// A column=column predicate within the same table reference is a
+			// local predicate, not a join.
+			if q.Where[i].Left.Table == q.Where[i].Right.Table {
+				return fmt.Errorf("sqlparser: self-comparison %s is not supported", q.Where[i])
+			}
+		}
+	}
+	for i := range q.GroupBy {
+		if err := resolveRef(&q.GroupBy[i]); err != nil {
+			return err
+		}
+	}
+	for i := range q.OrderBy {
+		if err := resolveRef(&q.OrderBy[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BaseTable returns the underlying table name for a resolved column reference
+// (mapping alias back to table).
+func BaseTable(q *Query, ref ColumnRef) string {
+	tr := q.TableByName(ref.Table)
+	if tr == nil {
+		return strings.ToUpper(ref.Table)
+	}
+	return strings.ToUpper(tr.Table)
+}
+
+// PredicatesFor returns the local predicates that apply to the given FROM
+// reference name.
+func PredicatesFor(q *Query, refName string) []Predicate {
+	var out []Predicate
+	for _, p := range q.LocalPredicates() {
+		if strings.EqualFold(p.Left.Table, refName) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// JoinsBetween returns the join predicates connecting the two FROM reference
+// names, in either direction.
+func JoinsBetween(q *Query, a, b string) []Predicate {
+	var out []Predicate
+	for _, p := range q.JoinPredicates() {
+		if (strings.EqualFold(p.Left.Table, a) && strings.EqualFold(p.Right.Table, b)) ||
+			(strings.EqualFold(p.Left.Table, b) && strings.EqualFold(p.Right.Table, a)) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"testing"
+
+	"galo/internal/catalog"
+	"galo/internal/storage"
+)
+
+func buildItemDB(t *testing.T) *storage.Database {
+	t.Helper()
+	s := catalog.NewSchema("T")
+	item := catalog.NewTable("item",
+		catalog.Column{Name: "i_item_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "i_category", Type: catalog.KindString},
+		catalog.Column{Name: "i_class", Type: catalog.KindString},
+		catalog.Column{Name: "i_current_price", Type: catalog.KindFloat},
+	)
+	s.AddTable(item)
+	db := storage.NewDatabase(catalog.New(s))
+	// Category and class are perfectly correlated: class = category + "-cls".
+	cats := []string{"Music", "Jewelry", "Books", "Sports", "Home"}
+	for i := 0; i < 1000; i++ {
+		cat := cats[i%5]
+		var price catalog.Value
+		if i%100 == 0 {
+			price = catalog.Null()
+		} else {
+			price = catalog.Float(float64(i%50) + 0.5)
+		}
+		if err := db.Insert("item", storage.Row{
+			catalog.Int(int64(i + 1)),
+			catalog.String(cat),
+			catalog.String(cat + "-cls"),
+			price,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestCollectBasicStats(t *testing.T) {
+	db := buildItemDB(t)
+	ts, err := Collect(db, "item", DefaultOptions())
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if ts.Cardinality != 1000 {
+		t.Errorf("Cardinality = %d", ts.Cardinality)
+	}
+	if ts.Pages < 1 {
+		t.Errorf("Pages = %d", ts.Pages)
+	}
+	sk := ts.ColumnStats("i_item_sk")
+	if sk == nil || sk.NDV != 1000 {
+		t.Fatalf("i_item_sk stats = %+v", sk)
+	}
+	if sk.Min.AsInt() != 1 || sk.Max.AsInt() != 1000 {
+		t.Errorf("min/max = %v/%v", sk.Min, sk.Max)
+	}
+	cat := ts.ColumnStats("i_category")
+	if cat.NDV != 5 {
+		t.Errorf("category NDV = %d", cat.NDV)
+	}
+	if n, ok := cat.FrequencyOf(catalog.String("Music")); !ok || n != 200 {
+		t.Errorf("FrequencyOf(Music) = %d, %v", n, ok)
+	}
+	price := ts.ColumnStats("i_current_price")
+	if price.NullCount != 10 {
+		t.Errorf("price NullCount = %d", price.NullCount)
+	}
+	// Installed in the catalog.
+	if db.Catalog.Stats("ITEM") == nil {
+		t.Errorf("stats not installed in catalog")
+	}
+	if _, err := Collect(db, "missing", DefaultOptions()); err == nil {
+		t.Errorf("Collect on missing table should fail")
+	}
+}
+
+func TestCollectColumnGroups(t *testing.T) {
+	db := buildItemDB(t)
+	opts := DefaultOptions()
+	opts.ColumnGroups = map[string][][]string{"ITEM": {{"i_category", "i_class"}}}
+	ts, err := Collect(db, "item", opts)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	// Correlated columns: combined NDV is 5, not 5*5.
+	if got := ts.GroupNDV([]string{"I_CATEGORY", "I_CLASS"}); got != 5 {
+		t.Errorf("group NDV = %d, want 5", got)
+	}
+}
+
+func TestCollectSamplingApproximates(t *testing.T) {
+	db := buildItemDB(t)
+	opts := DefaultOptions()
+	opts.SampleEvery = 7 // coprime with the 5-way category cycle
+	ts, err := Collect(db, "item", opts)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	// Cardinality is exact (row count is known) but NDV comes from the
+	// sample, so it is at most the sampled row count.
+	if ts.Cardinality != 1000 {
+		t.Errorf("Cardinality = %d", ts.Cardinality)
+	}
+	sk := ts.ColumnStats("i_item_sk")
+	if sk.NDV > 143 {
+		t.Errorf("sampled NDV = %d, want <= 143", sk.NDV)
+	}
+	cat := ts.ColumnStats("i_category")
+	// The true frequency is 200; the sampled-and-scaled estimate should be in
+	// the right ballpark but need not be exact.
+	if n, ok := cat.FrequencyOf(catalog.String("Music")); !ok || n < 120 || n > 320 {
+		t.Errorf("scaled frequency = %d (ok=%v), want roughly 200", n, ok)
+	}
+}
+
+func TestCollectFrequentValueTruncation(t *testing.T) {
+	db := buildItemDB(t)
+	opts := DefaultOptions()
+	opts.NumFrequentValues = 2
+	ts, err := Collect(db, "item", opts)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if got := len(ts.ColumnStats("i_category").Frequent); got != 2 {
+		t.Errorf("frequent list length = %d, want 2", got)
+	}
+	opts.NumFrequentValues = 0
+	ts, _ = Collect(db, "item", opts)
+	if got := len(ts.ColumnStats("i_category").Frequent); got != 0 {
+		t.Errorf("frequent list should be empty when disabled, got %d", got)
+	}
+}
+
+func TestCollectAll(t *testing.T) {
+	db := buildItemDB(t)
+	if err := CollectAll(db, DefaultOptions()); err != nil {
+		t.Fatalf("CollectAll: %v", err)
+	}
+	if len(db.Catalog.TablesWithStats()) != 1 {
+		t.Errorf("TablesWithStats = %v", db.Catalog.TablesWithStats())
+	}
+}

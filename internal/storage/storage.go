@@ -1,0 +1,319 @@
+// Package storage implements the in-memory row store the minidb substrate
+// runs on: base tables, secondary indexes, and page-granular access
+// accounting.
+//
+// It replaces the DB2 storage layer from the paper. The executor uses it to
+// produce the runtime truth (actual cardinalities, page reads, spills) that
+// GALO's learning engine compares against the optimizer's estimates.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"galo/internal/catalog"
+)
+
+// Row is one tuple, with values in the table's column order.
+type Row []catalog.Value
+
+// IndexEntry maps an index key to the position of its row in the table.
+type IndexEntry struct {
+	Key   []catalog.Value
+	RowID int
+}
+
+// IndexData is a materialized secondary index: entries sorted by key.
+type IndexData struct {
+	Def     *catalog.Index
+	Entries []IndexEntry
+	colPos  []int
+}
+
+// Table is the stored data for one base table.
+type Table struct {
+	Def     *catalog.Table
+	Rows    []Row
+	indexes map[string]*IndexData
+}
+
+// Database holds all table data for one catalog.
+type Database struct {
+	Catalog *catalog.Catalog
+	tables  map[string]*Table
+}
+
+// NewDatabase creates an empty database over the catalog's schema.
+func NewDatabase(cat *catalog.Catalog) *Database {
+	return &Database{Catalog: cat, tables: make(map[string]*Table)}
+}
+
+// Table returns the stored table, creating an empty one if the schema defines
+// it and no rows have been inserted yet. Returns nil for unknown tables.
+func (db *Database) Table(name string) *Table {
+	key := strings.ToUpper(name)
+	if t, ok := db.tables[key]; ok {
+		return t
+	}
+	def := db.Catalog.Table(key)
+	if def == nil {
+		return nil
+	}
+	t := &Table{Def: def, indexes: make(map[string]*IndexData)}
+	db.tables[key] = t
+	return t
+}
+
+// TableNames returns the names of tables that hold data, sorted.
+func (db *Database) TableNames() []string {
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Insert appends rows to the named table. Rows must have exactly as many
+// values as the table has columns.
+func (db *Database) Insert(table string, rows ...Row) error {
+	t := db.Table(table)
+	if t == nil {
+		return fmt.Errorf("storage: unknown table %s", table)
+	}
+	ncols := len(t.Def.Columns)
+	for _, r := range rows {
+		if len(r) != ncols {
+			return fmt.Errorf("storage: table %s expects %d columns, row has %d", t.Def.Name, ncols, len(r))
+		}
+		t.Rows = append(t.Rows, r)
+	}
+	// Any existing indexes are now stale; rebuild lazily.
+	t.indexes = make(map[string]*IndexData)
+	return nil
+}
+
+// RowCount returns the number of rows stored in the table (0 if absent).
+func (db *Database) RowCount(table string) int {
+	t := db.tables[strings.ToUpper(table)]
+	if t == nil {
+		return 0
+	}
+	return len(t.Rows)
+}
+
+// RowWidth estimates the average row width in bytes for page accounting.
+func (t *Table) RowWidth() int {
+	if len(t.Rows) == 0 {
+		return 8 * len(t.Def.Columns)
+	}
+	width := 0
+	sample := t.Rows[0]
+	for _, v := range sample {
+		switch v.K {
+		case catalog.KindString:
+			width += len(v.S) + 4
+		default:
+			width += 8
+		}
+	}
+	if width == 0 {
+		width = 8
+	}
+	return width
+}
+
+// Pages returns the number of data pages the table occupies under the
+// catalog's page size.
+func (db *Database) Pages(table string) int64 {
+	t := db.tables[strings.ToUpper(table)]
+	if t == nil || len(t.Rows) == 0 {
+		return 1
+	}
+	pageSize := db.Catalog.Config.PageSizeBytes
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	rowsPerPage := pageSize / int64(t.RowWidth())
+	if rowsPerPage < 1 {
+		rowsPerPage = 1
+	}
+	pages := (int64(len(t.Rows)) + rowsPerPage - 1) / rowsPerPage
+	if pages < 1 {
+		pages = 1
+	}
+	return pages
+}
+
+// RowsPerPage returns how many rows fit on one page of the table.
+func (db *Database) RowsPerPage(table string) int64 {
+	t := db.tables[strings.ToUpper(table)]
+	if t == nil {
+		return 1
+	}
+	pageSize := db.Catalog.Config.PageSizeBytes
+	if pageSize <= 0 {
+		pageSize = 4096
+	}
+	rpp := pageSize / int64(t.RowWidth())
+	if rpp < 1 {
+		rpp = 1
+	}
+	return rpp
+}
+
+// Index returns the materialized index data for the named index on the
+// table, building it on first use. Returns nil when the index is not defined.
+func (db *Database) Index(table, indexName string) *IndexData {
+	t := db.Table(table)
+	if t == nil {
+		return nil
+	}
+	key := strings.ToUpper(indexName)
+	if idx, ok := t.indexes[key]; ok {
+		return idx
+	}
+	def := t.Def.IndexByName(key)
+	if def == nil {
+		return nil
+	}
+	idx := buildIndex(t, def)
+	t.indexes[key] = idx
+	return idx
+}
+
+// IndexOnColumn returns a built index whose leading column matches, or nil.
+func (db *Database) IndexOnColumn(table, column string) *IndexData {
+	t := db.Table(table)
+	if t == nil {
+		return nil
+	}
+	def := t.Def.IndexOn(column)
+	if def == nil {
+		return nil
+	}
+	return db.Index(table, def.Name)
+}
+
+func buildIndex(t *Table, def *catalog.Index) *IndexData {
+	pos := make([]int, len(def.Columns))
+	for i, c := range def.Columns {
+		pos[i] = t.Def.ColumnIndex(c)
+	}
+	idx := &IndexData{Def: def, colPos: pos}
+	idx.Entries = make([]IndexEntry, 0, len(t.Rows))
+	for rid, row := range t.Rows {
+		key := make([]catalog.Value, len(pos))
+		for i, p := range pos {
+			if p >= 0 && p < len(row) {
+				key[i] = row[p]
+			}
+		}
+		idx.Entries = append(idx.Entries, IndexEntry{Key: key, RowID: rid})
+	}
+	sort.SliceStable(idx.Entries, func(i, j int) bool {
+		return compareKeys(idx.Entries[i].Key, idx.Entries[j].Key) < 0
+	})
+	return idx
+}
+
+func compareKeys(a, b []catalog.Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := catalog.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return len(a) - len(b)
+}
+
+// LookupEqual returns the row IDs whose leading index key equals v.
+func (idx *IndexData) LookupEqual(v catalog.Value) []int {
+	lo := sort.Search(len(idx.Entries), func(i int) bool {
+		return catalog.Compare(idx.Entries[i].Key[0], v) >= 0
+	})
+	var out []int
+	for i := lo; i < len(idx.Entries); i++ {
+		if !catalog.Equal(idx.Entries[i].Key[0], v) {
+			break
+		}
+		out = append(out, idx.Entries[i].RowID)
+	}
+	return out
+}
+
+// LookupRange returns row IDs whose leading key lies in [lo, hi]; a nil bound
+// is unbounded on that side.
+func (idx *IndexData) LookupRange(lo, hi *catalog.Value) []int {
+	start := 0
+	if lo != nil {
+		start = sort.Search(len(idx.Entries), func(i int) bool {
+			return catalog.Compare(idx.Entries[i].Key[0], *lo) >= 0
+		})
+	}
+	var out []int
+	for i := start; i < len(idx.Entries); i++ {
+		if hi != nil && catalog.Compare(idx.Entries[i].Key[0], *hi) > 0 {
+			break
+		}
+		out = append(out, idx.Entries[i].RowID)
+	}
+	return out
+}
+
+// Len returns the number of entries in the index.
+func (idx *IndexData) Len() int { return len(idx.Entries) }
+
+// Value returns the value of the named column in the row of the given table
+// definition, or NULL when absent.
+func Value(def *catalog.Table, row Row, column string) catalog.Value {
+	i := def.ColumnIndex(column)
+	if i < 0 || i >= len(row) {
+		return catalog.Null()
+	}
+	return row[i]
+}
+
+// DistinctCount counts the number of distinct non-null values of a column.
+func (db *Database) DistinctCount(table, column string) int {
+	t := db.tables[strings.ToUpper(table)]
+	if t == nil {
+		return 0
+	}
+	ci := t.Def.ColumnIndex(column)
+	if ci < 0 {
+		return 0
+	}
+	seen := make(map[string]struct{})
+	for _, r := range t.Rows {
+		if r[ci].IsNull() {
+			continue
+		}
+		seen[r[ci].Key()] = struct{}{}
+	}
+	return len(seen)
+}
+
+// CountWhereEqual counts rows where column = v (used by the learning engine's
+// predicate-range sampler and by tests).
+func (db *Database) CountWhereEqual(table, column string, v catalog.Value) int {
+	t := db.tables[strings.ToUpper(table)]
+	if t == nil {
+		return 0
+	}
+	ci := t.Def.ColumnIndex(column)
+	if ci < 0 {
+		return 0
+	}
+	n := 0
+	for _, r := range t.Rows {
+		if catalog.Equal(r[ci], v) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,242 @@
+package tpcds
+
+import (
+	"fmt"
+	"strings"
+
+	"galo/internal/sqlparser"
+)
+
+// Queries returns the 99-query TPC-DS-like workload. The queries are
+// generated deterministically from templates that mirror the join shapes of
+// the benchmark (star joins of a fact table with its dimensions, snowflake
+// chains through customer, multi-fact joins through shared dimensions, and a
+// tail of very wide queries — the paper reports TPC-DS join counts from 1 to
+// 31 tables).
+func Queries() []*sqlparser.Query {
+	var out []*sqlparser.Query
+	add := func(sql string) {
+		q := sqlparser.MustParse(sql)
+		q.Name = fmt.Sprintf("TPCDS.Q%02d", len(out)+1)
+		out = append(out, q)
+	}
+
+	cat := func(i int) string { return Categories[i%len(Categories)] }
+	state := func(i int) string { return States[i%len(States)] }
+
+	// --- 0/1-join queries (8) ------------------------------------------------
+	for i := 0; i < 4; i++ {
+		add(fmt.Sprintf(`SELECT i_item_id, i_item_desc, i_current_price FROM item
+			WHERE i_category = '%s' AND i_current_price > %d`, cat(i), 5+i*20))
+	}
+	for i := 0; i < 2; i++ {
+		add(fmt.Sprintf(`SELECT ws_quantity, ws_sales_price, i_item_desc
+			FROM web_sales, item WHERE ws_item_sk = i_item_sk AND i_category = '%s'`, cat(i+2)))
+	}
+	for i := 0; i < 2; i++ {
+		add(fmt.Sprintf(`SELECT ss_quantity, ss_sales_price FROM store_sales, date_dim
+			WHERE ss_sold_date_sk = d_date_sk AND d_year >= %d`, 1990+i*3))
+	}
+
+	// --- 2-join queries (12) --------------------------------------------------
+	for i := 0; i < 6; i++ {
+		// The Figure 3 query shape: web_sales x item x date_dim.
+		add(fmt.Sprintf(`SELECT i_item_desc, i_category, i_class, i_current_price
+			FROM web_sales, item, date_dim
+			WHERE ws_item_sk = i_item_sk AND i_category = '%s'
+			AND ws_sold_date_sk = d_date_sk AND d_year >= %d`, cat(i), 1988+i*2))
+	}
+	for i := 0; i < 6; i++ {
+		// The Figure 8 query shape: store_sales x date_dim over a date range
+		// far wider than where sales exist, then joined with item.
+		add(fmt.Sprintf(`SELECT i_item_desc, ss_quantity, ss_sales_price
+			FROM store_sales, date_dim, item
+			WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk
+			AND d_year >= %d AND i_category = '%s'`, 1990+i, cat(i+3)))
+	}
+
+	// --- 3-4 join queries (20) ------------------------------------------------
+	for i := 0; i < 7; i++ {
+		// The Figure 4 query shape: customer_address, catalog_sales (twice,
+		// via a self join on the item key), date_dim.
+		add(fmt.Sprintf(`SELECT CS1.cs_quantity, CS2.cs_sales_price, CA.ca_state
+			FROM customer_address CA, catalog_sales CS1, date_dim D, catalog_sales CS2
+			WHERE CS1.cs_bill_addr_sk = CA.ca_address_sk
+			AND CS2.cs_item_sk = CS1.cs_item_sk
+			AND CS2.cs_sold_date_sk = D.d_date_sk
+			AND D.d_year >= %d AND CA.ca_state = '%s'`, 1992+i, state(i)))
+	}
+	for i := 0; i < 7; i++ {
+		// The Figure 7 query shape: store_sales with customer demographics,
+		// store and customer_address.
+		add(fmt.Sprintf(`SELECT ss_quantity, cd_purchase_estimate, s_store_name
+			FROM customer_address, customer_demographics, store, store_sales
+			WHERE ss_addr_sk = ca_address_sk AND ss_cdemo_sk = cd_demo_sk
+			AND ss_store_sk = s_store_sk
+			AND cd_education_status = '%s' AND ca_state = '%s'`,
+			[]string{"College", "4 yr Degree", "Advanced Degree", "Secondary", "Primary", "2 yr Degree", "College"}[i], state(i+1)))
+	}
+	for i := 0; i < 6; i++ {
+		add(fmt.Sprintf(`SELECT i_item_desc, d_year, ss_net_profit, s_store_name
+			FROM store_sales, item, date_dim, store
+			WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk AND ss_store_sk = s_store_sk
+			AND i_category = '%s' AND d_moy = %d`, cat(i+1), i+3))
+	}
+
+	// --- 5-6 join snowflake queries (30) ---------------------------------------
+	for i := 0; i < 15; i++ {
+		add(fmt.Sprintf(`SELECT i_item_desc, c_last_name, ca_state, ss_sales_price
+			FROM store_sales, item, date_dim, customer, customer_address
+			WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk
+			AND ss_customer_sk = c_customer_sk AND c_current_addr_sk = ca_address_sk
+			AND i_category = '%s' AND ca_state = '%s' AND d_year >= %d`,
+			cat(i), state(i), 1990+i%8))
+	}
+	for i := 0; i < 15; i++ {
+		add(fmt.Sprintf(`SELECT i_item_desc, c_last_name, cd_education_status, cs_sales_price
+			FROM catalog_sales, item, date_dim, customer, customer_demographics, customer_address
+			WHERE cs_item_sk = i_item_sk AND cs_sold_date_sk = d_date_sk
+			AND cs_bill_customer_sk = c_customer_sk AND c_current_cdemo_sk = cd_demo_sk
+			AND c_current_addr_sk = ca_address_sk
+			AND i_category = '%s' AND cd_gender = '%s' AND ca_state = '%s'`,
+			cat(i+2), []string{"M", "F"}[i%2], state(i+3)))
+	}
+
+	// --- multi-fact queries (20) -----------------------------------------------
+	for i := 0; i < 10; i++ {
+		add(fmt.Sprintf(`SELECT I.i_item_desc, SS.ss_quantity, WS.ws_quantity
+			FROM store_sales SS, web_sales WS, item I, date_dim D1, date_dim D2
+			WHERE SS.ss_item_sk = I.i_item_sk AND WS.ws_item_sk = I.i_item_sk
+			AND SS.ss_sold_date_sk = D1.d_date_sk AND WS.ws_sold_date_sk = D2.d_date_sk
+			AND I.i_category = '%s' AND D1.d_year >= %d`, cat(i), 1991+i%6))
+	}
+	for i := 0; i < 10; i++ {
+		add(fmt.Sprintf(`SELECT I.i_item_desc, CS.cs_quantity, SS.ss_quantity, CA.ca_state
+			FROM catalog_sales CS, store_sales SS, item I, date_dim D1, customer C, customer_address CA
+			WHERE CS.cs_item_sk = I.i_item_sk AND SS.ss_item_sk = I.i_item_sk
+			AND CS.cs_sold_date_sk = D1.d_date_sk
+			AND SS.ss_customer_sk = C.c_customer_sk AND C.c_current_addr_sk = CA.ca_address_sk
+			AND I.i_category = '%s' AND CA.ca_state = '%s'`, cat(i+4), state(i)))
+	}
+
+	// --- very wide queries (9): up to ~32 table references ---------------------
+	for _, n := range []int{9, 12, 15, 17, 20, 23, 26, 29, 32} {
+		q := WideQuery(n)
+		q.Name = fmt.Sprintf("TPCDS.Q%02d", len(out)+1)
+		out = append(out, q)
+	}
+
+	return out
+}
+
+// WideQuery builds a query with exactly n table references by chaining fact
+// tables through a shared ITEM dimension, each fact bringing its own
+// date/customer/address dimensions. It reproduces the very wide joins the
+// paper reports for TPC-DS (up to 31 tables joined).
+func WideQuery(n int) *sqlparser.Query {
+	if n < 2 {
+		n = 2
+	}
+	facts := []struct {
+		table, item, date, cust string
+	}{
+		{StoreSales, "ss_item_sk", "ss_sold_date_sk", "ss_customer_sk"},
+		{WebSales, "ws_item_sk", "ws_sold_date_sk", "ws_bill_customer_sk"},
+		{CatalogSales, "cs_item_sk", "cs_sold_date_sk", "cs_bill_customer_sk"},
+	}
+	type ref struct{ table, alias string }
+	refs := []ref{{Item, "I0"}}
+	var preds []string
+	var selects []string
+	selects = append(selects, "I0.i_item_desc")
+	preds = append(preds, "I0.i_category = 'Music'")
+
+	block := 0
+	for len(refs) < n {
+		f := facts[block%len(facts)]
+		fa := fmt.Sprintf("F%d", block+1)
+		refs = append(refs, ref{f.table, fa})
+		preds = append(preds, fmt.Sprintf("%s.%s = I0.i_item_sk", fa, f.item))
+		selects = append(selects, fmt.Sprintf("%s.%s", fa, f.item))
+		if len(refs) < n {
+			da := fmt.Sprintf("D%d", block+1)
+			refs = append(refs, ref{DateDim, da})
+			preds = append(preds, fmt.Sprintf("%s.%s = %s.d_date_sk", fa, f.date, da))
+			if block == 0 {
+				preds = append(preds, fmt.Sprintf("%s.d_year >= 1990", da))
+			}
+		}
+		if len(refs) < n {
+			ca := fmt.Sprintf("C%d", block+1)
+			refs = append(refs, ref{Customer, ca})
+			preds = append(preds, fmt.Sprintf("%s.%s = %s.c_customer_sk", fa, f.cust, ca))
+		}
+		if len(refs) < n {
+			aa := fmt.Sprintf("A%d", block+1)
+			refs = append(refs, ref{CustomerAddress, aa})
+			preds = append(preds, fmt.Sprintf("C%d.c_current_addr_sk = %s.ca_address_sk", block+1, aa))
+		}
+		block++
+	}
+
+	fromParts := make([]string, len(refs))
+	for i, r := range refs {
+		fromParts[i] = r.table + " " + r.alias
+	}
+	sql := fmt.Sprintf("SELECT %s FROM %s WHERE %s",
+		strings.Join(selects, ", "),
+		strings.Join(fromParts, ", "),
+		strings.Join(preds, " AND "))
+	q := sqlparser.MustParse(sql)
+	q.Name = fmt.Sprintf("TPCDS.WIDE%02d", n)
+	return q
+}
+
+// Figure-specific queries used by the experiments and examples. Each
+// reproduces the join shape of the corresponding figure in the paper.
+
+// Fig3Query is the sample query of Figure 3a (web_sales x item x date_dim).
+func Fig3Query() *sqlparser.Query {
+	q := sqlparser.MustParse(`SELECT i_item_desc, i_category, i_class, i_current_price
+		FROM web_sales, item, date_dim
+		WHERE ws_item_sk = i_item_sk AND i_category = 'Jewelry'
+		AND ws_sold_date_sk = d_date_sk AND d_year >= 1995`)
+	q.Name = "TPCDS.FIG3"
+	return q
+}
+
+// Fig4Query reproduces the hash-join bloom-filter problem pattern of Figure 4
+// (customer_address Q1, catalog_sales Q2, date_dim Q3, catalog_sales Q4).
+func Fig4Query() *sqlparser.Query {
+	q := sqlparser.MustParse(`SELECT CS1.cs_quantity, CS2.cs_sales_price, CA.ca_state
+		FROM customer_address CA, catalog_sales CS1, date_dim D, catalog_sales CS2
+		WHERE CS1.cs_bill_addr_sk = CA.ca_address_sk
+		AND CS2.cs_item_sk = CS1.cs_item_sk
+		AND CS2.cs_sold_date_sk = D.d_date_sk
+		AND D.d_year >= 1994 AND CA.ca_state = 'CA'`)
+	q.Name = "TPCDS.FIG4"
+	return q
+}
+
+// Fig7Query reproduces the transfer-rate problem pattern of Figure 7
+// (store_sales with customer_demographics, store and customer_address).
+func Fig7Query() *sqlparser.Query {
+	q := sqlparser.MustParse(`SELECT ss_quantity, cd_purchase_estimate, s_store_name
+		FROM customer_address, customer_demographics, store, store_sales
+		WHERE ss_addr_sk = ca_address_sk AND ss_cdemo_sk = cd_demo_sk
+		AND ss_store_sk = s_store_sk
+		AND cd_education_status = 'College' AND ca_state = 'CA'`)
+	q.Name = "TPCDS.FIG7"
+	return q
+}
+
+// Fig8Query reproduces the sorting / merge-join early-out pattern of Figure 8
+// (store_sales x date_dim over a wide date range, joined with item).
+func Fig8Query() *sqlparser.Query {
+	q := sqlparser.MustParse(`SELECT i_item_desc, ss_quantity, ss_sales_price
+		FROM store_sales, date_dim, item
+		WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk
+		AND d_year >= 1990 AND i_category = 'Jewelry'`)
+	q.Name = "TPCDS.FIG8"
+	return q
+}

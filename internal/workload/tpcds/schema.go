@@ -1,0 +1,172 @@
+// Package tpcds provides the synthetic TPC-DS-like workload used by the
+// paper's evaluation: a star/snowflake schema, a deterministic data generator
+// with the skew and correlation that defeat a cost-based optimizer's
+// independence and uniformity assumptions, and a 99-query workload.
+//
+// The real benchmark's 1 GB dsdgen data and 99 official queries are not
+// available offline; this package generates a scaled-down equivalent whose
+// join shapes match the paper's problem patterns (Figures 4 and 8).
+package tpcds
+
+import "galo/internal/catalog"
+
+// Table names.
+const (
+	StoreSales           = "STORE_SALES"
+	CatalogSales         = "CATALOG_SALES"
+	WebSales             = "WEB_SALES"
+	Item                 = "ITEM"
+	DateDim              = "DATE_DIM"
+	Customer             = "CUSTOMER"
+	CustomerAddress      = "CUSTOMER_ADDRESS"
+	CustomerDemographics = "CUSTOMER_DEMOGRAPHICS"
+	Store                = "STORE"
+	Promotion            = "PROMOTION"
+)
+
+// Schema returns the TPC-DS-like schema with its indexes. Cluster ratios are
+// chosen so that fact-table date indexes are poorly clustered — the source of
+// the paper's Figure 4 random-I/O flooding pattern — while surrogate-key
+// indexes on dimensions are well clustered.
+func Schema() *catalog.Schema {
+	s := catalog.NewSchema("TPCDS")
+
+	item := catalog.NewTable(Item,
+		catalog.Column{Name: "i_item_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "i_item_id", Type: catalog.KindString},
+		catalog.Column{Name: "i_item_desc", Type: catalog.KindString},
+		catalog.Column{Name: "i_category", Type: catalog.KindString},
+		catalog.Column{Name: "i_class", Type: catalog.KindString},
+		catalog.Column{Name: "i_brand", Type: catalog.KindString},
+		catalog.Column{Name: "i_current_price", Type: catalog.KindFloat},
+		catalog.Column{Name: "i_wholesale_cost", Type: catalog.KindFloat},
+	)
+	item.PrimaryKey = []string{"I_ITEM_SK"}
+	mustIndex(item, catalog.Index{Name: "I_ITEM_SK_IDX", Columns: []string{"i_item_sk"}, Unique: true, ClusterRatio: 0.97})
+	mustIndex(item, catalog.Index{Name: "I_CATEGORY_IDX", Columns: []string{"i_category"}, ClusterRatio: 0.35})
+	s.AddTable(item)
+
+	dateDim := catalog.NewTable(DateDim,
+		catalog.Column{Name: "d_date_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "d_date", Type: catalog.KindDate},
+		catalog.Column{Name: "d_year", Type: catalog.KindInt},
+		catalog.Column{Name: "d_moy", Type: catalog.KindInt},
+		catalog.Column{Name: "d_dom", Type: catalog.KindInt},
+		catalog.Column{Name: "d_day_name", Type: catalog.KindString},
+	)
+	dateDim.PrimaryKey = []string{"D_DATE_SK"}
+	mustIndex(dateDim, catalog.Index{Name: "D_DATE_SK", Columns: []string{"d_date_sk"}, Unique: true, ClusterRatio: 0.99})
+	mustIndex(dateDim, catalog.Index{Name: "D_DATE_IDX", Columns: []string{"d_date"}, ClusterRatio: 0.99})
+	s.AddTable(dateDim)
+
+	storeSales := catalog.NewTable(StoreSales,
+		catalog.Column{Name: "ss_sold_date_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "ss_item_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "ss_customer_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "ss_cdemo_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "ss_addr_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "ss_store_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "ss_quantity", Type: catalog.KindInt},
+		catalog.Column{Name: "ss_sales_price", Type: catalog.KindFloat},
+		catalog.Column{Name: "ss_net_profit", Type: catalog.KindFloat},
+	)
+	mustIndex(storeSales, catalog.Index{Name: "SS_SOLD_DATE_IDX", Columns: []string{"ss_sold_date_sk"}, ClusterRatio: 0.20})
+	mustIndex(storeSales, catalog.Index{Name: "SS_ITEM_IDX", Columns: []string{"ss_item_sk"}, ClusterRatio: 0.25})
+	mustIndex(storeSales, catalog.Index{Name: "SS_CUSTOMER_IDX", Columns: []string{"ss_customer_sk"}, ClusterRatio: 0.15})
+	s.AddTable(storeSales)
+
+	catalogSales := catalog.NewTable(CatalogSales,
+		catalog.Column{Name: "cs_sold_date_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "cs_item_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "cs_bill_customer_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "cs_bill_addr_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "cs_bill_cdemo_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "cs_quantity", Type: catalog.KindInt},
+		catalog.Column{Name: "cs_sales_price", Type: catalog.KindFloat},
+	)
+	mustIndex(catalogSales, catalog.Index{Name: "CS_SOLD_DATE_IDX", Columns: []string{"cs_sold_date_sk"}, ClusterRatio: 0.12})
+	mustIndex(catalogSales, catalog.Index{Name: "CS_ITEM_IDX", Columns: []string{"cs_item_sk"}, ClusterRatio: 0.22})
+	mustIndex(catalogSales, catalog.Index{Name: "CS_BILL_ADDR_IDX", Columns: []string{"cs_bill_addr_sk"}, ClusterRatio: 0.10})
+	s.AddTable(catalogSales)
+
+	webSales := catalog.NewTable(WebSales,
+		catalog.Column{Name: "ws_sold_date_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "ws_item_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "ws_bill_customer_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "ws_quantity", Type: catalog.KindInt},
+		catalog.Column{Name: "ws_sales_price", Type: catalog.KindFloat},
+	)
+	mustIndex(webSales, catalog.Index{Name: "WS_SOLD_DATE_IDX", Columns: []string{"ws_sold_date_sk"}, ClusterRatio: 0.18})
+	mustIndex(webSales, catalog.Index{Name: "WS_ITEM_IDX", Columns: []string{"ws_item_sk"}, ClusterRatio: 0.3})
+	s.AddTable(webSales)
+
+	customer := catalog.NewTable(Customer,
+		catalog.Column{Name: "c_customer_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "c_current_addr_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "c_current_cdemo_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "c_first_name", Type: catalog.KindString},
+		catalog.Column{Name: "c_last_name", Type: catalog.KindString},
+		catalog.Column{Name: "c_birth_year", Type: catalog.KindInt},
+	)
+	customer.PrimaryKey = []string{"C_CUSTOMER_SK"}
+	mustIndex(customer, catalog.Index{Name: "C_CUSTOMER_SK_IDX", Columns: []string{"c_customer_sk"}, Unique: true, ClusterRatio: 0.96})
+	s.AddTable(customer)
+
+	address := catalog.NewTable(CustomerAddress,
+		catalog.Column{Name: "ca_address_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "ca_state", Type: catalog.KindString},
+		catalog.Column{Name: "ca_city", Type: catalog.KindString},
+		catalog.Column{Name: "ca_country", Type: catalog.KindString},
+		catalog.Column{Name: "ca_gmt_offset", Type: catalog.KindInt},
+	)
+	address.PrimaryKey = []string{"CA_ADDRESS_SK"}
+	mustIndex(address, catalog.Index{Name: "CA_ADDRESS_SK_IDX", Columns: []string{"ca_address_sk"}, Unique: true, ClusterRatio: 0.95})
+	mustIndex(address, catalog.Index{Name: "CA_STATE_IDX", Columns: []string{"ca_state"}, ClusterRatio: 0.3})
+	s.AddTable(address)
+
+	demo := catalog.NewTable(CustomerDemographics,
+		catalog.Column{Name: "cd_demo_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "cd_gender", Type: catalog.KindString},
+		catalog.Column{Name: "cd_marital_status", Type: catalog.KindString},
+		catalog.Column{Name: "cd_education_status", Type: catalog.KindString},
+		catalog.Column{Name: "cd_purchase_estimate", Type: catalog.KindInt},
+	)
+	demo.PrimaryKey = []string{"CD_DEMO_SK"}
+	mustIndex(demo, catalog.Index{Name: "CD_DEMO_SK_IDX", Columns: []string{"cd_demo_sk"}, Unique: true, ClusterRatio: 0.94})
+	s.AddTable(demo)
+
+	store := catalog.NewTable(Store,
+		catalog.Column{Name: "s_store_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "s_store_name", Type: catalog.KindString},
+		catalog.Column{Name: "s_state", Type: catalog.KindString},
+		catalog.Column{Name: "s_floor_space", Type: catalog.KindInt},
+	)
+	store.PrimaryKey = []string{"S_STORE_SK"}
+	mustIndex(store, catalog.Index{Name: "S_STORE_SK_IDX", Columns: []string{"s_store_sk"}, Unique: true, ClusterRatio: 0.99})
+	s.AddTable(store)
+
+	promo := catalog.NewTable(Promotion,
+		catalog.Column{Name: "p_promo_sk", Type: catalog.KindInt},
+		catalog.Column{Name: "p_channel_email", Type: catalog.KindString},
+		catalog.Column{Name: "p_channel_tv", Type: catalog.KindString},
+		catalog.Column{Name: "p_cost", Type: catalog.KindFloat},
+	)
+	promo.PrimaryKey = []string{"P_PROMO_SK"}
+	mustIndex(promo, catalog.Index{Name: "P_PROMO_SK_IDX", Columns: []string{"p_promo_sk"}, Unique: true, ClusterRatio: 0.99})
+	s.AddTable(promo)
+
+	return s
+}
+
+func mustIndex(t *catalog.Table, idx catalog.Index) {
+	if err := t.AddIndex(idx); err != nil {
+		panic(err)
+	}
+}
+
+// Categories are the item categories used by the generator; "Jewelry" and
+// "Music" appear in the paper's running examples.
+var Categories = []string{"Jewelry", "Music", "Books", "Sports", "Home", "Electronics", "Shoes", "Women", "Men", "Children"}
+
+// States used for customer addresses, skewed toward the first few.
+var States = []string{"CA", "TX", "NY", "FL", "WA", "IL", "GA", "OH", "MI", "NC"}
