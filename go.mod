@@ -1,0 +1,3 @@
+module galo
+
+go 1.24

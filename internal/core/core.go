@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sync"
 
 	"galo/internal/executor"
 	"galo/internal/fuseki"
@@ -44,6 +45,9 @@ type System struct {
 	DB     *storage.Database
 	KB     *kb.KB
 	Config Config
+
+	mu      sync.Mutex
+	matcher *matching.Engine
 }
 
 // NewSystem creates a GALO system over the database with an empty knowledge
@@ -66,10 +70,32 @@ func (s *System) endpoint() matching.Endpoint {
 	return fuseki.LocalEndpoint{Store: s.KB.Store()}
 }
 
+// matchingEngine returns the system's shared matching engine, so the
+// routinization cache persists across queries (the paper's Figure 12:
+// workload re-optimization gets cheaper as fragments repeat). The engine is
+// rebuilt when the knowledge base object is replaced.
+func (s *System) matchingEngine() *matching.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.matcher == nil {
+		s.matcher = matching.New(s.DB.Catalog, s.endpoint(), s.Config.Matching)
+	}
+	return s.matcher
+}
+
+// kbSnapshot reads the current knowledge base pointer under the same lock
+// LoadKB replaces it under, so callers racing a LoadKB see a consistent
+// (old or new) knowledge base rather than a torn read.
+func (s *System) kbSnapshot() *kb.KB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.KB
+}
+
 // Learn runs the offline learning workflow over the workload queries and
 // populates the knowledge base.
 func (s *System) Learn(queries []*sqlparser.Query) (*learning.Report, error) {
-	engine := learning.New(s.DB, s.KB, s.Config.Learning)
+	engine := learning.New(s.DB, s.kbSnapshot(), s.Config.Learning)
 	return engine.LearnWorkload(queries)
 }
 
@@ -84,8 +110,7 @@ func (s *System) Optimize(q *sqlparser.Query) (*qgm.Plan, error) {
 // Reoptimize runs the online workflow for one query: plan, match against the
 // knowledge base, and re-optimize with the matched guidelines.
 func (s *System) Reoptimize(q *sqlparser.Query) (*matching.Result, error) {
-	engine := matching.New(s.DB.Catalog, s.endpoint(), s.Config.Matching)
-	return engine.Reoptimize(q)
+	return s.matchingEngine().Reoptimize(q)
 }
 
 // Execute runs a plan and returns its result and runtime statistics.
@@ -99,8 +124,8 @@ type QueryOutcome struct {
 	Query string
 	// Matched reports whether any knowledge base pattern matched the plan;
 	// Applied reports whether the rewritten plan was kept after validation.
-	Matched bool
-	Applied bool
+	Matched        bool
+	Applied        bool
 	Rewrites       int
 	OriginalMillis float64
 	GaloMillis     float64
@@ -188,7 +213,7 @@ func (s *System) ReoptimizeWorkload(queries []*sqlparser.Query) ([]QueryOutcome,
 
 // SaveKB writes the knowledge base to a file in N-Triples format.
 func (s *System) SaveKB(path string) error {
-	return os.WriteFile(path, []byte(s.KB.NTriples()), 0o644)
+	return os.WriteFile(path, []byte(s.kbSnapshot().NTriples()), 0o644)
 }
 
 // LoadKB loads a knowledge base previously written with SaveKB, replacing the
@@ -202,20 +227,23 @@ func (s *System) LoadKB(path string) error {
 	if err := fresh.LoadNTriples(string(data)); err != nil {
 		return err
 	}
+	s.mu.Lock()
 	s.KB = fresh
+	s.matcher = nil // the engine (and its cache) points at the old store
+	s.mu.Unlock()
 	return nil
 }
 
 // ImportKB merges another system's knowledge base into this one (the
 // cross-workload knowledge sharing of Exp-2).
-func (s *System) ImportKB(other *kb.KB) error { return s.KB.Merge(other) }
+func (s *System) ImportKB(other *kb.KB) error { return s.kbSnapshot().Merge(other) }
 
 // ServeKB exposes the knowledge base as a Fuseki-style SPARQL endpoint on the
 // given address; it blocks until the server stops.
 func (s *System) ServeKB(addr string) error {
-	return http.ListenAndServe(addr, fuseki.NewServer(s.KB.Store()))
+	return http.ListenAndServe(addr, fuseki.NewServer(s.kbSnapshot().Store()))
 }
 
 // KBHandler returns the HTTP handler serving the knowledge base, for callers
 // that want to manage the listener themselves.
-func (s *System) KBHandler() http.Handler { return fuseki.NewServer(s.KB.Store()) }
+func (s *System) KBHandler() http.Handler { return fuseki.NewServer(s.kbSnapshot().Store()) }

@@ -101,12 +101,12 @@ func (c Config) clientDB() (*storage.Database, error) {
 
 // Exp1Row is one point of Figure 9 plus the Exp-1 aggregate numbers.
 type Exp1Row struct {
-	JoinThreshold     int
-	AvgMsPerQuery     float64
-	AvgMsPerSubQuery  float64
-	SubQueries        int
-	TemplatesLearned  int
-	AvgImprovement    float64
+	JoinThreshold    int
+	AvgMsPerQuery    float64
+	AvgMsPerSubQuery float64
+	SubQueries       int
+	TemplatesLearned int
+	AvgImprovement   float64
 }
 
 // RunExp1 measures learning time per query and per sub-query as the
@@ -146,10 +146,10 @@ func RunExp1(cfg Config, thresholds []int) ([]Exp1Row, error) {
 // Exp2Result holds the per-query outcomes for both workloads plus the
 // cross-workload reuse count.
 type Exp2Result struct {
-	TPCDS          []core.QueryOutcome
-	TPCDSSummary   core.WorkloadSummary
-	Client         []core.QueryOutcome
-	ClientSummary  core.WorkloadSummary
+	TPCDS         []core.QueryOutcome
+	TPCDSSummary  core.WorkloadSummary
+	Client        []core.QueryOutcome
+	ClientSummary core.WorkloadSummary
 	// TPCDSTemplates and ClientTemplates are the knowledge base sizes after
 	// learning each workload.
 	TPCDSTemplates  int
@@ -274,8 +274,8 @@ func RunExp3(cfg Config, widths []int) ([]Exp3Row, error) {
 		}
 		fragments := len(plan.EnumerateSubPlans(4))
 		per := 0.0
-		if fragments > 0 {
-			per = res.MatchMillis / float64(fragments)
+		if res.ProbeStats.Probes > 0 {
+			per = res.ProbeStats.TotalMillis / float64(res.ProbeStats.Probes)
 		}
 		rows = append(rows, Exp3Row{Tables: w, MatchMillisPerCall: per, Fragments: fragments})
 	}
@@ -377,6 +377,7 @@ func InflateKB(knowledge *kb.KB, n int, seed int64) error {
 			Bounds:         bounds,
 			GuidelineXML:   guidelineXML,
 			Improvement:    0.1 + rng.Float64()*0.5,
+			Structural:     true,
 			SourceWorkload: "synthetic",
 			SourceQuery:    fmt.Sprintf("SYN.%d", knowledge.Size()),
 		})
@@ -392,13 +393,13 @@ func InflateKB(knowledge *kb.KB, n int, seed int64) error {
 // Exp56Row compares manual and automatic problem determination for one
 // problem query.
 type Exp56Row struct {
-	Pattern            int
-	Query              string
-	ExpertMinutes      float64
-	GaloMinutes        float64
-	ExpertImprovement  float64
-	GaloImprovement    float64
-	ExpertFoundFix     bool
+	Pattern           int
+	Query             string
+	ExpertMinutes     float64
+	GaloMinutes       float64
+	ExpertImprovement float64
+	GaloImprovement   float64
+	ExpertFoundFix    bool
 }
 
 // RunExp56 runs the comparative study over the four problem queries of Exp-5
@@ -441,4 +442,3 @@ func RunExp56(cfg Config) ([]Exp56Row, error) {
 	}
 	return rows, nil
 }
-

@@ -8,6 +8,7 @@
 //	POST /data    — body is N-Triples to load into the store.
 //	GET  /data    — dumps the store as N-Triples.
 //	GET  /ping    — liveness check.
+//	GET  /version — the store's mutation counter, for cache invalidation.
 //
 // The client side turns a remote endpoint back into the same Select/Load
 // interface the local store offers, so the knowledge base can be consulted
@@ -40,6 +41,10 @@ func NewServer(store *rdf.Store) *Server {
 	s.mux.HandleFunc("/data", s.handleData)
 	s.mux.HandleFunc("/ping", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("/version", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]uint64{"version": s.Store.Version()})
 	})
 	return s
 }
@@ -200,6 +205,27 @@ func (c *Client) Load(ntriples string) error {
 	return nil
 }
 
+// KBVersion fetches the remote store's mutation counter (matching the
+// matching engine's VersionedEndpoint interface); ok is false when the
+// endpoint is unreachable or predates the /version route, which disables
+// probe-result caching rather than risking stale guidelines.
+func (c *Client) KBVersion() (uint64, bool) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/version")
+	if err != nil {
+		return 0, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, false
+	}
+	var doc map[string]uint64
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return 0, false
+	}
+	v, ok := doc["version"]
+	return v, ok
+}
+
 // Dump downloads the remote store as N-Triples.
 func (c *Client) Dump() (string, error) {
 	resp, err := c.HTTP.Get(c.BaseURL + "/data")
@@ -228,3 +254,8 @@ func (l LocalEndpoint) Select(queryText string) ([]sparql.Solution, error) {
 	}
 	return sparql.Execute(q, l.Store)
 }
+
+// KBVersion returns the local store's mutation counter (matching the
+// matching engine's VersionedEndpoint interface), enabling probe-result
+// caching with exact invalidation.
+func (l LocalEndpoint) KBVersion() (uint64, bool) { return l.Store.Version(), true }

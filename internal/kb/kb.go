@@ -56,6 +56,12 @@ type Template struct {
 	GuidelineXML string
 	// Improvement is the observed relative improvement (0.40 = 40% faster).
 	Improvement float64
+	// Structural reports whether the guideline's plan differs structurally
+	// from the problem fragment. Non-structural templates record wins the
+	// guideline language cannot express (e.g. index choice); they still
+	// routinize matching fragments but recommend no plan change, so a
+	// structural rewrite for the same problem always takes precedence.
+	Structural bool
 	// SourceQuery and SourceWorkload record provenance.
 	SourceQuery    string
 	SourceWorkload string
@@ -157,7 +163,11 @@ func (kb *KB) newID(sig string) string {
 	return fmt.Sprintf("t%016x", h.Sum64())
 }
 
-// mergeInto widens the existing template with a new observation.
+// mergeInto widens the existing template with a new observation. The
+// recommended rewrite is upgraded on a better improvement, except that a
+// structural rewrite is never displaced by a non-structural one — an
+// inexpressible (index-level) win must not overwrite an actual plan change,
+// however large its measured improvement.
 func (kb *KB) mergeInto(existing, incoming *Template) {
 	for id, r := range incoming.Bounds {
 		if cur, ok := existing.Bounds[id]; ok {
@@ -168,7 +178,12 @@ func (kb *KB) mergeInto(existing, incoming *Template) {
 			existing.Bounds[id] = r
 		}
 	}
-	if incoming.Improvement > existing.Improvement {
+	switch {
+	case incoming.Structural && !existing.Structural:
+		existing.Improvement = incoming.Improvement
+		existing.GuidelineXML = incoming.GuidelineXML
+		existing.Structural = true
+	case incoming.Structural == existing.Structural && incoming.Improvement > existing.Improvement:
 		existing.Improvement = incoming.Improvement
 		existing.GuidelineXML = incoming.GuidelineXML
 	}
@@ -179,13 +194,19 @@ func (kb *KB) mergeInto(existing, incoming *Template) {
 
 func (kb *KB) writeTemplate(t *Template) {
 	tmplIRI := transform.TemplateIRI(t.ID)
+	// Triples are collected and inserted in one batch so the store is locked
+	// once per template instead of once per triple.
+	var batch []rdf.Triple
 	add := func(s rdf.Term, prop string, o rdf.Term) {
-		kb.store.Add(rdf.Triple{S: s, P: transform.Prop(prop), O: o})
+		batch = append(batch, rdf.Triple{S: s, P: transform.Prop(prop), O: o})
 	}
 	add(tmplIRI, transform.PropGuideline, rdf.NewLiteral(t.GuidelineXML))
 	add(tmplIRI, transform.PropImprovement, rdf.NewNumericLiteral(t.Improvement))
 	add(tmplIRI, transform.PropSignature, rdf.NewLiteral(t.Signature()))
 	add(tmplIRI, transform.PropJoinCount, rdf.NewNumericLiteral(float64(t.Joins)))
+	if t.Structural {
+		add(tmplIRI, transform.PropStructural, rdf.NewLiteral("true"))
+	}
 	if t.SourceQuery != "" {
 		add(tmplIRI, transform.PropSourceQuery, rdf.NewLiteral(t.SourceQuery))
 	}
@@ -217,6 +238,7 @@ func (kb *KB) writeTemplate(t *Template) {
 			add(transform.KBPopIRI(t.ID, n.Inner.ID), transform.PropOutputStream, subj)
 		}
 	})
+	kb.store.AddAll(batch)
 }
 
 // rewriteTemplate removes the template's triples and writes them again

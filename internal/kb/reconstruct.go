@@ -33,6 +33,9 @@ func (kb *KB) reconstruct() error {
 		if v, ok := kb.store.FirstObject(tmplIRI, transform.Prop(transform.PropSourceWorkload)); ok {
 			t.SourceWorkload = v.Value
 		}
+		if v, ok := kb.store.FirstObject(tmplIRI, transform.Prop(transform.PropStructural)); ok && v.Value == "true" {
+			t.Structural = true
+		}
 		problem, bounds, err := kb.reconstructProblem(id, tmplIRI)
 		if err != nil {
 			return fmt.Errorf("kb: template %s: %w", id, err)

@@ -190,11 +190,23 @@ func PredicateVariants(db *storage.Database, q *sqlparser.Query, perPredicate in
 		return variants
 	}
 	for pi, p := range q.Where {
-		if p.Kind != sqlparser.PredCompare || p.Op != "=" {
+		if p.Kind != sqlparser.PredCompare {
 			continue
 		}
 		table := baseTableOf(q, p.Left.Table)
-		samples := sampleColumnValues(db, table, p.Left.Column, perPredicate, gen)
+		var samples []catalog.Value
+		switch p.Op {
+		case "=":
+			samples = sampleColumnValues(db, table, p.Left.Column, perPredicate, gen)
+		case ">", ">=", "<", "<=":
+			// Range predicates are varied across the column's value
+			// quantiles, so both wide ranges (the Figure 8 over-estimation
+			// hazard) and narrow ones contribute observations — that spread
+			// is what establishes a template's cardinality bounds.
+			samples = sampleColumnQuantiles(db, table, p.Left.Column, perPredicate)
+		default:
+			continue
+		}
 		for _, v := range samples {
 			if catalog.Equal(v, p.Value) {
 				continue
@@ -205,6 +217,45 @@ func PredicateVariants(db *storage.Database, q *sqlparser.Query, perPredicate in
 		}
 	}
 	return variants
+}
+
+// sampleColumnQuantiles returns n values spread across the column's sorted
+// distinct values (excluding the extremes when possible), for varying range
+// predicates.
+func sampleColumnQuantiles(db *storage.Database, table, column string, n int) []catalog.Value {
+	t := db.Table(table)
+	if t == nil || n <= 0 {
+		return nil
+	}
+	ci := t.Def.ColumnIndex(column)
+	if ci < 0 {
+		return nil
+	}
+	seen := map[string]catalog.Value{}
+	for _, row := range t.Rows {
+		v := row[ci]
+		if v.IsNull() {
+			continue
+		}
+		seen[v.Key()] = v
+	}
+	if len(seen) == 0 {
+		return nil
+	}
+	values := make([]catalog.Value, 0, len(seen))
+	for _, v := range seen {
+		values = append(values, v)
+	}
+	sort.Slice(values, func(i, j int) bool { return catalog.Compare(values[i], values[j]) < 0 })
+	out := make([]catalog.Value, 0, n)
+	for i := 1; i <= n; i++ {
+		pos := len(values) * i / (n + 1)
+		if pos >= len(values) {
+			pos = len(values) - 1
+		}
+		out = append(out, values[pos])
+	}
+	return out
 }
 
 func baseTableOf(q *sqlparser.Query, refName string) string {

@@ -1,0 +1,85 @@
+package matching
+
+import (
+	"container/list"
+	"sync"
+
+	"galo/internal/sparql"
+)
+
+// probeCache is a fixed-capacity LRU cache of knowledge base probe results,
+// keyed by the generated SPARQL query text. The query text is a complete
+// fingerprint of the probed fragment — its operator types, input-stream
+// structure and estimated cardinalities all feed the generated query — so two
+// fragments with equal query text are guaranteed to receive equal solutions
+// from an unchanged knowledge base. This is the paper's "routinization" fast
+// path (Figure 12): workloads re-submit the same plan fragments over and
+// over, and a repeated fragment should not pay full SPARQL evaluation again.
+//
+// Entries are tagged with the knowledge base version they were computed
+// against; a lookup with a different version drops the stale entry, so
+// knowledge base updates invalidate the cache without coordination. Negative
+// results (no matching template) are cached too — most probes miss, and the
+// miss is exactly what routinization must make cheap.
+type probeCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List
+	items map[string]*list.Element
+}
+
+type probeEntry struct {
+	key     string
+	version uint64
+	sols    []sparql.Solution
+}
+
+func newProbeCache(capacity int) *probeCache {
+	return &probeCache{cap: capacity, order: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the cached solutions for key at the given knowledge base
+// version. A version mismatch evicts the entry and reports a miss.
+func (c *probeCache) get(key string, version uint64) ([]sparql.Solution, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*probeEntry)
+	if ent.version != version {
+		c.order.Remove(el)
+		delete(c.items, key)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return ent.sols, true
+}
+
+// put stores the solutions for key at the given knowledge base version,
+// evicting the least recently used entry when the cache is full.
+func (c *probeCache) put(key string, version uint64, sols []sparql.Solution) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		ent := el.Value.(*probeEntry)
+		ent.version = version
+		ent.sols = sols
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&probeEntry{key: key, version: version, sols: sols})
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*probeEntry).key)
+	}
+}
+
+// size returns the number of cached entries.
+func (c *probeCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

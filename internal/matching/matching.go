@@ -10,7 +10,9 @@ package matching
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"galo/internal/catalog"
@@ -24,9 +26,22 @@ import (
 
 // Endpoint is anything that can answer SPARQL SELECT queries: the in-process
 // knowledge base (fuseki.LocalEndpoint) or a remote Fuseki-style server
-// (fuseki.Client).
+// (fuseki.Client). Implementations must be safe for concurrent use — the
+// engine fans per-fragment probes out across a worker pool.
 type Endpoint interface {
 	Select(query string) ([]sparql.Solution, error)
+}
+
+// VersionedEndpoint is an Endpoint that can report a version counter for the
+// knowledge base contents it serves. Probe results are cached only for
+// versioned endpoints, so that knowledge base updates invalidate the cache
+// instead of serving stale guidelines.
+type VersionedEndpoint interface {
+	Endpoint
+	// KBVersion returns the current knowledge base version; ok is false when
+	// the version is momentarily unavailable (e.g. a remote endpoint that
+	// cannot be reached), which disables caching for that probe.
+	KBVersion() (version uint64, ok bool)
 }
 
 // Options configures the matching engine.
@@ -37,6 +52,15 @@ type Options struct {
 	// OptimizerOptions configures the optimizer used for the initial plan and
 	// the re-optimization pass.
 	OptimizerOptions optimizer.Options
+	// ProbeWorkers bounds the worker pool that probes the knowledge base for
+	// a plan's fragments in parallel; 0 means GOMAXPROCS, 1 disables
+	// parallelism.
+	ProbeWorkers int
+	// ProbeCacheSize is the capacity of the fragment-fingerprint → probe
+	// result LRU cache (the paper's routinization fast path, Figure 12).
+	// 0 means the default of 4096 entries; a negative value disables the
+	// cache. The cache is only active for VersionedEndpoints.
+	ProbeCacheSize int
 }
 
 // DefaultOptions returns the configuration used in the experiments.
@@ -44,11 +68,12 @@ func DefaultOptions() Options {
 	return Options{MaxJoins: 4, OptimizerOptions: optimizer.DefaultOptions()}
 }
 
-// Engine is the online matching engine.
+// Engine is the online matching engine. It is safe for concurrent use.
 type Engine struct {
 	Cat      *catalog.Catalog
 	Endpoint Endpoint
 	Opts     Options
+	cache    *probeCache
 }
 
 // New returns a matching engine over the catalog and knowledge base endpoint.
@@ -56,7 +81,55 @@ func New(cat *catalog.Catalog, endpoint Endpoint, opts Options) *Engine {
 	if opts.MaxJoins <= 0 {
 		opts.MaxJoins = 4
 	}
-	return &Engine{Cat: cat, Endpoint: endpoint, Opts: opts}
+	cacheSize := opts.ProbeCacheSize
+	if cacheSize == 0 {
+		cacheSize = 4096
+	}
+	e := &Engine{Cat: cat, Endpoint: endpoint, Opts: opts}
+	if _, versioned := endpoint.(VersionedEndpoint); versioned && cacheSize > 0 {
+		e.cache = newProbeCache(cacheSize)
+	}
+	return e
+}
+
+// CachedProbes returns how many probe results are currently cached (0 when
+// caching is disabled).
+func (e *Engine) CachedProbes() int {
+	if e.cache == nil {
+		return 0
+	}
+	return e.cache.size()
+}
+
+// kbVersion resolves the endpoint's knowledge base version when caching is
+// active; callers fetch it once per plan so remote endpoints pay one
+// round-trip per MatchPlan, not one per fragment.
+func (e *Engine) kbVersion() (uint64, bool) {
+	if e.cache == nil {
+		return 0, false
+	}
+	return e.Endpoint.(VersionedEndpoint).KBVersion()
+}
+
+// probe answers one knowledge base query, through the routinization cache
+// when it is active and a version was resolved. Tagging a whole plan's
+// probes with the version fetched at plan start is conservative: if the
+// knowledge base changes mid-plan, the entries are tagged with the older
+// version and evicted on their next lookup.
+func (e *Engine) probe(queryText string, version uint64, versionOK bool) (sols []sparql.Solution, cached bool, err error) {
+	if e.cache != nil && versionOK {
+		if sols, hit := e.cache.get(queryText, version); hit {
+			return sols, true, nil
+		}
+		sols, err := e.Endpoint.Select(queryText)
+		if err != nil {
+			return nil, false, err
+		}
+		e.cache.put(queryText, version, sols)
+		return sols, false, nil
+	}
+	sols, err = e.Endpoint.Select(queryText)
+	return sols, false, err
 }
 
 // Match is one problem pattern found in a plan.
@@ -77,42 +150,107 @@ type Match struct {
 	// MatchMillis is the wall-clock time spent matching this fragment
 	// against the knowledge base (the quantity reported in Exp-3).
 	MatchMillis float64
+	// CacheHit reports whether the probe was answered from the
+	// routinization cache instead of a full SPARQL evaluation.
+	CacheHit bool
+}
+
+// ProbeStats aggregates the knowledge base probes issued while matching one
+// plan.
+type ProbeStats struct {
+	// Probes is the number of fragments probed against the knowledge base.
+	Probes int
+	// CacheHits is how many probes were answered from the routinization
+	// cache.
+	CacheHits int
+	// TotalMillis is the summed wall-clock time of every probe, matched or
+	// not (the quantity behind Figure 11 / Exp-3).
+	TotalMillis float64
 }
 
 // MatchPlan probes the knowledge base for every sub-plan of the plan and
-// returns the matches found. Fragments are tried from the largest (most
+// returns the matches found.
+func (e *Engine) MatchPlan(plan *qgm.Plan) ([]Match, error) {
+	matches, _, err := e.MatchPlanStats(plan)
+	return matches, err
+}
+
+// MatchPlanStats is MatchPlan plus probe statistics. Probes fan out across a
+// bounded worker pool (Options.ProbeWorkers); selection then runs over the
+// results in deterministic order: fragments are tried from the largest (most
 // context) down to single joins, and fragments overlapping an already-matched
 // fragment are skipped, so each part of the plan is rewritten by at most one
 // template.
-func (e *Engine) MatchPlan(plan *qgm.Plan) ([]Match, error) {
+func (e *Engine) MatchPlanStats(plan *qgm.Plan) ([]Match, ProbeStats, error) {
+	var stats ProbeStats
 	if plan == nil || plan.Root == nil {
-		return nil, fmt.Errorf("matching: empty plan")
+		return nil, stats, fmt.Errorf("matching: empty plan")
 	}
 	fragments := plan.EnumerateSubPlans(e.Opts.MaxJoins)
 	// Largest fragments first.
 	for i, j := 0, len(fragments)-1; i < j; i, j = i+1, j-1 {
 		fragments[i], fragments[j] = fragments[j], fragments[i]
 	}
+	type outcome struct {
+		m   Match
+		ok  bool
+		err error
+	}
+	outcomes := make([]outcome, len(fragments))
+	version, versionOK := e.kbVersion()
+	workers := e.Opts.ProbeWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(fragments) {
+		workers = len(fragments)
+	}
+	if workers <= 1 {
+		for i, frag := range fragments {
+			m, ok, err := e.matchFragment(frag.Root, version, versionOK)
+			outcomes[i] = outcome{m, ok, err}
+		}
+	} else {
+		var wg sync.WaitGroup
+		jobs := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range jobs {
+					m, ok, err := e.matchFragment(fragments[i].Root, version, versionOK)
+					outcomes[i] = outcome{m, ok, err}
+				}
+			}()
+		}
+		for i := range fragments {
+			jobs <- i
+		}
+		close(jobs)
+		wg.Wait()
+	}
 	var matches []Match
 	claimed := map[string]bool{}
-	for _, frag := range fragments {
-		if overlapsClaimed(frag.Root, claimed) {
+	for i, frag := range fragments {
+		if outcomes[i].err != nil {
+			return nil, stats, outcomes[i].err
+		}
+		stats.Probes++
+		stats.TotalMillis += outcomes[i].m.MatchMillis
+		if outcomes[i].m.CacheHit {
+			stats.CacheHits++
+		}
+		if !outcomes[i].ok || overlapsClaimed(frag.Root, claimed) {
 			continue
 		}
-		m, ok, err := e.matchFragment(frag.Root)
-		if err != nil {
-			return nil, err
-		}
-		if !ok {
-			continue
-		}
+		m := outcomes[i].m
 		m.FragmentJoins = frag.Joins
 		matches = append(matches, m)
 		for inst := range frag.Root.TableInstances() {
 			claimed[inst] = true
 		}
 	}
-	return matches, nil
+	return matches, stats, nil
 }
 
 func overlapsClaimed(frag *qgm.Node, claimed map[string]bool) bool {
@@ -127,19 +265,19 @@ func overlapsClaimed(frag *qgm.Node, claimed map[string]bool) bool {
 // matchFragment matches one sub-plan against the knowledge base and, when a
 // template matches, maps its guideline back to the incoming plan's table
 // instances.
-func (e *Engine) matchFragment(frag *qgm.Node) (Match, bool, error) {
+func (e *Engine) matchFragment(frag *qgm.Node, version uint64, versionOK bool) (Match, bool, error) {
 	start := time.Now()
 	queryText, info, err := transform.FragmentMatchQuery(frag)
 	if err != nil {
 		return Match{}, false, err
 	}
-	sols, err := e.Endpoint.Select(queryText)
+	sols, cached, err := e.probe(queryText, version, versionOK)
 	if err != nil {
 		return Match{}, false, fmt.Errorf("matching: knowledge base query failed: %w", err)
 	}
 	elapsed := float64(time.Since(start).Microseconds()) / 1000
 	if len(sols) == 0 {
-		return Match{MatchMillis: elapsed}, false, nil
+		return Match{MatchMillis: elapsed, CacheHit: cached}, false, nil
 	}
 	best, improvement := pickBestSolution(sols, info)
 	guidelineXML := best[info.GuidelineVar].Value
@@ -156,7 +294,7 @@ func (e *Engine) matchFragment(frag *qgm.Node) (Match, bool, error) {
 	}
 	g := doc.Guidelines[0]
 	if !rebindGuideline(g, canonicalToInstance) {
-		return Match{MatchMillis: elapsed}, false, nil
+		return Match{MatchMillis: elapsed, CacheHit: cached}, false, nil
 	}
 	m := Match{
 		FragmentRootID: frag.ID,
@@ -164,6 +302,7 @@ func (e *Engine) matchFragment(frag *qgm.Node) (Match, bool, error) {
 		Improvement:    improvement,
 		Guideline:      g,
 		MatchMillis:    elapsed,
+		CacheHit:       cached,
 	}
 	return m, true, nil
 }
@@ -224,8 +363,12 @@ type Result struct {
 	Matches         []Match
 	Guidelines      *guideline.Document
 	Report          *optimizer.Report
-	// MatchMillis is the total time spent querying the knowledge base.
+	// MatchMillis is the time spent querying the knowledge base for the
+	// fragments that matched (the per-rewrite quantity of Exp-3 / Figure 11).
 	MatchMillis float64
+	// ProbeStats covers every probe issued, matched or not, including the
+	// routinization cache's hit count.
+	ProbeStats ProbeStats
 }
 
 // Rewritten reports whether re-optimization produced a different plan.
@@ -245,11 +388,11 @@ func (e *Engine) Reoptimize(q *sqlparser.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	matches, err := e.MatchPlan(original)
+	matches, stats, err := e.MatchPlanStats(original)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Query: q, OriginalPlan: original, Matches: matches}
+	res := &Result{Query: q, OriginalPlan: original, Matches: matches, ProbeStats: stats}
 	for _, m := range matches {
 		res.MatchMillis += m.MatchMillis
 	}

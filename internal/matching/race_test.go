@@ -1,0 +1,129 @@
+package matching
+
+import (
+	"sync"
+	"testing"
+
+	"galo/internal/rdf"
+	"galo/internal/sparql"
+	"galo/internal/sqlparser"
+	"galo/internal/workload/tpcds"
+)
+
+// TestConcurrentReoptimize drives one shared engine from concurrent
+// Reoptimize calls — exercising the probe worker pool and the routinization
+// cache under contention — while another goroutine mutates the knowledge
+// base store, exercising version-based cache invalidation. Run with -race.
+func TestConcurrentReoptimize(t *testing.T) {
+	db, knowledge := fixture(t)
+	eng := newEngine(db, knowledge)
+	queries := []*sqlparser.Query{tpcds.Fig8Query(), tpcds.Fig7Query(), tpcds.Fig4Query(), tpcds.Fig3Query()}
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				q := queries[(g+round)%len(queries)]
+				res, err := eng.Reoptimize(q)
+				if err != nil {
+					t.Errorf("Reoptimize(%s): %v", q.Name, err)
+					return
+				}
+				if res.OriginalPlan == nil {
+					t.Errorf("Reoptimize(%s): missing original plan", q.Name)
+				}
+			}
+		}(g)
+	}
+	// Concurrent knowledge base churn: bumps the store version so cached
+	// probe results must be re-validated while matchers are running.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 30; i++ {
+			knowledge.Store().Add(rdf.Triple{
+				S: rdf.NewIRI("http://galo/kb/churn/subject"),
+				P: rdf.NewIRI("http://galo/kb/churn/tick"),
+				O: rdf.NewNumericLiteral(float64(i)),
+			})
+		}
+	}()
+	wg.Wait()
+}
+
+// TestProbeCacheServesFreshResultsAfterKBChange pins the invalidation
+// contract: a cached probe result must not survive a knowledge base update.
+func TestProbeCacheServesFreshResultsAfterKBChange(t *testing.T) {
+	store := rdf.NewStore()
+	eng := New(nil, versionedStore{store}, DefaultOptions())
+	if eng.cache == nil {
+		t.Fatal("cache not enabled for a versioned endpoint")
+	}
+	query := `PREFIX pr: <http://galo/qep/property/>
+		SELECT ?x WHERE { ?x pr:hasPopType "HSJOIN" . }`
+
+	probe := func() ([]sparql.Solution, bool, error) {
+		v, ok := eng.kbVersion()
+		return eng.probe(query, v, ok)
+	}
+	store.Add(rdf.Triple{S: rdf.NewIRI("a"), P: rdf.NewIRI("http://galo/qep/property/hasPopType"), O: rdf.NewLiteral("HSJOIN")})
+	sols, cached, err := probe()
+	if err != nil || cached || len(sols) != 1 {
+		t.Fatalf("first probe: sols=%d cached=%v err=%v", len(sols), cached, err)
+	}
+	sols, cached, err = probe()
+	if err != nil || !cached || len(sols) != 1 {
+		t.Fatalf("repeat probe should hit the cache: sols=%d cached=%v err=%v", len(sols), cached, err)
+	}
+	store.Add(rdf.Triple{S: rdf.NewIRI("b"), P: rdf.NewIRI("http://galo/qep/property/hasPopType"), O: rdf.NewLiteral("HSJOIN")})
+	sols, cached, err = probe()
+	if err != nil || cached || len(sols) != 2 {
+		t.Fatalf("probe after KB change must re-evaluate: sols=%d cached=%v err=%v", len(sols), cached, err)
+	}
+}
+
+// versionedStore adapts a bare store into a VersionedEndpoint, proving the
+// cache works against any conforming endpoint, not just the fuseki ones.
+type versionedStore struct{ store *rdf.Store }
+
+func (v versionedStore) Select(queryText string) ([]sparql.Solution, error) {
+	q, err := sparql.Parse(queryText)
+	if err != nil {
+		return nil, err
+	}
+	return sparql.Execute(q, v.store)
+}
+
+func (v versionedStore) KBVersion() (uint64, bool) { return v.store.Version(), true }
+
+// TestProbeCacheLRUEviction pins the cache's capacity and recency behavior.
+func TestProbeCacheLRUEviction(t *testing.T) {
+	c := newProbeCache(2)
+	c.put("a", 1, nil)
+	c.put("b", 1, nil)
+	if _, hit := c.get("a", 1); !hit {
+		t.Fatal("a should be cached")
+	}
+	c.put("c", 1, nil) // evicts b (least recently used)
+	if _, hit := c.get("b", 1); hit {
+		t.Error("b should have been evicted")
+	}
+	if _, hit := c.get("a", 1); !hit {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, hit := c.get("c", 1); !hit {
+		t.Error("c should be cached")
+	}
+	if c.size() != 2 {
+		t.Errorf("size = %d, want 2", c.size())
+	}
+	// Version mismatch evicts.
+	if _, hit := c.get("a", 2); hit {
+		t.Error("stale version should miss")
+	}
+	if c.size() != 1 {
+		t.Errorf("size after stale eviction = %d, want 1", c.size())
+	}
+}

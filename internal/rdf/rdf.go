@@ -3,6 +3,14 @@
 // paper. It supports the subset GALO needs: IRIs and literals, triple
 // insertion, wildcard matching over SPO/POS/OSP indexes, and N-Triples
 // serialization for persistence and for the Fuseki-style HTTP endpoint.
+//
+// Terms are dictionary-encoded: every distinct term is interned once as a
+// dense uint32 ID, and the three indexes are nested maps over IDs whose
+// posting lists are kept sorted at insert time. Lookups therefore hash
+// machine words instead of strings, results need no re-sorting on read, and
+// per-probe cost depends on the size of the touched posting lists rather than
+// on the total store size — the property GALO's online matching engine relies
+// on (Figures 11-12 of the paper).
 package rdf
 
 import (
@@ -63,6 +71,15 @@ func (t Term) String() string {
 	return strconv.Quote(t.Value)
 }
 
+// CompareTerms orders terms by (Kind, Value) without rendering them to
+// N-Triples syntax (IRIs sort before literals).
+func CompareTerms(a, b Term) int {
+	if a.Kind != b.Kind {
+		return int(a.Kind) - int(b.Kind)
+	}
+	return strings.Compare(a.Value, b.Value)
+}
+
 // Triple is one RDF statement.
 type Triple struct {
 	S, P, O Term
@@ -73,22 +90,34 @@ func (t Triple) String() string {
 	return fmt.Sprintf("%s %s %s .", t.S, t.P, t.O)
 }
 
-// Store is an in-memory triple store with subject/predicate/object indexes.
-// It is safe for concurrent use.
+// Store is an in-memory triple store with subject/predicate/object indexes
+// keyed on dictionary-encoded term IDs. It is safe for concurrent use.
 type Store struct {
-	mu  sync.RWMutex
-	spo map[Term]map[Term][]Term
-	pos map[Term]map[Term][]Term
-	osp map[Term]map[Term][]Term
-	n   int
+	mu   sync.RWMutex
+	dict *dictionary
+	// spo: subject -> predicate -> sorted object IDs, and the two rotations.
+	spo map[uint32]map[uint32][]uint32
+	pos map[uint32]map[uint32][]uint32
+	osp map[uint32]map[uint32][]uint32
+	// predN / objN count the triples carrying each predicate / object, for
+	// the cardinality estimates selectivity-ordered SPARQL evaluation uses.
+	predN map[uint32]int
+	objN  map[uint32]int
+	n     int
+	// version counts successful mutations; readers use it to invalidate
+	// caches built over the store's contents.
+	version uint64
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
 	return &Store{
-		spo: map[Term]map[Term][]Term{},
-		pos: map[Term]map[Term][]Term{},
-		osp: map[Term]map[Term][]Term{},
+		dict:  newDictionary(),
+		spo:   map[uint32]map[uint32][]uint32{},
+		pos:   map[uint32]map[uint32][]uint32{},
+		osp:   map[uint32]map[uint32][]uint32{},
+		predN: map[uint32]int{},
+		objN:  map[uint32]int{},
 	}
 }
 
@@ -96,38 +125,44 @@ func NewStore() *Store {
 func (s *Store) Add(t Triple) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if containsTerm(s.spo[t.S][t.P], t.O) {
+	s.addLocked(t)
+}
+
+// AddAll inserts several triples under a single lock acquisition.
+func (s *Store) AddAll(ts []Triple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range ts {
+		s.addLocked(t)
+	}
+}
+
+func (s *Store) addLocked(t Triple) {
+	sid := s.dict.intern(t.S)
+	pid := s.dict.intern(t.P)
+	oid := s.dict.intern(t.O)
+	list, inserted := insertSorted(index(s.spo, sid)[pid], oid)
+	if !inserted {
 		return
 	}
-	addIndex(s.spo, t.S, t.P, t.O)
-	addIndex(s.pos, t.P, t.O, t.S)
-	addIndex(s.osp, t.O, t.S, t.P)
+	s.spo[sid][pid] = list
+	pm := index(s.pos, pid)
+	pm[oid], _ = insertSorted(pm[oid], sid)
+	om := index(s.osp, oid)
+	om[sid], _ = insertSorted(om[sid], pid)
+	s.predN[pid]++
+	s.objN[oid]++
 	s.n++
+	s.version++
 }
 
-// AddAll inserts several triples.
-func (s *Store) AddAll(ts []Triple) {
-	for _, t := range ts {
-		s.Add(t)
-	}
-}
-
-func addIndex(idx map[Term]map[Term][]Term, a, b, c Term) {
+func index(idx map[uint32]map[uint32][]uint32, a uint32) map[uint32][]uint32 {
 	m, ok := idx[a]
 	if !ok {
-		m = map[Term][]Term{}
+		m = map[uint32][]uint32{}
 		idx[a] = m
 	}
-	m[b] = append(m[b], c)
-}
-
-func containsTerm(ts []Term, t Term) bool {
-	for _, x := range ts {
-		if x == t {
-			return true
-		}
-	}
-	return false
+	return m
 }
 
 // Len returns the number of distinct triples stored.
@@ -137,80 +172,245 @@ func (s *Store) Len() int {
 	return s.n
 }
 
+// Version returns a counter that increases with every successful mutation.
+// Two calls returning the same value bracket a window in which the store's
+// contents did not change, which makes it a safe cache-invalidation key.
+func (s *Store) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.version
+}
+
 // Match returns the triples matching the pattern; nil components are
-// wildcards. Results are returned in a deterministic order.
+// wildcards. Results are in a deterministic order (ascending dictionary IDs,
+// i.e. first-interned terms first); callers needing lexicographic order must
+// sort the result themselves.
 func (s *Store) Match(subj, pred, obj *Term) []Triple {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	var sid, pid, oid uint32
+	var ok bool
+	if subj != nil {
+		if sid, ok = s.dict.lookup(*subj); !ok {
+			return nil
+		}
+	}
+	if pred != nil {
+		if pid, ok = s.dict.lookup(*pred); !ok {
+			return nil
+		}
+	}
+	if obj != nil {
+		if oid, ok = s.dict.lookup(*obj); !ok {
+			return nil
+		}
+	}
 	var out []Triple
 	switch {
-	case subj != nil:
-		for p, objs := range s.spo[*subj] {
-			if pred != nil && p != *pred {
+	case subj != nil && pred != nil:
+		for _, o := range s.spo[sid][pid] {
+			if obj != nil && o != oid {
 				continue
 			}
-			for _, o := range objs {
-				if obj != nil && o != *obj {
+			out = append(out, Triple{*subj, *pred, s.dict.term(o)})
+		}
+	case subj != nil:
+		pm := s.spo[sid]
+		for _, p := range sortedIDs(pm) {
+			pt := s.dict.term(p)
+			for _, o := range pm[p] {
+				if obj != nil && o != oid {
 					continue
 				}
-				out = append(out, Triple{*subj, p, o})
+				out = append(out, Triple{*subj, pt, s.dict.term(o)})
 			}
 		}
+	case pred != nil && obj != nil:
+		for _, su := range s.pos[pid][oid] {
+			out = append(out, Triple{s.dict.term(su), *pred, *obj})
+		}
 	case pred != nil:
-		for o, subjs := range s.pos[*pred] {
-			if obj != nil && o != *obj {
-				continue
-			}
-			for _, su := range subjs {
-				out = append(out, Triple{su, *pred, o})
+		om := s.pos[pid]
+		for _, o := range sortedIDs(om) {
+			ot := s.dict.term(o)
+			for _, su := range om[o] {
+				out = append(out, Triple{s.dict.term(su), *pred, ot})
 			}
 		}
 	case obj != nil:
-		for su, preds := range s.osp[*obj] {
-			for _, p := range preds {
-				out = append(out, Triple{su, p, *obj})
+		sm := s.osp[oid]
+		for _, su := range sortedIDs(sm) {
+			st := s.dict.term(su)
+			for _, p := range sm[su] {
+				out = append(out, Triple{st, s.dict.term(p), *obj})
 			}
 		}
 	default:
-		for su, pm := range s.spo {
-			for p, objs := range pm {
-				for _, o := range objs {
-					out = append(out, Triple{su, p, o})
+		for _, su := range sortedIDs(s.spo) {
+			st := s.dict.term(su)
+			pm := s.spo[su]
+			for _, p := range sortedIDs(pm) {
+				pt := s.dict.term(p)
+				for _, o := range pm[p] {
+					out = append(out, Triple{st, pt, s.dict.term(o)})
 				}
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
 	return out
 }
 
-// Subjects returns every distinct subject in the store, sorted.
+func sortedIDs[V any](m map[uint32]V) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Subjects returns every distinct subject in the store, in deterministic
+// (dictionary ID) order.
 func (s *Store) Subjects() []Term {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]Term, 0, len(s.spo))
-	for su := range s.spo {
-		out = append(out, su)
+	return s.termsOf(sortedIDs(s.spo))
+}
+
+func (s *Store) termsOf(ids []uint32) []Term {
+	out := make([]Term, len(ids))
+	for i, id := range ids {
+		out[i] = s.dict.term(id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
 	return out
 }
 
-// ObjectsOf returns the objects of (subject, predicate), in insertion order.
+// ObjectsOf returns the objects of (subject, predicate) in deterministic
+// (dictionary ID) order. The result is a fresh slice the caller owns.
 func (s *Store) ObjectsOf(subject, predicate Term) []Term {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return append([]Term(nil), s.spo[subject][predicate]...)
+	sid, ok := s.dict.lookup(subject)
+	if !ok {
+		return nil
+	}
+	pid, ok := s.dict.lookup(predicate)
+	if !ok {
+		return nil
+	}
+	return s.termsOf(s.spo[sid][pid])
 }
 
-// FirstObject returns the first object of (subject, predicate) and whether it
-// exists.
+// SubjectsOf returns the subjects carrying (predicate, object) in
+// deterministic (dictionary ID) order — the reverse of ObjectsOf, answered
+// from the POS index without scanning.
+func (s *Store) SubjectsOf(predicate, object Term) []Term {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pid, ok := s.dict.lookup(predicate)
+	if !ok {
+		return nil
+	}
+	oid, ok := s.dict.lookup(object)
+	if !ok {
+		return nil
+	}
+	return s.termsOf(s.pos[pid][oid])
+}
+
+// SubjectsWithPred returns the distinct subjects that carry at least one
+// triple with the given predicate, in deterministic (dictionary ID) order.
+func (s *Store) SubjectsWithPred(predicate Term) []Term {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pid, ok := s.dict.lookup(predicate)
+	if !ok {
+		return nil
+	}
+	seen := map[uint32]struct{}{}
+	ids := make([]uint32, 0, len(s.pos[pid]))
+	for _, subs := range s.pos[pid] {
+		for _, su := range subs {
+			if _, dup := seen[su]; !dup {
+				seen[su] = struct{}{}
+				ids = append(ids, su)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return s.termsOf(ids)
+}
+
+// CountSP returns the number of triples with the given subject and predicate.
+func (s *Store) CountSP(subject, predicate Term) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sid, ok := s.dict.lookup(subject)
+	if !ok {
+		return 0
+	}
+	pid, ok := s.dict.lookup(predicate)
+	if !ok {
+		return 0
+	}
+	return len(s.spo[sid][pid])
+}
+
+// CountPO returns the number of triples with the given predicate and object.
+func (s *Store) CountPO(predicate, object Term) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pid, ok := s.dict.lookup(predicate)
+	if !ok {
+		return 0
+	}
+	oid, ok := s.dict.lookup(object)
+	if !ok {
+		return 0
+	}
+	return len(s.pos[pid][oid])
+}
+
+// CountP returns the number of triples carrying the given predicate.
+func (s *Store) CountP(predicate Term) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	pid, ok := s.dict.lookup(predicate)
+	if !ok {
+		return 0
+	}
+	return s.predN[pid]
+}
+
+// CountO returns the number of triples carrying the given object.
+func (s *Store) CountO(object Term) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	oid, ok := s.dict.lookup(object)
+	if !ok {
+		return 0
+	}
+	return s.objN[oid]
+}
+
+// FirstObject returns the first object of (subject, predicate) — in
+// deterministic dictionary-ID order — and whether it exists.
 func (s *Store) FirstObject(subject, predicate Term) (Term, bool) {
-	objs := s.ObjectsOf(subject, predicate)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sid, ok := s.dict.lookup(subject)
+	if !ok {
+		return Term{}, false
+	}
+	pid, ok := s.dict.lookup(predicate)
+	if !ok {
+		return Term{}, false
+	}
+	objs := s.spo[sid][pid]
 	if len(objs) == 0 {
 		return Term{}, false
 	}
-	return objs[0], true
+	return s.dict.term(objs[0]), true
 }
 
 // Remove deletes matching triples and returns how many were removed; nil
@@ -223,41 +423,58 @@ func (s *Store) Remove(subj, pred, obj *Term) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, t := range victims {
-		removeIndex(s.spo, t.S, t.P, t.O)
-		removeIndex(s.pos, t.P, t.O, t.S)
-		removeIndex(s.osp, t.O, t.S, t.P)
+		sid, _ := s.dict.lookup(t.S)
+		pid, _ := s.dict.lookup(t.P)
+		oid, _ := s.dict.lookup(t.O)
+		if !removeIndex(s.spo, sid, pid, oid) {
+			continue
+		}
+		removeIndex(s.pos, pid, oid, sid)
+		removeIndex(s.osp, oid, sid, pid)
+		if s.predN[pid]--; s.predN[pid] == 0 {
+			delete(s.predN, pid)
+		}
+		if s.objN[oid]--; s.objN[oid] == 0 {
+			delete(s.objN, oid)
+		}
 		s.n--
+		s.version++
 	}
 	return len(victims)
 }
 
-func removeIndex(idx map[Term]map[Term][]Term, a, b, c Term) {
+func removeIndex(idx map[uint32]map[uint32][]uint32, a, b, c uint32) bool {
 	m := idx[a]
 	if m == nil {
-		return
+		return false
 	}
-	list := m[b]
-	for i, x := range list {
-		if x == c {
-			m[b] = append(list[:i], list[i+1:]...)
-			break
-		}
+	list, removed := removeSorted(m[b], c)
+	if !removed {
+		return false
 	}
-	if len(m[b]) == 0 {
+	m[b] = list
+	if len(list) == 0 {
 		delete(m, b)
 	}
 	if len(m) == 0 {
 		delete(idx, a)
 	}
+	return true
 }
 
 // NTriples serializes the whole store in N-Triples format with a
-// deterministic line order.
+// deterministic, lexicographically sorted line order (stable across
+// serialize/parse roundtrips regardless of internal dictionary IDs).
 func (s *Store) NTriples() string {
 	triples := s.Match(nil, nil, nil)
+	lines := make([]string, len(triples))
+	for i, t := range triples {
+		lines[i] = t.String()
+	}
+	sort.Strings(lines)
 	var b strings.Builder
-	for _, t := range triples {
-		b.WriteString(t.String())
+	for _, line := range lines {
+		b.WriteString(line)
 		b.WriteString("\n")
 	}
 	return b.String()

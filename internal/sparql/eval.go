@@ -10,18 +10,23 @@ import (
 )
 
 // Execute evaluates the query against the store and returns its solutions.
-// Basic graph patterns are matched by backtracking joins in pattern order;
-// filters are applied as soon as all of their variables are bound.
+// Basic graph patterns are evaluated by backtracking joins in greedy
+// selectivity order: at every step the evaluator picks the cheapest remaining
+// pattern under the current bindings (using the store's cardinality
+// accessors as estimates), so bindings produced by selective patterns
+// propagate into the rest of the plan instead of being discovered by
+// exhaustive enumeration. Filters are applied as soon as all of their
+// variables are bound.
 func Execute(q *Query, store *rdf.Store) ([]Solution, error) {
 	if q == nil || len(q.Patterns) == 0 {
 		return nil, fmt.Errorf("sparql: empty query")
 	}
-	ev := &evaluator{q: q, store: store}
+	ev := &evaluator{q: q, store: store, done: make([]bool, len(q.Patterns))}
 	ev.filterVars = make([][]string, len(q.Filters))
 	for i, f := range q.Filters {
 		ev.filterVars[i] = exprVars(f)
 	}
-	ev.match(0, Solution{}, map[int]bool{})
+	ev.match(len(q.Patterns), Solution{}, map[int]bool{})
 	solutions := ev.results
 	if q.Limit > 0 && len(solutions) > q.Limit {
 		solutions = solutions[:q.Limit]
@@ -48,9 +53,15 @@ type evaluator struct {
 	store      *rdf.Store
 	results    []Solution
 	filterVars [][]string
+	// done marks the patterns already evaluated on the current backtracking
+	// branch; the evaluator picks the cheapest not-done pattern next.
+	done []bool
 }
 
-func (ev *evaluator) match(patIdx int, binding Solution, applied map[int]bool) {
+func (ev *evaluator) match(remaining int, binding Solution, applied map[int]bool) {
+	if ev.q.Limit > 0 && len(ev.results) >= ev.q.Limit {
+		return
+	}
 	// Apply any filter whose variables are all bound and which has not been
 	// applied yet; abandon this branch if one fails.
 	for fi, vars := range ev.filterVars {
@@ -73,7 +84,7 @@ func (ev *evaluator) match(patIdx int, binding Solution, applied map[int]bool) {
 		applied = cloneApplied(applied)
 		applied[fi] = true
 	}
-	if patIdx == len(ev.q.Patterns) {
+	if remaining == 0 {
 		// All patterns matched; any remaining filters have unbound variables
 		// and evaluate to an error → treat as failure per SPARQL semantics.
 		for fi := range ev.q.Filters {
@@ -84,31 +95,70 @@ func (ev *evaluator) match(patIdx int, binding Solution, applied map[int]bool) {
 		ev.results = append(ev.results, cloneSolution(binding))
 		return
 	}
-	pat := ev.q.Patterns[patIdx]
-	starts := ev.resolveStarts(pat.S, binding)
-	for _, start := range starts {
-		ends := ev.walkPath(start, pat.Path)
-		for _, end := range ends {
+	// Greedy selectivity ordering: evaluate the cheapest remaining pattern
+	// under the current bindings next.
+	best, bestCost := -1, int(^uint(0)>>1)
+	for i := range ev.q.Patterns {
+		if ev.done[i] {
+			continue
+		}
+		if c := ev.estimate(ev.q.Patterns[i], binding); c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	pat := ev.q.Patterns[best]
+	ev.done[best] = true
+	for _, start := range ev.resolveStarts(pat, binding) {
+		for _, end := range ev.walkPath(start, pat.Path) {
 			newBinding, ok := extend(binding, pat, start, end)
 			if !ok {
 				continue
 			}
-			ev.match(patIdx+1, newBinding, applied)
+			ev.match(remaining-1, newBinding, applied)
 		}
 	}
+	ev.done[best] = false
+}
+
+// resolveRef resolves a pattern position to a concrete term: directly for
+// concrete terms, through the binding for bound variables.
+func resolveRef(n NodeRef, binding Solution) (rdf.Term, bool) {
+	if !n.IsVar {
+		return n.Term, true
+	}
+	t, ok := binding[n.Var]
+	return t, ok
+}
+
+// estimate returns the estimated number of bindings the pattern produces
+// under the current binding, from the store's cardinality accessors:
+// CountSP for a resolved subject, CountPO for a resolved object reachable
+// through the POS index, and the predicate's total triple count otherwise.
+func (ev *evaluator) estimate(pat Pattern, binding Solution) int {
+	first := pat.Path[0]
+	if s, ok := resolveRef(pat.S, binding); ok {
+		return ev.store.CountSP(s, first.Pred)
+	}
+	if o, ok := resolveRef(pat.O, binding); ok && len(pat.Path) == 1 && !first.OneOrMore {
+		return ev.store.CountPO(first.Pred, o)
+	}
+	return ev.store.CountP(first.Pred)
 }
 
 // resolveStarts returns the candidate subjects for a pattern given the
-// current binding: the bound term, the concrete term, or every subject in
-// the store.
-func (ev *evaluator) resolveStarts(s NodeRef, binding Solution) []rdf.Term {
-	if s.IsVar {
-		if t, ok := binding[s.Var]; ok {
-			return []rdf.Term{t}
-		}
-		return ev.store.Subjects()
+// current binding: the resolved subject when it is bound or concrete, the
+// POS-index reverse lookup when the object is resolved and the path is a
+// single plain step, and otherwise every subject carrying the path's first
+// predicate (never the whole store).
+func (ev *evaluator) resolveStarts(pat Pattern, binding Solution) []rdf.Term {
+	if s, ok := resolveRef(pat.S, binding); ok {
+		return []rdf.Term{s}
 	}
-	return []rdf.Term{s.Term}
+	first := pat.Path[0]
+	if o, ok := resolveRef(pat.O, binding); ok && len(pat.Path) == 1 && !first.OneOrMore {
+		return ev.store.SubjectsOf(first.Pred, o)
+	}
+	return ev.store.SubjectsWithPred(first.Pred)
 }
 
 // walkPath follows the property path from the start term and returns every
@@ -145,7 +195,7 @@ func (ev *evaluator) walkPath(start rdf.Term, path []PredStep) []rdf.Term {
 		for t := range next {
 			current = append(current, t)
 		}
-		sort.Slice(current, func(i, j int) bool { return current[i].Value < current[j].Value })
+		sort.Slice(current, func(i, j int) bool { return rdf.CompareTerms(current[i], current[j]) < 0 })
 	}
 	return current
 }

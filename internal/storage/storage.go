@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"galo/internal/catalog"
 )
@@ -33,14 +34,20 @@ type IndexData struct {
 
 // Table is the stored data for one base table.
 type Table struct {
-	Def     *catalog.Table
-	Rows    []Row
+	Def  *catalog.Table
+	Rows []Row
+	// idxMu guards the lazily built index cache: plans execute concurrently
+	// (the learning engine's worker pool) and may build the same index at
+	// the same time. Row data itself is only mutated at generation time,
+	// before any concurrent execution starts.
+	idxMu   sync.RWMutex
 	indexes map[string]*IndexData
 }
 
 // Database holds all table data for one catalog.
 type Database struct {
 	Catalog *catalog.Catalog
+	mu      sync.RWMutex
 	tables  map[string]*Table
 }
 
@@ -49,24 +56,41 @@ func NewDatabase(cat *catalog.Catalog) *Database {
 	return &Database{Catalog: cat, tables: make(map[string]*Table)}
 }
 
+// lookup returns the stored table without creating it.
+func (db *Database) lookup(table string) *Table {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.tables[strings.ToUpper(table)]
+}
+
 // Table returns the stored table, creating an empty one if the schema defines
 // it and no rows have been inserted yet. Returns nil for unknown tables.
 func (db *Database) Table(name string) *Table {
 	key := strings.ToUpper(name)
-	if t, ok := db.tables[key]; ok {
+	db.mu.RLock()
+	t, ok := db.tables[key]
+	db.mu.RUnlock()
+	if ok {
 		return t
 	}
 	def := db.Catalog.Table(key)
 	if def == nil {
 		return nil
 	}
-	t := &Table{Def: def, indexes: make(map[string]*IndexData)}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if t, ok := db.tables[key]; ok {
+		return t
+	}
+	t = &Table{Def: def, indexes: make(map[string]*IndexData)}
 	db.tables[key] = t
 	return t
 }
 
 // TableNames returns the names of tables that hold data, sorted.
 func (db *Database) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	names := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		names = append(names, n)
@@ -90,13 +114,15 @@ func (db *Database) Insert(table string, rows ...Row) error {
 		t.Rows = append(t.Rows, r)
 	}
 	// Any existing indexes are now stale; rebuild lazily.
+	t.idxMu.Lock()
 	t.indexes = make(map[string]*IndexData)
+	t.idxMu.Unlock()
 	return nil
 }
 
 // RowCount returns the number of rows stored in the table (0 if absent).
 func (db *Database) RowCount(table string) int {
-	t := db.tables[strings.ToUpper(table)]
+	t := db.lookup(table)
 	if t == nil {
 		return 0
 	}
@@ -127,7 +153,7 @@ func (t *Table) RowWidth() int {
 // Pages returns the number of data pages the table occupies under the
 // catalog's page size.
 func (db *Database) Pages(table string) int64 {
-	t := db.tables[strings.ToUpper(table)]
+	t := db.lookup(table)
 	if t == nil || len(t.Rows) == 0 {
 		return 1
 	}
@@ -148,7 +174,7 @@ func (db *Database) Pages(table string) int64 {
 
 // RowsPerPage returns how many rows fit on one page of the table.
 func (db *Database) RowsPerPage(table string) int64 {
-	t := db.tables[strings.ToUpper(table)]
+	t := db.lookup(table)
 	if t == nil {
 		return 1
 	}
@@ -171,15 +197,20 @@ func (db *Database) Index(table, indexName string) *IndexData {
 		return nil
 	}
 	key := strings.ToUpper(indexName)
-	if idx, ok := t.indexes[key]; ok {
+	t.idxMu.RLock()
+	idx, ok := t.indexes[key]
+	t.idxMu.RUnlock()
+	if ok {
 		return idx
 	}
 	def := t.Def.IndexByName(key)
 	if def == nil {
 		return nil
 	}
-	idx := buildIndex(t, def)
+	idx = buildIndex(t, def)
+	t.idxMu.Lock()
 	t.indexes[key] = idx
+	t.idxMu.Unlock()
 	return idx
 }
 
@@ -280,7 +311,7 @@ func Value(def *catalog.Table, row Row, column string) catalog.Value {
 
 // DistinctCount counts the number of distinct non-null values of a column.
 func (db *Database) DistinctCount(table, column string) int {
-	t := db.tables[strings.ToUpper(table)]
+	t := db.lookup(table)
 	if t == nil {
 		return 0
 	}
@@ -301,7 +332,7 @@ func (db *Database) DistinctCount(table, column string) int {
 // CountWhereEqual counts rows where column = v (used by the learning engine's
 // predicate-range sampler and by tests).
 func (db *Database) CountWhereEqual(table, column string, v catalog.Value) int {
-	t := db.tables[strings.ToUpper(table)]
+	t := db.lookup(table)
 	if t == nil {
 		return 0
 	}

@@ -19,36 +19,37 @@ import (
 // Namespaces used by GALO's RDF encoding, following the IRIs shown in the
 // paper.
 const (
-	PopBase      = "http://galo/qep/pop/"
-	PropBase     = "http://galo/qep/property/"
-	KBPopBase    = "http://galo/kb/pop/"
-	KBTmplBase   = "http://galo/kb/template/"
+	PopBase    = "http://galo/qep/pop/"
+	PropBase   = "http://galo/qep/property/"
+	KBPopBase  = "http://galo/kb/pop/"
+	KBTmplBase = "http://galo/kb/template/"
 )
 
 // Property names.
 const (
-	PropPopType          = "hasPopType"
-	PropEstCardinality   = "hasEstimateCardinality"
-	PropActCardinality   = "hasActualCardinality"
-	PropLowerCardinality = "hasLowerCardinality"
+	PropPopType           = "hasPopType"
+	PropEstCardinality    = "hasEstimateCardinality"
+	PropActCardinality    = "hasActualCardinality"
+	PropLowerCardinality  = "hasLowerCardinality"
 	PropHigherCardinality = "hasHigherCardinality"
-	PropRowSize          = "hasRowSize"
-	PropPages            = "hasPages"
-	PropTableName        = "hasTableName"
-	PropTableInstance    = "hasTableInstance"
-	PropCanonicalTable   = "hasCanonicalTable"
-	PropIndexName        = "hasIndexName"
-	PropBloomFilter      = "hasBloomFilter"
-	PropOutputStream     = "hasOutputStream"
-	PropOuterInput       = "hasOuterInputStream"
-	PropInnerInput       = "hasInnerInputStream"
-	PropInTemplate       = "inTemplate"
-	PropGuideline        = "hasGuideline"
-	PropImprovement      = "hasImprovement"
-	PropSourceQuery      = "hasSourceQuery"
-	PropSourceWorkload   = "hasSourceWorkload"
-	PropJoinCount        = "hasJoinCount"
-	PropSignature        = "hasSignature"
+	PropRowSize           = "hasRowSize"
+	PropPages             = "hasPages"
+	PropTableName         = "hasTableName"
+	PropTableInstance     = "hasTableInstance"
+	PropCanonicalTable    = "hasCanonicalTable"
+	PropIndexName         = "hasIndexName"
+	PropBloomFilter       = "hasBloomFilter"
+	PropOutputStream      = "hasOutputStream"
+	PropOuterInput        = "hasOuterInputStream"
+	PropInnerInput        = "hasInnerInputStream"
+	PropInTemplate        = "inTemplate"
+	PropGuideline         = "hasGuideline"
+	PropImprovement       = "hasImprovement"
+	PropSourceQuery       = "hasSourceQuery"
+	PropSourceWorkload    = "hasSourceWorkload"
+	PropStructural        = "hasStructuralRewrite"
+	PropJoinCount         = "hasJoinCount"
+	PropSignature         = "hasSignature"
 )
 
 // Prop returns the IRI term of a property.
