@@ -1,0 +1,111 @@
+// Estimate-quality trajectory for the optimizer's statistics layer:
+// TestEmitBenchOptimizerJSON measures estimate-vs-actual cardinality error
+// (q-error) over a workload sample with and without the ANALYZE histograms,
+// and records the result in BENCH_optimizer.json so future PRs can track how
+// statistics changes move plan quality.
+package galo_test
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"sort"
+	"testing"
+
+	"galo/internal/executor"
+	"galo/internal/optimizer"
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+	"galo/internal/workload/tpcds"
+)
+
+// qErrors optimizes and executes each query, returning the per-scan q-error
+// max(est/act, act/est) — the standard cardinality-estimation quality metric.
+func qErrors(t *testing.T, opt *optimizer.Optimizer, ex *executor.Executor, queries []*sqlparser.Query) []float64 {
+	t.Helper()
+	var errs []float64
+	for _, q := range queries {
+		plan, _, err := opt.Optimize(q)
+		if err != nil {
+			t.Fatalf("optimize %s: %v", q.Name, err)
+		}
+		if _, err := ex.Execute(plan, q); err != nil {
+			t.Fatalf("execute %s: %v", q.Name, err)
+		}
+		plan.Root.Walk(func(n *qgm.Node) {
+			if !n.Op.IsScan() {
+				return
+			}
+			est := math.Max(n.EstCardinality, 1)
+			act := math.Max(n.ActCardinality, 1)
+			errs = append(errs, math.Max(est/act, act/est))
+		})
+	}
+	sort.Float64s(errs)
+	return errs
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func round3(f float64) float64 { return math.Round(f*1000) / 1000 }
+
+// TestEmitBenchOptimizerJSON writes BENCH_optimizer.json. Only runs when
+// GALO_BENCH_JSON=1 (CI's bench-emit step sets it).
+func TestEmitBenchOptimizerJSON(t *testing.T) {
+	if os.Getenv("GALO_BENCH_JSON") == "" {
+		t.Skip("set GALO_BENCH_JSON=1 to (re)write BENCH_optimizer.json")
+	}
+	// A fresh (hazard-free) database isolates the statistics layer itself:
+	// any estimation error left is the estimator's, not staleness.
+	db, err := tpcds.Generate(tpcds.GenOptions{Seed: 20190122, Scale: 0.1, Hazards: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := append(tpcds.Queries()[:24], tpcds.Fig8WideVariants(db, 4)...)
+	ex := executor.New(db)
+
+	withHist := qErrors(t, optimizer.New(db.Catalog, optimizer.DefaultOptions()), ex, queries)
+
+	// The same database with the histograms stripped: the pre-ANALYZE
+	// estimator (min/max interpolation + NDV + System-R constants).
+	bareDB, err := tpcds.Generate(tpcds.GenOptions{Seed: 20190122, Scale: 0.1, Hazards: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tbl := range bareDB.Catalog.TablesWithStats() {
+		for _, cs := range bareDB.Catalog.Stats(tbl).Columns {
+			cs.Histogram = nil
+		}
+	}
+	withoutHist := qErrors(t, optimizer.New(bareDB.Catalog, optimizer.DefaultOptions()), executor.New(bareDB), queries)
+
+	row := func(errs []float64) map[string]any {
+		return map[string]any{
+			"scans":       len(errs),
+			"median_qerr": round3(quantile(errs, 0.5)),
+			"p90_qerr":    round3(quantile(errs, 0.9)),
+			"p99_qerr":    round3(quantile(errs, 0.99)),
+			"max_qerr":    round3(errs[len(errs)-1]),
+		}
+	}
+	doc := map[string]any{
+		"benchmark":          "scan cardinality estimate vs actual (q-error) over 28 TPC-DS-like queries, fresh statistics",
+		"note":               "q-error = max(est/act, act/est) per base-table scan; 1.0 is a perfect estimate. with_histograms uses the ANALYZE equi-depth histograms, without_histograms the pre-ANALYZE min/max interpolation and System-R constants.",
+		"with_histograms":    row(withHist),
+		"without_histograms": row(withoutHist),
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_optimizer.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_optimizer.json:\n%s", data)
+}

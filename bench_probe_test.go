@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -70,9 +71,60 @@ func BenchmarkStoreMatch(b *testing.B) {
 	}
 }
 
+// unboundedProbe strips the LIMIT clause the transformation engine now emits
+// on probe queries, reconstructing the unbounded enumeration for comparison.
+func unboundedProbe(queryText string) string {
+	if i := strings.LastIndex(queryText, "\nLIMIT "); i >= 0 {
+		return queryText[:i] + "\n"
+	}
+	return queryText
+}
+
+// saturatedKB builds a knowledge base of n distinct templates that ALL match
+// the same one-join probe shape (HSJOIN over a TBSCAN and an IXSCAN, wide
+// cardinality bounds): the worst case for cold probes, where solution
+// enumeration used to grow linearly with the number of matching templates.
+// Distinct canonical labels keep the problem signatures distinct, so the KB
+// does not merge them.
+func saturatedKB(tb testing.TB, n int) *kb.KB {
+	tb.Helper()
+	knowledge := kb.New()
+	for i := 0; i < n; i++ {
+		outer := &qgm.Node{Op: qgm.OpTBSCAN, Table: fmt.Sprintf("SAT_A%d", i), TableInstance: fmt.Sprintf("SAT_A%d", i), EstCardinality: 40000}
+		inner := &qgm.Node{Op: qgm.OpIXSCAN, Table: fmt.Sprintf("SAT_B%d", i), TableInstance: fmt.Sprintf("SAT_B%d", i), Index: "IX", EstCardinality: 900}
+		join := &qgm.Node{Op: qgm.OpHSJOIN, Outer: outer, Inner: inner, EstCardinality: 120000}
+		plan := qgm.NewPlan(join)
+		problem := plan.Root.Outer
+		bounds := map[int]kb.Range{}
+		problem.Walk(func(x *qgm.Node) {
+			bounds[x.ID] = kb.Range{Lo: x.EstCardinality / 10, Hi: x.EstCardinality * 10}
+		})
+		if _, err := knowledge.Add(&kb.Template{
+			Problem:      problem,
+			Bounds:       bounds,
+			GuidelineXML: "<OPTGUIDELINES><HSJOIN><TBSCAN TABID='TABLE_1'/><TBSCAN TABID='TABLE_2'/></HSJOIN></OPTGUIDELINES>",
+			Improvement:  0.2 + float64(i%100)/1000,
+			Structural:   true,
+		}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return knowledge
+}
+
+// saturatedProbe is the one-join fragment every saturatedKB template matches.
+func saturatedProbe() *qgm.Node {
+	outer := &qgm.Node{Op: qgm.OpTBSCAN, Table: "T_X", TableInstance: "Q1", EstCardinality: 40000}
+	inner := &qgm.Node{Op: qgm.OpIXSCAN, Table: "T_Y", TableInstance: "Q2", Index: "IX_Y", EstCardinality: 900}
+	join := &qgm.Node{Op: qgm.OpHSJOIN, Outer: outer, Inner: inner, EstCardinality: 120000}
+	return qgm.NewPlan(join).Root.Outer
+}
+
 // BenchmarkKBProbeCold measures one full SPARQL probe (parse + selectivity-
 // ordered evaluation) of a plan fragment against knowledge bases of growing
-// size, bypassing the routinization cache.
+// size, bypassing the routinization cache. Probes carry the matcher's LIMIT
+// (transform.ProbeSolutionLimit), which bounds solution enumeration when many
+// templates match.
 func BenchmarkKBProbeCold(b *testing.B) {
 	frag := probePlan().Root.Outer
 	queryText, _, err := transform.FragmentMatchQuery(frag)
@@ -89,6 +141,38 @@ func BenchmarkKBProbeCold(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkKBProbeColdManyMatches probes a knowledge base in which EVERY
+// template matches the probed fragment — the worst case the ROADMAP's
+// cold-probe item describes, where solution enumeration dominates. The
+// bounded variant carries the matcher's LIMIT (transform.ProbeSolutionLimit)
+// and must stay ~flat as the matching-template count grows; the unbounded
+// variant enumerates every match and grows linearly.
+func BenchmarkKBProbeColdManyMatches(b *testing.B) {
+	queryText, _, err := transform.FragmentMatchQuery(saturatedProbe())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bounded := range []bool{true, false} {
+		text := queryText
+		name := "bounded"
+		if !bounded {
+			text = unboundedProbe(queryText)
+			name = "unbounded"
+		}
+		for _, size := range benchKBSizes {
+			b.Run(fmt.Sprintf("%s/templates=%d", name, size), func(b *testing.B) {
+				endpoint := fuseki.LocalEndpoint{Store: saturatedKB(b, size).Store()}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := endpoint.Select(text); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 
@@ -120,6 +204,11 @@ type benchRow struct {
 	KBTriples                int     `json:"kb_triples"`
 	ColdNsPerProbe           float64 `json:"cold_ns_per_probe"`
 	RoutinizedNsPerMatchPlan float64 `json:"routinized_ns_per_matchplan"`
+	// The many-matches pair probes a KB where every template matches the
+	// fragment: bounded carries the matcher's LIMIT, unbounded enumerates
+	// everything (the pre-bound behaviour).
+	ManyMatchesBoundedNs   float64 `json:"many_matches_bounded_ns"`
+	ManyMatchesUnboundedNs float64 `json:"many_matches_unbounded_ns"`
 }
 
 // TestEmitBenchMatchingJSON measures probe latency across the 1x/4x/16x
@@ -149,6 +238,24 @@ func TestEmitBenchMatchingJSON(t *testing.T) {
 		}
 		cold := float64(time.Since(start).Nanoseconds()) / coldRounds
 
+		// Worst-case enumeration: every template matches the probe.
+		satText, _, err := transform.FragmentMatchQuery(saturatedProbe())
+		if err != nil {
+			t.Fatal(err)
+		}
+		satEndpoint := fuseki.LocalEndpoint{Store: saturatedKB(t, size).Store()}
+		measure := func(text string) float64 {
+			start := time.Now()
+			for i := 0; i < coldRounds; i++ {
+				if _, err := satEndpoint.Select(text); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return float64(time.Since(start).Nanoseconds()) / coldRounds
+		}
+		satBounded := measure(satText)
+		satUnbounded := measure(unboundedProbe(satText))
+
 		eng := matching.New(nil, endpoint, matching.DefaultOptions())
 		if _, err := eng.MatchPlan(plan); err != nil {
 			t.Fatal(err)
@@ -166,11 +273,13 @@ func TestEmitBenchMatchingJSON(t *testing.T) {
 			KBTriples:                store.Len(),
 			ColdNsPerProbe:           cold,
 			RoutinizedNsPerMatchPlan: warm,
+			ManyMatchesBoundedNs:     satBounded,
+			ManyMatchesUnboundedNs:   satUnbounded,
 		})
 	}
 	doc := map[string]any{
 		"benchmark": "knowledge base probe latency vs KB size (ns)",
-		"note":      "cold = one SPARQL fragment probe without cache; routinized = full MatchPlan through the LRU fingerprint cache. Near-constant columns across rows are the KB-size independence result (Figures 11-12).",
+		"note":      "cold = one SPARQL fragment probe without cache; routinized = full MatchPlan through the LRU fingerprint cache; many_matches_* = worst-case probe of a KB where every template matches, with (bounded, LIMIT " + fmt.Sprint(transform.ProbeSolutionLimit) + ") and without (unbounded) the matcher's top-k bound. Near-constant columns across rows are the KB-size independence result (Figures 11-12).",
 		"rows":      rows,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")

@@ -85,8 +85,11 @@ func (wf *workloadFlags) load() (*galo.Database, []*galo.Query, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		qs := galo.TPCDSQueries()
-		return db, limit(qs, wf.queries), nil
+		// The wide-range Figure 8 variants ride along after the -queries
+		// limit: their date ranges depend on the generated calendar, and they
+		// are the workload's deterministic misestimation hazard.
+		qs := append(limit(galo.TPCDSQueries(), wf.queries), galo.Fig8WideVariants(db, 4)...)
+		return db, qs, nil
 	case "client":
 		db, err := galo.GenerateClient(galo.ClientOptions{Seed: wf.seed, Scale: wf.scale, Hazards: true})
 		if err != nil {

@@ -25,8 +25,10 @@ func main() {
 	cfg.Learning.Workload = "tpcds"
 	sys := galo.NewSystem(db, cfg)
 
-	// 3. Offline learning over a few workload queries.
-	workload := galo.TPCDSQueries()[8:20] // the 2-join star queries
+	// 3. Offline learning over a few workload queries, including the
+	//    wide-range Figure 8 variants whose stale-histogram misestimate the
+	//    optimizer deterministically falls for.
+	workload := append(galo.TPCDSQueries()[8:20], galo.Fig8WideVariants(db, 2)...)
 	report, err := sys.Learn(workload)
 	if err != nil {
 		log.Fatal(err)
@@ -34,11 +36,9 @@ func main() {
 	fmt.Printf("learned %d problem-pattern templates from %d queries (avg improvement %.0f%%)\n\n",
 		report.TemplatesAdded, report.QueriesAnalyzed, report.AvgImprovement*100)
 
-	// 4. Online re-optimization of an incoming query.
-	query := galo.MustParseSQL(`SELECT i_item_desc, ss_quantity, ss_sales_price
-		FROM store_sales, date_dim, item
-		WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk
-		AND d_year >= 1990 AND i_category = 'Jewelry'`)
+	// 4. Online re-optimization of an incoming query: a fresh wide-range
+	//    query the system has not seen (different category, same hazard).
+	query := galo.Fig8WideQuery(db)
 	query.Name = "QUICKSTART.Q1"
 
 	res, err := sys.Reoptimize(query)

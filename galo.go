@@ -127,6 +127,15 @@ func GenerateTPCDS(opts TPCDSOptions) (*Database, error) { return tpcds.Generate
 // TPCDSQueries returns the 99-query TPC-DS-like workload.
 func TPCDSQueries() []*Query { return tpcds.Queries() }
 
+// Fig8WideQuery returns the wide-range Figure 8 variant over the generated
+// database: the query whose stale-histogram misestimate deterministically
+// drives the MSJOIN→HSJOIN problem pattern.
+func Fig8WideQuery(db *Database) *Query { return tpcds.Fig8WideQuery(db) }
+
+// Fig8WideVariants returns n wide-range Figure 8 variants with progressively
+// wider date ranges.
+func Fig8WideVariants(db *Database, n int) []*Query { return tpcds.Fig8WideVariants(db, n) }
+
 // GenerateClient builds the client-like database.
 func GenerateClient(opts ClientOptions) (*Database, error) { return client.Generate(opts) }
 

@@ -1,0 +1,102 @@
+package catalog
+
+import "testing"
+
+func intHist(rowsPerBucket []struct {
+	hi    int64
+	count int64
+	ndv   int64
+}, min int64) *Histogram {
+	h := &Histogram{Min: Int(min)}
+	for _, b := range rowsPerBucket {
+		h.Buckets = append(h.Buckets, Bucket{Hi: Int(b.hi), Count: b.count, NDV: b.ndv})
+		h.Rows += b.count
+	}
+	return h
+}
+
+func TestHistogramRangeFraction(t *testing.T) {
+	// 100 rows uniform over [1,100]: four buckets of 25.
+	h := intHist([]struct{ hi, count, ndv int64 }{
+		{25, 25, 25}, {50, 25, 25}, {75, 25, 25}, {100, 25, 25},
+	}, 1)
+
+	lo, hi := Int(1), Int(100)
+	if f := h.RangeFraction(&lo, &hi); f < 0.95 || f > 1.0 {
+		t.Errorf("full range fraction = %v", f)
+	}
+	lo, hi = Int(26), Int(50)
+	if f := h.RangeFraction(&lo, &hi); f < 0.2 || f > 0.3 {
+		t.Errorf("one-bucket fraction = %v, want ~0.25", f)
+	}
+	// Unbounded sides.
+	hi = Int(50)
+	if f := h.RangeFraction(nil, &hi); f < 0.45 || f > 0.55 {
+		t.Errorf("<=50 fraction = %v, want ~0.5", f)
+	}
+	lo = Int(76)
+	if f := h.RangeFraction(&lo, nil); f < 0.2 || f > 0.3 {
+		t.Errorf(">=76 fraction = %v, want ~0.25", f)
+	}
+	// A range entirely outside the collected domain sees nothing — the
+	// Figure 8 stale-histogram answer.
+	lo, hi = Int(150), Int(200)
+	if f := h.RangeFraction(&lo, &hi); f != 0 {
+		t.Errorf("out-of-domain fraction = %v, want 0", f)
+	}
+	// Inverted range.
+	lo, hi = Int(60), Int(40)
+	if f := h.RangeFraction(&lo, &hi); f != 0 {
+		t.Errorf("inverted range fraction = %v", f)
+	}
+	// Nil / empty histograms cannot answer.
+	var nilH *Histogram
+	if f := nilH.RangeFraction(nil, nil); f != -1 {
+		t.Errorf("nil histogram = %v, want -1", f)
+	}
+	strH := &Histogram{Min: String("a"), Rows: 10, Buckets: []Bucket{{Hi: String("z"), Count: 10, NDV: 5}}}
+	if f := strH.RangeFraction(nil, nil); f != -1 {
+		t.Errorf("string histogram interpolation = %v, want -1", f)
+	}
+}
+
+func TestHistogramSkewedRangeFraction(t *testing.T) {
+	// 1000 rows: 900 concentrated in [91,100], 100 spread over [1,90] —
+	// equi-depth buckets are narrow where the data is dense.
+	h := intHist([]struct{ hi, count, ndv int64 }{
+		{90, 100, 90}, {93, 300, 3}, {96, 300, 3}, {100, 300, 4},
+	}, 1)
+	lo, hi := Int(91), Int(100)
+	if f := h.RangeFraction(&lo, &hi); f < 0.8 || f > 1.0 {
+		t.Errorf("dense tail fraction = %v, want ~0.9 (uniformity would say 0.1)", f)
+	}
+	lo, hi = Int(1), Int(90)
+	if f := h.RangeFraction(&lo, &hi); f > 0.2 {
+		t.Errorf("sparse head fraction = %v, want ~0.1", f)
+	}
+}
+
+func TestHistogramEqFraction(t *testing.T) {
+	h := intHist([]struct{ hi, count, ndv int64 }{
+		{10, 50, 10}, {11, 50, 1}, // 11 is a heavy hitter: 50 rows alone
+	}, 1)
+	if f := h.EqFraction(Int(11)); f < 0.45 || f > 0.55 {
+		t.Errorf("heavy hitter fraction = %v, want 0.5", f)
+	}
+	if f := h.EqFraction(Int(5)); f < 0.03 || f > 0.08 {
+		t.Errorf("uniform value fraction = %v, want 0.05", f)
+	}
+	if f := h.EqFraction(Int(999)); f != 0 {
+		t.Errorf("out-of-domain equality = %v, want 0", f)
+	}
+	if f := h.EqFraction(Null()); f != -1 {
+		t.Errorf("NULL equality = %v, want -1", f)
+	}
+	// Strings work for equality (no interpolation needed).
+	s := &Histogram{Min: String("a"), Rows: 100, Buckets: []Bucket{
+		{Hi: String("m"), Count: 60, NDV: 6}, {Hi: String("z"), Count: 40, NDV: 4},
+	}}
+	if f := s.EqFraction(String("c")); f < 0.05 || f > 0.15 {
+		t.Errorf("string equality fraction = %v, want 0.1", f)
+	}
+}

@@ -25,6 +25,11 @@ type ColumnStats struct {
 	Frequent  []FrequentValue
 	RowCount  int64
 	AvgWidth  int // bytes, used for row-size estimates
+
+	// Histogram is the column's equi-depth histogram when an ANALYZE pass has
+	// collected one (storage.Analyze); nil otherwise. Histograms are immutable
+	// and shared between catalog clones.
+	Histogram *Histogram
 }
 
 // FrequencyOf returns the recorded frequency of v if it appears in the

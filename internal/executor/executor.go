@@ -69,11 +69,11 @@ func (e *Executor) Execute(plan *qgm.Plan, q *sqlparser.Query) (*Result, error) 
 		return nil, err
 	}
 	ctx := &execContext{
-		exec:       e,
-		query:      work,
-		cfg:        e.DB.Catalog.Config,
-		instToRef:  map[string]string{},
-		refToInst:  map[string]string{},
+		exec:      e,
+		query:     work,
+		cfg:       e.DB.Catalog.Config,
+		instToRef: map[string]string{},
+		refToInst: map[string]string{},
 	}
 	for i, ref := range work.From {
 		inst := fmt.Sprintf("Q%d", i+1)
@@ -126,10 +126,9 @@ type execContext struct {
 
 // rowset is the intermediate result flowing between operators.
 type rowset struct {
-	cols    []string // "Qi.COLUMN"
-	rows    []storage.Row
-	sortedBy string
-	index   map[string]int
+	cols  []string // "Qi.COLUMN"
+	rows  []storage.Row
+	index map[string]int
 }
 
 func (r *rowset) colIndex(name string) int {
@@ -234,7 +233,13 @@ func (c *execContext) runScan(node *qgm.Node) (*rowset, error) {
 		matchRows := float64(len(matched))
 		leafPages := math.Max(tableRows/300, 1)
 		frac := matchRows / math.Max(tableRows, 1)
-		millis := c.cfg.Overhead + leafPages*frac*c.rt() + matchRows*c.cfg.CPUSpeed*0.5
+		// Mirrors ixscanCost: the B-tree dive only pays a full random I/O when
+		// the table exceeds the buffer pool.
+		dive := c.cfg.Overhead
+		if tablePages <= float64(c.cfg.BufferPoolPages) {
+			dive = c.cfg.Overhead * 0.1
+		}
+		millis := dive + leafPages*frac*c.rt() + matchRows*c.cfg.CPUSpeed*0.5
 		c.stats.LogicalReads += int64(leafPages * frac)
 		c.stats.CPURows += int64(matchRows)
 		if node.Op == qgm.OpFETCH {
@@ -249,8 +254,7 @@ func (c *execContext) runScan(node *qgm.Node) (*rowset, error) {
 			c.stats.LogicalReads += int64(matchRows)
 		}
 		c.charge(node, millis, len(out))
-		sortedBy := node.TableInstance + "." + lead
-		return &rowset{cols: cols, rows: out, sortedBy: sortedBy}, nil
+		return &rowset{cols: cols, rows: out}, nil
 	}
 	return nil, fmt.Errorf("executor: unsupported scan %s", node.Op)
 }
@@ -394,18 +398,27 @@ func (c *execContext) runSort(node *qgm.Node) (*rowset, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Sorting for ORDER BY uses the query's ORDER BY columns; sorts feeding a
-	// merge join are re-sorted by the join itself, so the row order here only
-	// matters for cost accounting.
-	keys := c.query.OrderBy
-	if len(keys) > 0 {
-		idx := make([]int, 0, len(keys))
-		for _, k := range keys {
-			inst := c.refToInst[strings.ToUpper(k.Table)]
-			if p := rs.colIndex(inst + "." + k.Column); p >= 0 {
-				idx = append(idx, p)
-			}
+	// A SORT carrying an order property (one feeding a merge join, or a final
+	// ORDER BY sort) physically establishes that order, so downstream
+	// operators — the merge join's early-out in particular — see honestly
+	// sorted rows. When the property names the query's leading ORDER BY
+	// column, the full ORDER BY key list is used (the property only records
+	// the primary order); SORTs without a property fall back to the query's
+	// ORDER BY columns.
+	orderByIdx := make([]int, 0, len(c.query.OrderBy))
+	for _, k := range c.query.OrderBy {
+		inst := c.refToInst[strings.ToUpper(k.Table)]
+		if p := rs.colIndex(inst + "." + k.Column); p >= 0 {
+			orderByIdx = append(orderByIdx, p)
 		}
+	}
+	idx := orderByIdx
+	if node.OrderedOn != "" {
+		if p := rs.colIndex(node.OrderedOn); p >= 0 && (len(orderByIdx) == 0 || orderByIdx[0] != p) {
+			idx = []int{p}
+		}
+	}
+	if len(idx) > 0 {
 		sort.SliceStable(rs.rows, func(i, j int) bool {
 			for _, p := range idx {
 				if cmp := catalog.Compare(rs.rows[i][p], rs.rows[j][p]); cmp != 0 {

@@ -62,7 +62,6 @@ func (c *execContext) runJoin(node *qgm.Node) (*rowset, error) {
 		}
 		c.stats.CPURows += int64(innerRows + outerRows)
 		c.charge(node, millis, len(joined))
-		out.sortedBy = outer.sortedBy
 
 	case qgm.OpNLJOIN:
 		matchedPerProbe := 0.0
@@ -73,7 +72,6 @@ func (c *execContext) runJoin(node *qgm.Node) (*rowset, error) {
 		millis := outerRows*perProbe + outRows*cpu
 		c.stats.CPURows += int64(outerRows)
 		c.charge(node, millis, len(joined))
-		out.sortedBy = outer.sortedBy
 
 	case qgm.OpMSJOIN:
 		// A merge join over sorted inputs can stop reading the outer as soon
@@ -95,12 +93,11 @@ func (c *execContext) runJoin(node *qgm.Node) (*rowset, error) {
 		if innerRows == 0 {
 			outerProcessed = 1
 		}
-		millis := (outerProcessed+innerRows)*cpu + outRows*cpu*0.5
+		// Same formula as the optimizer's msjoinCost, over actual row counts:
+		// a single interleaved pass over pre-sorted inputs.
+		millis := (outerProcessed+innerRows)*cpu*0.5 + outRows*cpu*0.1
 		c.stats.CPURows += int64(outerProcessed + innerRows)
 		c.charge(node, millis, len(joined))
-		if len(key.outerPos) > 0 {
-			out.sortedBy = outer.cols[key.outerPos[0]]
-		}
 	default:
 		return nil, fmt.Errorf("executor: unsupported join %s", node.Op)
 	}

@@ -48,8 +48,16 @@ type Options struct {
 	// Workers is the parallelism of offline learning (the paper parallelizes
 	// over several machines during off-peak hours; here, over goroutines).
 	Workers int
-	// Seed drives random plan generation and measurement noise.
+	// Seed drives random plan generation, predicate-variant sampling and —
+	// when NoiseScale is set — the measurement jitter. Per-query derived
+	// seeds depend only on the query text, never on worker scheduling, so a
+	// workload learns the same knowledge base at any worker count.
 	Seed int64
+	// NoiseScale is the optional measurement-jitter knob (see Ranker.Noise).
+	// Zero — the default — ranks plans on the executor's deterministic
+	// simulated cost, so learned templates come from the estimate/actual gap
+	// alone.
+	NoiseScale float64
 	// Workload labels the provenance of learned templates.
 	Workload string
 }
@@ -218,10 +226,10 @@ func (e *Engine) LearnWorkload(queries []*sqlparser.Query) (*Report, error) {
 
 	for w := 0; w < e.Opts.Workers; w++ {
 		wg.Add(1)
-		go func(workerID int) {
+		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				qr, err := e.learnSubQueries(j.q, subsByQuery[j.idx], int64(workerID))
+				qr, err := e.learnSubQueries(j.q, subsByQuery[j.idx])
 				if err != nil {
 					mu.Lock()
 					if firstErr == nil {
@@ -232,7 +240,7 @@ func (e *Engine) LearnWorkload(queries []*sqlparser.Query) (*Report, error) {
 				}
 				results[j.idx] = qr
 			}
-		}(w)
+		}()
 	}
 	for i, q := range queries {
 		jobs <- job{i, q}
@@ -284,7 +292,7 @@ func (e *Engine) LearnQuery(q *sqlparser.Query) (*QueryReport, error) {
 			kept = append(kept, sub)
 		}
 	}
-	qr, err := e.learnSubQueries(q, kept, 0)
+	qr, err := e.learnSubQueries(q, kept)
 	if err != nil {
 		e.unclaim(claimed)
 		return nil, err
@@ -304,16 +312,20 @@ func (e *Engine) decompose(q *sqlparser.Query) ([]*sqlparser.Query, error) {
 	return SubQueries(work, e.Opts.JoinThreshold, e.Opts.MaxSubQueriesPerQuery), nil
 }
 
-func (e *Engine) learnSubQueries(q *sqlparser.Query, subs []*sqlparser.Query, workerSeed int64) (*QueryReport, error) {
+func (e *Engine) learnSubQueries(q *sqlparser.Query, subs []*sqlparser.Query) (*QueryReport, error) {
 	start := time.Now()
 	qr := &QueryReport{Query: q.Name}
 	opt := optimizer.New(e.DB.Catalog, optimizer.DefaultOptions())
 	exec := executor.New(e.DB)
-	seed := e.Opts.Seed + workerSeed*7919 + int64(len(q.SQL()))
+	// The per-query seed is a function of the query text alone: which worker
+	// analyzes the query must never change what is learned.
+	seed := e.Opts.Seed + int64(querySeed(q.SQL()))
 	gen := storage.NewGenerator(seed)
-	rng := rand.New(rand.NewSource(seed))
 	planGen := randplan.New(opt, seed)
-	ranker := &Ranker{Exec: exec, Runs: e.Opts.Runs, NoiseRNG: rng}
+	ranker := &Ranker{Exec: exec, Runs: e.Opts.Runs, Noise: e.Opts.NoiseScale}
+	if e.Opts.NoiseScale > 0 {
+		ranker.NoiseRNG = rand.New(rand.NewSource(seed))
+	}
 
 	for _, sub := range subs {
 		subStart := time.Now()
@@ -341,6 +353,16 @@ func (e *Engine) learnSubQueries(q *sqlparser.Query, subs []*sqlparser.Query, wo
 	}
 	qr.WallMillis = float64(time.Since(start).Microseconds()) / 1000
 	return qr, nil
+}
+
+// querySeed hashes a query's text into a stable seed component (FNV-1a).
+func querySeed(sql string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(sql); i++ {
+		h ^= uint32(sql[i])
+		h *= 16777619
+	}
+	return h
 }
 
 // candidate is one rewrite discovered for a sub-query.

@@ -2,6 +2,7 @@ package learning
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"galo/internal/executor"
@@ -161,7 +162,7 @@ func TestRankerPrefersFasterPlanAndRemovesNoise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ranker := &Ranker{Exec: exec, Runs: 4, NoiseRNG: rand.New(rand.NewSource(1))}
+	ranker := &Ranker{Exec: exec, Runs: 4, Noise: 1, NoiseRNG: rand.New(rand.NewSource(1))}
 	m := ranker.Measure(good, q)
 	if m.Err != nil {
 		t.Fatalf("Measure: %v", m.Err)
@@ -213,6 +214,133 @@ func TestLearnQueryFindsRewritesOnHazardousWorkload(t *testing.T) {
 		}
 		if tmpl.GuidelineXML == "" || tmpl.SourceWorkload != "tpcds-test" {
 			t.Errorf("template metadata incomplete: %+v", tmpl)
+		}
+	}
+}
+
+// TestFig8WideMisestimationDrivesLearning is the end-to-end check of the
+// honest Figure 8 hazard: with histogram statistics collected before the
+// recent-window flood, the optimizer deterministically picks a merge join
+// whose sorted index access looks nearly free, the executor's actuals prove
+// a hash join over scans at least 2x faster, and the learning engine — with
+// the noise model disabled — abstracts exactly that MSJOIN→HSJOIN rewrite
+// into the knowledge base.
+func TestFig8WideMisestimationDrivesLearning(t *testing.T) {
+	db := learnDB(t)
+	q := tpcds.Fig8WideQuery(db)
+	opt := optimizer.New(db.Catalog, optimizer.DefaultOptions())
+	plan := opt.MustOptimize(q)
+
+	// The plan-time pick: an MSJOIN joining the fact table with date_dim,
+	// both inputs claiming sort-avoidance (no SORT operator below the join).
+	var msjoin *qgm.Node
+	plan.Root.Walk(func(n *qgm.Node) {
+		if n.Op == qgm.OpMSJOIN && msjoin == nil {
+			msjoin = n
+		}
+	})
+	if msjoin == nil {
+		t.Fatalf("wide-range Fig 8 query did not pick a merge join:\n%s", qgm.Format(plan))
+	}
+	tables := msjoin.Tables()
+	if len(tables) != 2 || tables[0] != "DATE_DIM" || tables[1] != "STORE_SALES" {
+		t.Errorf("MSJOIN joins %v, want [DATE_DIM STORE_SALES]", tables)
+	}
+	if msjoin.Outer.Op == qgm.OpSORT || msjoin.Inner.Op == qgm.OpSORT {
+		t.Errorf("MSJOIN should claim sort-avoidance through index order properties:\n%s", qgm.Format(plan))
+	}
+	if msjoin.OrderedOn == "" {
+		t.Errorf("MSJOIN carries no order property")
+	}
+
+	// The runtime truth: a hash join over scans beats the picked plan >= 2x.
+	ex := executor.New(db)
+	picked, err := ex.Execute(plan, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, err := opt.BuildPlan(q, optimizer.Join(qgm.OpHSJOIN,
+		optimizer.Join(qgm.OpHSJOIN,
+			optimizer.LeafAccess("STORE_SALES", qgm.OpTBSCAN, ""),
+			optimizer.LeafAccess("DATE_DIM", qgm.OpTBSCAN, "")),
+		optimizer.LeafAccess("ITEM", qgm.OpTBSCAN, "")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alt, err := ex.Execute(hs, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alt.Rows) != len(picked.Rows) {
+		t.Fatalf("plans disagree on results: %d vs %d rows", len(alt.Rows), len(picked.Rows))
+	}
+	if alt.Stats.ElapsedMillis*2 > picked.Stats.ElapsedMillis {
+		t.Errorf("hash join should be >=2x faster: MSJOIN plan %.1fms, HSJOIN plan %.1fms",
+			picked.Stats.ElapsedMillis, alt.Stats.ElapsedMillis)
+	}
+
+	// The learning engine discovers the MSJOIN -> HSJOIN template from the
+	// estimate/actual gap alone (NoiseScale is zero by default). A slightly
+	// larger random-plan budget makes sure the 2-table plan space — which
+	// contains the winning hash join over scans — is covered.
+	knowledge := kb.New()
+	opts := fastOptions()
+	opts.RandomPlans = 12
+	if opts.NoiseScale != 0 {
+		t.Fatalf("noise model should be off by default, got %v", opts.NoiseScale)
+	}
+	eng := New(db, knowledge, opts)
+	if _, err := eng.LearnWorkload([]*sqlparser.Query{q}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tmpl := range knowledge.Templates() {
+		problemHasMS := false
+		tmpl.Problem.Walk(func(n *qgm.Node) {
+			if n.Op == qgm.OpMSJOIN {
+				problemHasMS = true
+			}
+		})
+		if problemHasMS && tmpl.Structural && strings.Contains(tmpl.GuidelineXML, "HSJOIN") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("MSJOIN->HSJOIN template not learned (KB size %d)", knowledge.Size())
+	}
+}
+
+// TestLearnWorkloadDeterministicAcrossWorkerCounts pins the satellite
+// requirement that learning outcomes do not depend on goroutine scheduling:
+// the same workload learns byte-identical knowledge bases at 1 and 8 workers.
+func TestLearnWorkloadDeterministicAcrossWorkerCounts(t *testing.T) {
+	db := learnDB(t)
+	learn := func(workers int) *kb.KB {
+		knowledge := kb.New()
+		opts := fastOptions()
+		opts.Workers = workers
+		eng := New(db, knowledge, opts)
+		queries := []*sqlparser.Query{tpcds.Fig3Query(), tpcds.Fig8WideQuery(db), tpcds.Fig7Query()}
+		if _, err := eng.LearnWorkload(queries); err != nil {
+			t.Fatal(err)
+		}
+		return knowledge
+	}
+	a, b := learn(1), learn(8)
+	if a.Size() != b.Size() {
+		t.Fatalf("KB size depends on worker count: %d vs %d", a.Size(), b.Size())
+	}
+	key := func(k *kb.KB) map[string]bool {
+		set := map[string]bool{}
+		for _, tmpl := range k.Templates() {
+			set[tmpl.Problem.ShapeSignature()+"|"+tmpl.GuidelineXML] = true
+		}
+		return set
+	}
+	ka, kbs := key(a), key(b)
+	for sig := range ka {
+		if !kbs[sig] {
+			t.Errorf("template learned at 1 worker missing at 8 workers: %s", sig)
 		}
 	}
 }

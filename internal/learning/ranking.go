@@ -19,10 +19,10 @@ type Measurement struct {
 	// MeanMillis is the mean of the prospective runs — the ranking score.
 	MeanMillis float64
 	// Tie-break resource features (Section 3.2's ranking module).
-	PhysicalReads  int64
-	LogicalReads   int64
-	CPURows        int64
-	SortHeapPages  int64
+	PhysicalReads int64
+	LogicalReads  int64
+	CPURows       int64
+	SortHeapPages int64
 	// SimulatedWorkMillis is the total simulated execution time spent
 	// obtaining this measurement (all runs), used for the Exp-5 cost study.
 	SimulatedWorkMillis float64
@@ -34,12 +34,22 @@ type Measurement struct {
 // k-means clustering and ranks plans by mean elapsed time, breaking ties with
 // resource-usage features — the paper's ranking module, with db2batch
 // replaced by the executor's simulated runtime.
+//
+// By default measurements are the executor's deterministic simulated cost, so
+// rankings — and everything the learning engine derives from them — are
+// reproducible. The optional noise model (Noise > 0 with a NoiseRNG) layers
+// multiplicative jitter plus occasional spikes on top, giving the k-means
+// outlier removal realistic work; it is a jitter knob, not the source of the
+// learned patterns.
 type Ranker struct {
 	Exec *executor.Executor
 	// Runs is the number of repetitions per plan.
 	Runs int
-	// NoiseRNG injects deterministic measurement noise so the k-means outlier
-	// removal has something to do; nil disables noise.
+	// Noise scales the optional measurement jitter; 0 (the default) keeps
+	// measurements deterministic, 1.0 reproduces a noisy shared host.
+	Noise float64
+	// NoiseRNG drives the jitter deterministically; nil disables it even when
+	// Noise is set.
 	NoiseRNG *rand.Rand
 }
 
@@ -58,10 +68,10 @@ func (r *Ranker) Measure(plan *qgm.Plan, q *sqlparser.Query) Measurement {
 		}
 		elapsed := res.Stats.ElapsedMillis
 		m.SimulatedWorkMillis += elapsed
-		if r.NoiseRNG != nil {
-			noise := 1 + r.NoiseRNG.Float64()*0.04
+		if r.NoiseRNG != nil && r.Noise > 0 {
+			noise := 1 + r.NoiseRNG.Float64()*0.04*r.Noise
 			if r.NoiseRNG.Float64() < 0.12 {
-				noise *= 2.5 + r.NoiseRNG.Float64()
+				noise *= 1 + (1.5+r.NoiseRNG.Float64())*r.Noise
 			}
 			elapsed *= noise
 		}

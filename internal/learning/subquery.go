@@ -190,29 +190,44 @@ func PredicateVariants(db *storage.Database, q *sqlparser.Query, perPredicate in
 		return variants
 	}
 	for pi, p := range q.Where {
-		if p.Kind != sqlparser.PredCompare {
-			continue
-		}
 		table := baseTableOf(q, p.Left.Table)
 		var samples []catalog.Value
-		switch p.Op {
-		case "=":
+		between := p.Kind == sqlparser.PredBetween && !p.Not
+		switch {
+		case p.Kind == sqlparser.PredCompare && p.Op == "=":
 			samples = sampleColumnValues(db, table, p.Left.Column, perPredicate, gen)
-		case ">", ">=", "<", "<=":
-			// Range predicates are varied across the column's value
-			// quantiles, so both wide ranges (the Figure 8 over-estimation
-			// hazard) and narrow ones contribute observations — that spread
-			// is what establishes a template's cardinality bounds.
+		case p.Kind == sqlparser.PredCompare:
+			switch p.Op {
+			case ">", ">=", "<", "<=":
+				// Range predicates are varied across the column's value
+				// quantiles, so both wide ranges (the Figure 8 over-estimation
+				// hazard) and narrow ones contribute observations — that
+				// spread is what establishes a template's cardinality bounds.
+				samples = sampleColumnQuantiles(db, table, p.Left.Column, perPredicate)
+			}
+		case between:
+			// BETWEEN ranges vary their lower bound across quantiles: the
+			// same problem shape is observed at several range widths, so the
+			// learned template's cardinality bounds cover a band of ranges
+			// rather than one point.
 			samples = sampleColumnQuantiles(db, table, p.Left.Column, perPredicate)
-		default:
-			continue
 		}
 		for _, v := range samples {
-			if catalog.Equal(v, p.Value) {
+			if between {
+				// Skip samples that would not change the range (equal to the
+				// current lower bound, or above the upper bound).
+				if catalog.Equal(v, p.Lo) || catalog.Compare(v, p.Hi) > 0 {
+					continue
+				}
+			} else if catalog.Equal(v, p.Value) {
 				continue
 			}
 			variant := q.Clone()
-			variant.Where[pi].Value = v
+			if between {
+				variant.Where[pi].Lo = v
+			} else {
+				variant.Where[pi].Value = v
+			}
 			variants = append(variants, variant)
 		}
 	}

@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -18,6 +19,9 @@ import (
 // The integration fixture learns a small knowledge base once and reuses it in
 // every test: this exercises the full offline workflow (learning engine,
 // transformation engine, knowledge base) before the online matching tests.
+// Learning is deterministic — plans are ranked on the executor's simulated
+// cost, with the noise model off — so the fixture's knowledge base is
+// identical at any worker count or -cpu setting.
 var (
 	fixtureDB *storage.Database
 	fixtureKB *kb.KB
@@ -39,7 +43,7 @@ func fixture(t *testing.T) (*storage.Database, *kb.KB) {
 		opts.MaxSubQueriesPerQuery = 12
 		opts.Workload = "tpcds"
 		eng := learning.New(db, knowledge, opts)
-		queries := []*sqlparser.Query{tpcds.Fig3Query(), tpcds.Fig4Query(), tpcds.Fig7Query(), tpcds.Fig8Query()}
+		queries := []*sqlparser.Query{tpcds.Fig3Query(), tpcds.Fig4Query(), tpcds.Fig7Query(), tpcds.Fig8WideQuery(db)}
 		report, err := eng.LearnWorkload(queries)
 		if err != nil {
 			t.Fatal(err)
@@ -60,7 +64,7 @@ func TestMatchPlanFindsLearnedPattern(t *testing.T) {
 	db, knowledge := fixture(t)
 	eng := newEngine(db, knowledge)
 	opt := optimizer.New(db.Catalog, optimizer.DefaultOptions())
-	plan := opt.MustOptimize(tpcds.Fig8Query())
+	plan := opt.MustOptimize(tpcds.Fig8WideQuery(db))
 	matches, err := eng.MatchPlan(plan)
 	if err != nil {
 		t.Fatalf("MatchPlan: %v", err)
@@ -97,7 +101,7 @@ func TestReoptimizeImprovesActualRuntime(t *testing.T) {
 	ex := executor.New(db)
 
 	improvedSomething := false
-	for _, q := range []*sqlparser.Query{tpcds.Fig8Query(), tpcds.Fig7Query(), tpcds.Fig4Query()} {
+	for _, q := range []*sqlparser.Query{tpcds.Fig8WideQuery(db), tpcds.Fig7Query(), tpcds.Fig4Query()} {
 		res, err := eng.Reoptimize(q)
 		if err != nil {
 			t.Fatalf("Reoptimize(%s): %v", q.Name, err)
@@ -156,16 +160,20 @@ func TestReoptimizeQueryWithoutMatches(t *testing.T) {
 }
 
 func TestCrossWorkloadReuseViaCanonicalLabels(t *testing.T) {
-	// A pattern learned on web_sales/item (Fig 3) should match a structurally
-	// identical plan over store_sales/item from a "different" query, because
-	// the knowledge base stores canonical labels rather than table names.
+	// The Figure 8 pattern learned on store_sales/date_dim should match the
+	// structurally identical wide-range misestimate over catalog_sales and
+	// web_sales (different tables, never learned from), because the knowledge
+	// base stores canonical labels rather than table names.
 	db, knowledge := fixture(t)
 	eng := newEngine(db, knowledge)
+	lo, hi := tpcds.WideDateRange(db)
 	crossQueries := []*sqlparser.Query{
-		sqlparser.MustParse(`SELECT i_item_desc, cs_quantity FROM catalog_sales, item, date_dim
-			WHERE cs_item_sk = i_item_sk AND cs_sold_date_sk = d_date_sk AND i_category = 'Books' AND d_year >= 1991`),
-		sqlparser.MustParse(`SELECT i_item_desc, ss_quantity FROM store_sales, item, date_dim
-			WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk AND i_category = 'Home' AND d_year >= 1992`),
+		sqlparser.MustParse(fmt.Sprintf(`SELECT i_item_desc, cs_quantity FROM catalog_sales, item, date_dim
+			WHERE cs_item_sk = i_item_sk AND cs_sold_date_sk = d_date_sk
+			AND i_category = 'Books' AND d_date_sk BETWEEN %d AND %d`, lo, hi)),
+		sqlparser.MustParse(fmt.Sprintf(`SELECT i_item_desc, ws_quantity FROM web_sales, item, date_dim
+			WHERE ws_item_sk = i_item_sk AND ws_sold_date_sk = d_date_sk
+			AND i_category = 'Home' AND d_date_sk BETWEEN %d AND %d`, lo, hi)),
 	}
 	matchedAny := false
 	for _, q := range crossQueries {
@@ -192,12 +200,12 @@ func TestMatchingThroughFusekiHTTPEndpoint(t *testing.T) {
 	local := newEngine(db, knowledge)
 
 	opt := optimizer.New(db.Catalog, optimizer.DefaultOptions())
-	plan := opt.MustOptimize(tpcds.Fig8Query())
+	plan := opt.MustOptimize(tpcds.Fig8WideQuery(db))
 	localMatches, err := local.MatchPlan(plan)
 	if err != nil {
 		t.Fatal(err)
 	}
-	remoteMatches, err := remote.MatchPlan(opt.MustOptimize(tpcds.Fig8Query()))
+	remoteMatches, err := remote.MatchPlan(opt.MustOptimize(tpcds.Fig8WideQuery(db)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,7 +48,14 @@ func ixscanCost(cfg catalog.SystemConfig, tablePages, tableRows, matchRows float
 		leafPages = 1
 	}
 	frac := matchRows / math.Max(tableRows, 1)
-	cost := cfg.Overhead + leafPages*frac*cfg.TransferRate + matchRows*cfg.CPUSpeed*0.5
+	// The B-tree dive pays a full random I/O only when the table (and with it
+	// the index) is too big for the buffer pool; a pool-resident index's root
+	// and internal pages are cached after the first touch.
+	dive := cfg.Overhead
+	if tablePages <= float64(cfg.BufferPoolPages) {
+		dive = cfg.Overhead * 0.1
+	}
+	cost := dive + leafPages*frac*cfg.TransferRate + matchRows*cfg.CPUSpeed*0.5
 	if fetch {
 		if rowsPerPage < 1 {
 			rowsPerPage = 1
@@ -84,10 +91,13 @@ func sortCost(cfg catalog.SystemConfig, rows float64, rowWidth int) float64 {
 }
 
 // hsjoinCost is the incremental cost of a hash join given already-costed
-// inputs: build on the inner, probe with the outer, plus spill I/O when the
-// build side exceeds the sort heap. A bloom filter discounts probe CPU and
-// the spilled outer fraction.
-func hsjoinCost(cfg catalog.SystemConfig, outerRows, innerRows float64,
+// inputs: build on the inner (hashing costs 2x the base per-row CPU), probe
+// with the outer, emit the result rows, plus spill I/O when the build side
+// exceeds the sort heap. A bloom filter discounts probe CPU and the spilled
+// outer fraction. The executor charges the identical formula over the actual
+// row counts, so plan/runtime divergence comes from cardinality misestimates
+// alone.
+func hsjoinCost(cfg catalog.SystemConfig, outerRows, innerRows, outRows float64,
 	outerWidth, innerWidth int, bloom bool) float64 {
 	build := innerRows * cfg.CPUSpeed * 2
 	probeFactor := 1.0
@@ -95,7 +105,7 @@ func hsjoinCost(cfg catalog.SystemConfig, outerRows, innerRows float64,
 		probeFactor = 0.6
 	}
 	probe := outerRows * cfg.CPUSpeed * probeFactor
-	cost := build + probe
+	cost := build + probe + outRows*cfg.CPUSpeed*0.1
 	buildPages := pagesOf(cfg, innerRows, innerWidth)
 	if buildPages > float64(cfg.SortHeapPages) {
 		spill := buildPages
@@ -109,9 +119,15 @@ func hsjoinCost(cfg catalog.SystemConfig, outerRows, innerRows float64,
 	return cost
 }
 
-// msjoinCost is the incremental cost of a merge join over two sorted inputs.
+// msjoinCost is the incremental cost of a merge join over two already-sorted
+// inputs: a single interleaved pass comparing pre-sorted keys, which is
+// cheaper per row (0.5x) than building and probing a hash table. This is why
+// a merge join that can claim sort-avoidance through input order properties
+// undercuts a hash join at plan time — and why an optimizer that believes the
+// sorted inputs are small walks into the Figure 8 trap. The executor charges
+// the identical formula over actual row counts.
 func msjoinCost(cfg catalog.SystemConfig, outerRows, innerRows, outRows float64) float64 {
-	return (outerRows+innerRows)*cfg.CPUSpeed + outRows*cfg.CPUSpeed*0.5
+	return (outerRows+innerRows)*cfg.CPUSpeed*0.5 + outRows*cfg.CPUSpeed*0.1
 }
 
 // nljoinProbeCost is the per-probe cost of re-evaluating the inner input of a

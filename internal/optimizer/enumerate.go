@@ -29,14 +29,23 @@ func (a accessPath) clusterRatio() float64 {
 	return a.indexCluster
 }
 
-// planCand is a partial plan over a set of quantifier instances.
+// planCand is a partial plan over a set of quantifier instances. Its order
+// property lives on the plan node itself (qgm.Node.OrderedOn), so the
+// property survives into the emitted plan and the executor can honour it.
 type planCand struct {
-	node     *qgm.Node
-	cost     float64
-	card     float64
-	rowSize  int
-	sortedOn string
-	set      map[string]bool // instance names covered
+	node    *qgm.Node
+	cost    float64
+	card    float64
+	rowSize int
+	set     map[string]bool // instance names covered
+}
+
+// orderedOn returns the candidate's order property.
+func (c *planCand) orderedOn() string {
+	if c == nil || c.node == nil {
+		return ""
+	}
+	return c.node.OrderedOn
 }
 
 func setKey(set map[string]bool) string {
@@ -294,18 +303,73 @@ func (o *Optimizer) accessCand(qt *Quantifier, path accessPath) *planCand {
 		EstCost:        path.cost,
 		RowSize:        qt.RowWidth,
 		Pages:          qt.Pages,
+		OrderedOn:      path.sortedOn,
 	}
 	for _, p := range qt.LocalPreds {
 		node.Predicates = append(node.Predicates, p.String())
 	}
 	return &planCand{
-		node:     node,
-		cost:     path.cost,
-		card:     path.card,
-		rowSize:  qt.RowWidth,
-		sortedOn: path.sortedOn,
-		set:      map[string]bool{qt.Instance: true},
+		node:    node,
+		cost:    path.cost,
+		card:    path.card,
+		rowSize: qt.RowWidth,
+		set:     map[string]bool{qt.Instance: true},
 	}
+}
+
+// accessCands returns the candidate access paths worth remembering for one
+// quantifier: the overall cheapest, plus — per interesting order — the
+// cheapest path producing that order. These are the System-R "interesting
+// orders": a sorted access that loses on raw cost may still win globally by
+// letting a merge join skip a sort.
+func (o *Optimizer) accessCands(q *sqlparser.Query, qt *Quantifier, cons constraintSet, interesting map[string]bool) []*planCand {
+	paths := o.accessPaths(q, qt, cons)
+	best := paths[0]
+	bestByOrder := map[string]accessPath{}
+	for _, p := range paths {
+		if p.cost < best.cost {
+			best = p
+		}
+		if p.sortedOn != "" && interesting[strings.ToUpper(p.sortedOn)] {
+			if prev, ok := bestByOrder[strings.ToUpper(p.sortedOn)]; !ok || p.cost < prev.cost {
+				bestByOrder[strings.ToUpper(p.sortedOn)] = p
+			}
+		}
+	}
+	out := []*planCand{o.accessCand(qt, best)}
+	orders := make([]string, 0, len(bestByOrder))
+	for k := range bestByOrder {
+		orders = append(orders, k)
+	}
+	sort.Strings(orders)
+	for _, k := range orders {
+		p := bestByOrder[k]
+		if p == best {
+			continue // the cheapest path already carries this order
+		}
+		out = append(out, o.accessCand(qt, p))
+	}
+	return out
+}
+
+// interestingOrders collects the instance-qualified columns an order property
+// could pay for: equality join columns (merge joins) and ORDER BY columns
+// (final sort elimination).
+func interestingOrders(q *sqlparser.Query, byName map[string]*Quantifier) map[string]bool {
+	out := map[string]bool{}
+	add := func(c sqlparser.ColumnRef) {
+		if qt := byName[strings.ToUpper(c.Table)]; qt != nil {
+			out[strings.ToUpper(qt.Instance+"."+c.Column)] = true
+		}
+	}
+	for _, p := range q.JoinPredicates() {
+		add(p.Left)
+		add(p.Right)
+	}
+	for _, c := range q.OrderBy {
+		add(c)
+	}
+	return out
 }
 
 // --- join construction -------------------------------------------------------
@@ -383,10 +447,10 @@ func (o *Optimizer) buildJoinCand(method qgm.OpType, q *sqlparser.Query, byName 
 	case qgm.OpHSJOIN:
 		bloom := o.Opts.EnableBloomFilters && right.card <= left.card
 		node.BloomFilter = bloom
-		inc := hsjoinCost(cfg, left.card, right.card, left.rowSize, right.rowSize, bloom)
+		inc := hsjoinCost(cfg, left.card, right.card, outCard, left.rowSize, right.rowSize, bloom)
 		cand.cost = left.cost + right.cost + inc
 		node.Outer, node.Inner = left.node, right.node
-		cand.sortedOn = left.sortedOn
+		node.OrderedOn = left.orderedOn() // probe order is preserved
 	case qgm.OpNLJOIN:
 		// Nested loops only when the inner is a single base-table access.
 		if len(right.set) != 1 || !right.node.Op.IsScan() {
@@ -411,28 +475,30 @@ func (o *Optimizer) buildJoinCand(method qgm.OpType, q *sqlparser.Query, byName 
 		cand.cost = left.cost + inc
 		// The inner's own scan cost is not paid up-front; probes pay it.
 		node.Outer, node.Inner = left.node, right.node
-		cand.sortedOn = left.sortedOn
+		node.OrderedOn = left.orderedOn() // outer order is preserved
 	case qgm.OpMSJOIN:
 		if len(preds) == 0 {
 			return nil // merge join needs an equality join predicate
 		}
-		// Determine the sort columns required on each side.
+		// Determine the sort columns required on each side. An input whose
+		// order property already matches claims sort-avoidance; the others get
+		// an explicit SORT whose order property records the merge column.
 		lCol, rCol := o.mergeColumns(preds[0], byName, left.set)
 		leftNode, leftCost := left.node, left.cost
-		if !strings.EqualFold(left.sortedOn, lCol) {
+		if !strings.EqualFold(left.orderedOn(), lCol) {
 			leftCost += sortCost(cfg, left.card, left.rowSize)
-			leftNode = &qgm.Node{Op: qgm.OpSORT, Outer: leftNode, EstCardinality: left.card, EstCost: leftCost, RowSize: left.rowSize}
+			leftNode = &qgm.Node{Op: qgm.OpSORT, Outer: leftNode, EstCardinality: left.card, EstCost: leftCost, RowSize: left.rowSize, OrderedOn: lCol}
 		}
 		rightNode, rightCost := right.node, right.cost
-		if !strings.EqualFold(right.sortedOn, rCol) {
+		if !strings.EqualFold(right.orderedOn(), rCol) {
 			rightCost += sortCost(cfg, right.card, right.rowSize)
-			rightNode = &qgm.Node{Op: qgm.OpSORT, Outer: rightNode, EstCardinality: right.card, EstCost: rightCost, RowSize: right.rowSize}
+			rightNode = &qgm.Node{Op: qgm.OpSORT, Outer: rightNode, EstCardinality: right.card, EstCost: rightCost, RowSize: right.rowSize, OrderedOn: rCol}
 		}
 		inc := msjoinCost(cfg, left.card, right.card, outCard)
 		cand.cost = leftCost + rightCost + inc
 		node.Outer, node.Inner = leftNode, rightNode
 		node.EarlyOut = true
-		cand.sortedOn = lCol
+		node.OrderedOn = lCol
 	default:
 		return nil
 	}
@@ -456,6 +522,62 @@ func (o *Optimizer) mergeColumns(p sqlparser.Predicate, byName map[string]*Quant
 
 // --- dynamic programming -----------------------------------------------------
 
+// candSet is the dynamic-programming table entry for one quantifier subset:
+// the overall-cheapest candidate plus, per interesting order, the cheapest
+// candidate whose output carries that order. Keeping the ordered runners-up
+// is what lets a merge join higher in the tree claim sort-avoidance from a
+// plan that was not locally cheapest.
+type candSet struct {
+	best    *planCand
+	byOrder map[string]*planCand
+}
+
+// add folds a candidate into the set, keeping per-order winners.
+func (cs *candSet) add(cand *planCand, interesting map[string]bool) {
+	if cand == nil {
+		return
+	}
+	if cs.best == nil || cand.cost < cs.best.cost {
+		cs.best = cand
+	}
+	ord := strings.ToUpper(cand.orderedOn())
+	if ord == "" || !interesting[ord] {
+		return
+	}
+	if cs.byOrder == nil {
+		cs.byOrder = map[string]*planCand{}
+	}
+	if prev, ok := cs.byOrder[ord]; !ok || cand.cost < prev.cost {
+		cs.byOrder[ord] = cand
+	}
+}
+
+// cands lists the retained candidates: the cheapest first, then the ordered
+// alternatives (in sorted order for determinism), skipping ones that carry no
+// information beyond the cheapest.
+func (cs *candSet) cands() []*planCand {
+	if cs == nil || cs.best == nil {
+		return nil
+	}
+	out := []*planCand{cs.best}
+	if len(cs.byOrder) == 0 {
+		return out
+	}
+	orders := make([]string, 0, len(cs.byOrder))
+	for k := range cs.byOrder {
+		orders = append(orders, k)
+	}
+	sort.Strings(orders)
+	bestOrd := strings.ToUpper(cs.best.orderedOn())
+	for _, k := range orders {
+		if k == bestOrd {
+			continue
+		}
+		out = append(out, cs.byOrder[k])
+	}
+	return out
+}
+
 func (o *Optimizer) dpEnumerate(q *sqlparser.Query, quants []*Quantifier, byName map[string]*Quantifier, cons constraintSet) (*qgm.Node, int, error) {
 	n := len(quants)
 	considered := 0
@@ -463,17 +585,17 @@ func (o *Optimizer) dpEnumerate(q *sqlparser.Query, quants []*Quantifier, byName
 	for _, qt := range quants {
 		quantsByInstance[qt.Instance] = qt
 	}
-	best := make(map[uint64]*planCand)
-	instBit := map[string]uint64{}
+	interesting := interestingOrders(q, byName)
+	table := make(map[uint64]*candSet)
 	for i, qt := range quants {
-		instBit[qt.Instance] = 1 << uint(i)
-		// Keep the overall-cheapest access path and, separately, remember all
-		// paths for NLJOIN inner use at join time.
-		cand, err := o.bestAccess(q, qt, cons)
-		if err != nil {
-			return nil, considered, err
+		set := &candSet{}
+		for _, cand := range o.accessCands(q, qt, cons, interesting) {
+			set.add(cand, interesting)
 		}
-		best[1<<uint(i)] = cand
+		if set.best == nil {
+			return nil, considered, fmt.Errorf("optimizer: no access path for %s", qt.Ref.Name())
+		}
+		table[1<<uint(i)] = set
 	}
 	maskSet := func(mask uint64) map[string]bool {
 		set := map[string]bool{}
@@ -492,49 +614,51 @@ func (o *Optimizer) dpEnumerate(q *sqlparser.Query, quants []*Quantifier, byName
 				continue
 			}
 			set := maskSet(mask)
-			var bestCand *planCand
+			acc := &candSet{}
 			// Enumerate proper splits; (sub, rest) visits both orders.
 			for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
 				rest := mask ^ sub
-				left, right := best[sub], best[rest]
-				if left == nil || right == nil {
+				ls, rs := table[sub], table[rest]
+				if ls == nil || rs == nil || ls.best == nil || rs.best == nil {
 					continue
 				}
-				if len(joinPredsBetween(q, byName, left.set, right.set)) == 0 && hasConnectedSplit(q, byName, mask, best, maskSet) {
+				if len(joinPredsBetween(q, byName, ls.best.set, rs.best.set)) == 0 && hasConnectedSplit(q, byName, mask, table, maskSet) {
 					continue // avoid cartesian products when a connected split exists
 				}
-				if !cons.allowsPartition(set, left.set, right.set) {
+				if !cons.allowsPartition(set, ls.best.set, rs.best.set) {
 					continue
 				}
-				for _, method := range qgm.JoinMethods() {
-					if !cons.allowsJoin(set, left.set, right.set, method) {
-						continue
-					}
-					cand := o.buildJoinCand(method, q, byName, left, right, quantsByInstance)
-					considered++
-					if cand == nil {
-						continue
-					}
-					if bestCand == nil || cand.cost < bestCand.cost {
-						bestCand = cand
+				for _, left := range ls.cands() {
+					for _, right := range rs.cands() {
+						for _, method := range qgm.JoinMethods() {
+							if !cons.allowsJoin(set, left.set, right.set, method) {
+								continue
+							}
+							cand := o.buildJoinCand(method, q, byName, left, right, quantsByInstance)
+							considered++
+							if cand == nil {
+								continue
+							}
+							acc.add(cand, interesting)
+						}
 					}
 				}
 			}
-			if bestCand != nil {
-				best[mask] = bestCand
+			if acc.best != nil {
+				table[mask] = acc
 			}
 		}
 	}
-	if best[full] == nil {
+	if table[full] == nil || table[full].best == nil {
 		return nil, considered, fmt.Errorf("optimizer: no plan satisfies the active guideline constraints")
 	}
-	return best[full].node, considered, nil
+	return table[full].best.node, considered, nil
 }
 
-func hasConnectedSplit(q *sqlparser.Query, byName map[string]*Quantifier, mask uint64, best map[uint64]*planCand, maskSet func(uint64) map[string]bool) bool {
+func hasConnectedSplit(q *sqlparser.Query, byName map[string]*Quantifier, mask uint64, table map[uint64]*candSet, maskSet func(uint64) map[string]bool) bool {
 	for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
 		rest := mask ^ sub
-		if best[sub] == nil || best[rest] == nil {
+		if table[sub] == nil || table[rest] == nil {
 			continue
 		}
 		if len(joinPredsBetween(q, byName, maskSet(sub), maskSet(rest))) > 0 {

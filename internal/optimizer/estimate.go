@@ -8,7 +8,9 @@ import (
 )
 
 // Selectivity defaults used when statistics are missing, mirroring the
-// classic System-R reduction factors.
+// classic System-R reduction factors. They are the fallback of last resort:
+// when a column carries an equi-depth histogram (storage.Analyze), range,
+// BETWEEN and equality predicates are estimated from it instead.
 const (
 	defaultEqSel      = 0.01
 	defaultRangeSel   = 1.0 / 3.0
@@ -79,11 +81,20 @@ func (o *Optimizer) predicateSelectivity(ts *catalog.TableStats, p sqlparser.Pre
 		}
 		return clampSel(s)
 	case sqlparser.PredIn:
-		eq := defaultEqSel
-		if cs != nil && cs.NDV > 0 {
-			eq = 1.0 / float64(cs.NDV)
+		s := 0.0
+		for _, v := range p.Values {
+			if cs != nil {
+				if e := cs.Histogram.EqFraction(v); e >= 0 {
+					s += e
+					continue
+				}
+				if cs.NDV > 0 {
+					s += 1.0 / float64(cs.NDV)
+					continue
+				}
+			}
+			s += defaultEqSel
 		}
-		s := float64(len(p.Values)) * eq
 		if p.Not {
 			s = 1 - s
 		}
@@ -115,14 +126,22 @@ func compareSelectivity(cs *catalog.ColumnStats, p sqlparser.Predicate) float64 
 			if n, ok := cs.FrequencyOf(p.Value); ok && cs.RowCount > 0 {
 				return clampSel(float64(n) / float64(cs.RowCount))
 			}
+			if s := cs.Histogram.EqFraction(p.Value); s >= 0 {
+				return clampSel(s)
+			}
 			if cs.NDV > 0 {
 				return clampSel(1.0 / float64(cs.NDV))
 			}
 		}
 		return defaultEqSel
 	case "<>":
-		if cs != nil && cs.NDV > 0 {
-			return clampSel(1 - 1.0/float64(cs.NDV))
+		if cs != nil {
+			if s := cs.Histogram.EqFraction(p.Value); s >= 0 {
+				return clampSel(1 - s)
+			}
+			if cs.NDV > 0 {
+				return clampSel(1 - 1.0/float64(cs.NDV))
+			}
 		}
 		return clampSel(1 - defaultEqSel)
 	case "<", "<=":
@@ -142,11 +161,19 @@ func compareSelectivity(cs *catalog.ColumnStats, p sqlparser.Predicate) float64 
 	}
 }
 
-// rangeFraction interpolates what fraction of the column's [min,max] domain
-// the range [lo,hi] covers; it returns -1 when interpolation is impossible
-// (missing stats or non-numeric domain).
+// rangeFraction estimates what fraction of the column's rows the range
+// [lo, hi] covers. The equi-depth histogram answers first when one was
+// collected; otherwise the estimate falls back to linear interpolation over
+// the column's [min, max] domain (the pre-ANALYZE behaviour). It returns -1
+// when neither is possible (missing stats or non-numeric domain).
 func rangeFraction(cs *catalog.ColumnStats, lo, hi *catalog.Value) float64 {
-	if cs == nil || cs.Min.IsNull() || cs.Max.IsNull() {
+	if cs == nil {
+		return -1
+	}
+	if s := cs.Histogram.RangeFraction(lo, hi); s >= 0 {
+		return s
+	}
+	if cs.Min.IsNull() || cs.Max.IsNull() {
 		return -1
 	}
 	switch cs.Min.K {

@@ -172,9 +172,18 @@ func (o *Optimizer) addFinalOperators(q *sqlparser.Query, root *qgm.Node) *qgm.N
 			EstCardinality: groups,
 			EstCost:        root.EstCost + card*o.Cat.Config.CPUSpeed,
 			RowSize:        root.RowSize,
+			OrderedOn:      root.OrderedOn, // dedup keeps encounter order
 		}
 	}
 	if len(q.OrderBy) > 0 {
+		// Order-property payoff: a single-column ORDER BY whose column the
+		// plan already delivers sorted needs no final SORT.
+		if len(q.OrderBy) == 1 && root.OrderedOn != "" {
+			if inst := InstanceFor(q, q.OrderBy[0].Table); inst != "" &&
+				strings.EqualFold(root.OrderedOn, inst+"."+q.OrderBy[0].Column) {
+				return root
+			}
+		}
 		card := root.EstCardinality
 		root = &qgm.Node{
 			Op:             qgm.OpSORT,
@@ -182,9 +191,23 @@ func (o *Optimizer) addFinalOperators(q *sqlparser.Query, root *qgm.Node) *qgm.N
 			EstCardinality: card,
 			EstCost:        root.EstCost + sortCost(o.Cat.Config, card, root.RowSize),
 			RowSize:        root.RowSize,
+			OrderedOn:      orderByProperty(q),
 		}
 	}
 	return root
+}
+
+// orderByProperty returns the instance-qualified first ORDER BY column, the
+// order property a final SORT establishes.
+func orderByProperty(q *sqlparser.Query) string {
+	if len(q.OrderBy) == 0 {
+		return ""
+	}
+	inst := InstanceFor(q, q.OrderBy[0].Table)
+	if inst == "" {
+		return ""
+	}
+	return inst + "." + q.OrderBy[0].Column
 }
 
 // InstanceFor returns the instance name assigned to a FROM reference name.

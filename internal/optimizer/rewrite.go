@@ -31,11 +31,26 @@ func (o *Optimizer) rewrite(q *sqlparser.Query, report *Report) {
 	}
 	q.Where = dedup
 
-	// Predicate transitivity across equality join predicates.
+	// Predicate transitivity across equality join predicates: equality,
+	// range-comparison and BETWEEN predicates on one side of a.x = b.y hold
+	// for the other side too. Range transitivity is what carries a dimension's
+	// date-range restriction onto the fact table's join key, giving the
+	// cost-based tier a sargable fact-side predicate (and, with stale fact
+	// statistics, the Figure 8 misestimation surface).
 	var inferred []sqlparser.Predicate
 	for _, jp := range q.JoinPredicates() {
 		for _, lp := range q.LocalPredicates() {
-			if lp.Kind != sqlparser.PredCompare || lp.Op != "=" {
+			transitive := false
+			switch {
+			case lp.Kind == sqlparser.PredCompare:
+				switch lp.Op {
+				case "=", "<", "<=", ">", ">=":
+					transitive = true
+				}
+			case lp.Kind == sqlparser.PredBetween && !lp.Not:
+				transitive = true
+			}
+			if !transitive {
 				continue
 			}
 			var target sqlparser.ColumnRef
@@ -46,7 +61,8 @@ func (o *Optimizer) rewrite(q *sqlparser.Query, report *Report) {
 			} else {
 				continue
 			}
-			cand := sqlparser.Predicate{Kind: sqlparser.PredCompare, Left: target, Op: "=", Value: lp.Value}
+			cand := lp
+			cand.Left = target
 			if !seen[cand.String()] {
 				seen[cand.String()] = true
 				inferred = append(inferred, cand)

@@ -20,16 +20,16 @@ type OpType string
 // Operator types. The names follow DB2's LOLEPOP vocabulary used in the
 // paper.
 const (
-	OpTBSCAN OpType = "TBSCAN"  // full table scan
-	OpIXSCAN OpType = "IXSCAN"  // index-only / index-driven scan
+	OpTBSCAN OpType = "TBSCAN"   // full table scan
+	OpIXSCAN OpType = "IXSCAN"   // index-only / index-driven scan
 	OpFETCH  OpType = "F-IXSCAN" // fetch rows via an index (FETCH over IXSCAN)
-	OpNLJOIN OpType = "NLJOIN"  // nested-loop join
-	OpHSJOIN OpType = "HSJOIN"  // hash join
-	OpMSJOIN OpType = "MSJOIN"  // sort-merge join
-	OpSORT   OpType = "SORT"    // explicit sort (rendered TB-SORT when read by a scan)
-	OpFILTER OpType = "FILTER"  // residual predicate application
-	OpGRPBY  OpType = "GRPBY"   // grouping / aggregation
-	OpRETURN OpType = "RETURN"  // plan root
+	OpNLJOIN OpType = "NLJOIN"   // nested-loop join
+	OpHSJOIN OpType = "HSJOIN"   // hash join
+	OpMSJOIN OpType = "MSJOIN"   // sort-merge join
+	OpSORT   OpType = "SORT"     // explicit sort (rendered TB-SORT when read by a scan)
+	OpFILTER OpType = "FILTER"   // residual predicate application
+	OpGRPBY  OpType = "GRPBY"    // grouping / aggregation
+	OpRETURN OpType = "RETURN"   // plan root
 )
 
 // IsJoin reports whether the operator is one of the three join methods.
@@ -60,6 +60,14 @@ type Node struct {
 	EstCost        float64 // cumulative cost of the subtree, in timerons
 	RowSize        int     // estimated output row width in bytes
 	Pages          float64 // estimated pages touched by this operator
+
+	// OrderedOn is the plan property naming the instance-qualified column
+	// ("Qi.COL") the operator's output is sorted on, or "" when the output
+	// carries no useful order. It is produced by index scans and SORTs,
+	// preserved by joins that keep their outer input's order (HSJOIN, NLJOIN)
+	// and claimed by MSJOIN for its merge column — which is how a merge join
+	// proves sort-avoidance at plan time.
+	OrderedOn string
 
 	// Actual properties (set by the executor after a run).
 	ActCardinality float64

@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"testing"
+
+	"galo/internal/catalog"
+)
+
+func analyzeSchema() *catalog.Schema {
+	s := catalog.NewSchema("T")
+	tbl := catalog.NewTable("NUMS",
+		catalog.Column{Name: "v", Type: catalog.KindInt},
+		catalog.Column{Name: "label", Type: catalog.KindString},
+	)
+	s.AddTable(tbl)
+	return s
+}
+
+func TestBuildEquiDepthHistogramUniform(t *testing.T) {
+	var values []catalog.Value
+	for i := 1; i <= 1000; i++ {
+		values = append(values, catalog.Int(int64(i)))
+	}
+	h := BuildEquiDepthHistogram(values, 10)
+	if h.NumBuckets() != 10 {
+		t.Fatalf("buckets = %d, want 10", h.NumBuckets())
+	}
+	if h.Rows != 1000 || h.Min.AsInt() != 1 || h.Max().AsInt() != 1000 {
+		t.Errorf("histogram bounds wrong: rows=%d min=%v max=%v", h.Rows, h.Min, h.Max())
+	}
+	for i, b := range h.Buckets {
+		if b.Count != 100 || b.NDV != 100 {
+			t.Errorf("bucket %d: count=%d ndv=%d, want 100/100", i, b.Count, b.NDV)
+		}
+	}
+	// Estimated vs true fraction for a mid range.
+	lo, hi := catalog.Int(251), catalog.Int(500)
+	if f := h.RangeFraction(&lo, &hi); f < 0.22 || f > 0.28 {
+		t.Errorf("range [251,500] fraction = %v, want ~0.25", f)
+	}
+}
+
+func TestBuildEquiDepthHistogramSkewed(t *testing.T) {
+	// Zipf-ish: value 1 appears 500 times, values 2..501 once each.
+	var values []catalog.Value
+	for i := 0; i < 500; i++ {
+		values = append(values, catalog.Int(1))
+	}
+	for i := 2; i <= 501; i++ {
+		values = append(values, catalog.Int(int64(i)))
+	}
+	h := BuildEquiDepthHistogram(values, 10)
+	// Bucket boundaries never split the heavy hitter's run.
+	first := h.Buckets[0]
+	if first.Hi.AsInt() != 1 || first.Count != 500 || first.NDV != 1 {
+		t.Fatalf("heavy hitter bucket = %+v", first)
+	}
+	if f := h.EqFraction(catalog.Int(1)); f < 0.45 || f > 0.55 {
+		t.Errorf("heavy hitter equality fraction = %v, want 0.5", f)
+	}
+	// The tail estimate stays proportional despite the skew.
+	lo, hi := catalog.Int(2), catalog.Int(501)
+	if f := h.RangeFraction(&lo, &hi); f < 0.4 || f > 0.6 {
+		t.Errorf("tail fraction = %v, want ~0.5", f)
+	}
+}
+
+func TestBuildEquiDepthHistogramConstantAndEmpty(t *testing.T) {
+	var values []catalog.Value
+	for i := 0; i < 64; i++ {
+		values = append(values, catalog.Int(7))
+	}
+	h := BuildEquiDepthHistogram(values, 8)
+	if h.NumBuckets() != 1 {
+		t.Fatalf("constant column should collapse to one bucket, got %d", h.NumBuckets())
+	}
+	if h.Buckets[0].NDV != 1 || h.Buckets[0].Count != 64 {
+		t.Errorf("constant bucket = %+v", h.Buckets[0])
+	}
+	if f := h.EqFraction(catalog.Int(7)); f != 1 {
+		t.Errorf("constant equality fraction = %v, want 1", f)
+	}
+	lo, hi := catalog.Int(7), catalog.Int(7)
+	if f := h.RangeFraction(&lo, &hi); f != 1 {
+		t.Errorf("constant point-range fraction = %v, want 1", f)
+	}
+	if BuildEquiDepthHistogram(nil, 8) != nil {
+		t.Errorf("empty input should produce a nil histogram")
+	}
+}
+
+func TestAnalyzeInstallsHistogramsAndNDV(t *testing.T) {
+	cat := catalog.New(analyzeSchema())
+	db := NewDatabase(cat)
+	for i := 1; i <= 200; i++ {
+		label := catalog.String("even")
+		if i%2 == 1 {
+			label = catalog.String("odd")
+		}
+		if err := db.Insert("NUMS", Row{catalog.Int(int64(i % 50)), label}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Analyze(db, "NUMS", AnalyzeOptions{Buckets: 8}); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	ts := cat.Stats("NUMS")
+	if ts == nil {
+		t.Fatal("Analyze did not create table stats")
+	}
+	v := ts.ColumnStats("V")
+	if v == nil || v.Histogram == nil {
+		t.Fatal("no histogram on V")
+	}
+	if v.NDV != 50 {
+		t.Errorf("NDV = %d, want 50", v.NDV)
+	}
+	if v.Min.AsInt() != 0 || v.Max.AsInt() != 49 {
+		t.Errorf("min/max = %v/%v", v.Min, v.Max)
+	}
+	lbl := ts.ColumnStats("LABEL")
+	if lbl == nil || lbl.Histogram == nil || lbl.NDV != 2 {
+		t.Fatalf("label stats = %+v", lbl)
+	}
+	if f := lbl.Histogram.EqFraction(catalog.String("odd")); f < 0.4 || f > 0.6 {
+		t.Errorf("odd fraction = %v, want 0.5", f)
+	}
+	// ANALYZE describes collection time: later inserts are invisible until
+	// the next pass.
+	for i := 0; i < 300; i++ {
+		if err := db.Insert("NUMS", Row{catalog.Int(999), catalog.String("late")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := cat.Stats("NUMS").ColumnStats("V")
+	if f := stale.Histogram.EqFraction(catalog.Int(999)); f != 0 {
+		t.Errorf("stale histogram sees the new load: %v", f)
+	}
+	if err := Analyze(db, "NUMS", AnalyzeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	fresh := cat.Stats("NUMS").ColumnStats("V")
+	if fresh.Max.AsInt() != 999 {
+		t.Errorf("re-ANALYZE max = %v, want 999", fresh.Max)
+	}
+	if f := fresh.Histogram.EqFraction(catalog.Int(999)); f <= 0.1 {
+		t.Errorf("re-ANALYZE should see the new load: %v", f)
+	}
+	if err := Analyze(db, "NO_SUCH", AnalyzeOptions{}); err == nil {
+		t.Errorf("analyzing an unknown table should fail")
+	}
+}

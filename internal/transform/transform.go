@@ -141,13 +141,24 @@ type MatchQueryInfo struct {
 	NodeVars map[int]string
 }
 
+// ProbeSolutionLimit bounds how many matching templates one knowledge base
+// probe may return: the generated SPARQL carries a LIMIT and the evaluator
+// stops enumerating solutions at the bound, keeping cold probes flat even
+// when a large knowledge base holds many templates matching the same
+// fragment shape. The cut is by enumeration order, not by improvement — the
+// matcher picks the best-improvement template *among the first k matches*,
+// trading the global optimum (every match already cleared the learning
+// improvement threshold, so any of them helps) for bounded probe time.
+const ProbeSolutionLimit = 8
+
 // FragmentMatchQuery generates the SPARQL query that probes the knowledge
 // base for problem-pattern templates matching the given plan fragment. The
 // query constrains operator types, the outer/inner input-stream structure,
 // and — through FILTERs — that the fragment's estimated cardinalities fall
 // within each template operator's lower/upper bounds. Table and column names
 // are deliberately not constrained: that is the canonical-symbol abstraction
-// that lets patterns learned on one workload match another.
+// that lets patterns learned on one workload match another. Results are
+// capped at ProbeSolutionLimit (see above).
 func FragmentMatchQuery(fragment *qgm.Node) (string, *MatchQueryInfo, error) {
 	if fragment == nil {
 		return "", nil, fmt.Errorf("transform: nil fragment")
@@ -214,7 +225,7 @@ func FragmentMatchQuery(fragment *qgm.Node) (string, *MatchQueryInfo, error) {
 		}
 	}
 
-	fmt.Fprintf(&b, "SELECT %s\nWHERE {\n%s}\n", strings.Join(selectVars, " "), where.String())
+	fmt.Fprintf(&b, "SELECT %s\nWHERE {\n%s}\nLIMIT %d\n", strings.Join(selectVars, " "), where.String(), ProbeSolutionLimit)
 	return b.String(), info, nil
 }
 

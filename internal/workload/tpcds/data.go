@@ -16,10 +16,20 @@ type GenOptions struct {
 	// fact rows, a laptop-scale stand-in for the paper's 1 GB database).
 	Scale float64
 	// Hazards, when true, installs the estimation hazards the paper's problem
-	// patterns stem from: stale statistics on the fact tables and a
-	// configured transfer rate that overstates the true sequential read cost.
+	// patterns stem from: statistics (including the ANALYZE histograms) are
+	// collected after the historical fact wave but *before* the recent-window
+	// flood — so the optimizer plans over a snapshot that is genuinely stale,
+	// believing the fact tables are ~HistoricalFraction of their true size
+	// and that almost no fact rows carry recent dates — and the configured
+	// transfer rate overstates the true sequential read cost.
 	Hazards bool
 }
+
+// HistoricalFraction is the share of each fact table loaded as the
+// "historical" wave, whose dates spread over the old calendar. The remaining
+// rows are the recent-window flood loaded after statistics collection when
+// hazards are on.
+const HistoricalFraction = 0.3
 
 // DefaultGenOptions generates a small but realistic instance with hazards on.
 func DefaultGenOptions() GenOptions {
@@ -92,9 +102,9 @@ func Generate(opts GenOptions) (*storage.Database, error) {
 		}
 	}
 
-	// DATE_DIM: a long calendar range; sales will only reference the final
-	// saleWindow days, reproducing the Figure 8 mismatch between the
-	// dimension's range and the fact data's range.
+	// DATE_DIM: a long calendar range; the bulk of the sales references only
+	// the final saleWindow days, reproducing the Figure 8 mismatch between
+	// the dimension's range and the fact data's range.
 	const startYearDay = int64(7305) // 1990-01-01 in days since epoch
 	dayNames := []string{"Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"}
 	for i := 1; i <= nDates; i++ {
@@ -111,12 +121,21 @@ func Generate(opts GenOptions) (*storage.Database, error) {
 			return nil, err
 		}
 	}
-	saleWindow := nDates / 12 // sales exist only in the most recent twelfth of the calendar
+	saleWindow := nDates / 12 // the flood lives in the most recent twelfth of the calendar
 	if saleWindow < 1 {
 		saleWindow = 1
 	}
+	histSpan := nDates - saleWindow
+	if histSpan < 1 {
+		histSpan = 1
+	}
+	// saleDate draws a flood date from the recent window; histDate draws a
+	// historical date uniformly over the old calendar.
 	saleDate := func() int64 {
 		return int64(nDates - g.Intn(saleWindow))
+	}
+	histDate := func() int64 {
+		return int64(g.Intn(histSpan) + 1)
 	}
 
 	// CUSTOMER_ADDRESS: state heavily skewed toward the first few states.
@@ -195,57 +214,92 @@ func Generate(opts GenOptions) (*storage.Database, error) {
 	}
 
 	// Fact tables: item and customer foreign keys are Zipf-skewed (popular
-	// items and repeat customers dominate).
-	for i := 0; i < counts[StoreSales]; i++ {
-		if err := db.Insert(StoreSales, storage.Row{
-			catalog.Int(saleDate()),
-			catalog.Int(g.SkewedInt(int64(nItems), 1.8)),
-			catalog.Int(g.SkewedInt(int64(nCustomers), 1.5)),
-			catalog.Int(g.UniformInt(1, int64(nDemos))),
-			catalog.Int(g.SkewedInt(int64(nAddresses), 1.4)),
-			catalog.Int(g.UniformInt(1, int64(nStores))),
-			catalog.Int(g.UniformInt(1, 100)),
-			catalog.Float(g.Float(1, 500)),
-			catalog.Float(g.Float(-50, 250)),
-		}); err != nil {
-			return nil, err
+	// items and repeat customers dominate). Rows arrive in two waves: a
+	// historical wave whose dates spread over the old calendar and the
+	// recent-window flood. With hazards on, statistics — cardinalities AND
+	// the ANALYZE histograms — are snapshotted between the waves, which is
+	// exactly the stale-statistics window behind the paper's Figure 8: the
+	// optimizer believes recent dates are nearly empty of sales when in truth
+	// they hold the bulk of the data.
+	insertFacts := func(date func() int64, n map[string]int) error {
+		for i := 0; i < n[StoreSales]; i++ {
+			if err := db.Insert(StoreSales, storage.Row{
+				catalog.Int(date()),
+				catalog.Int(g.SkewedInt(int64(nItems), 1.8)),
+				catalog.Int(g.SkewedInt(int64(nCustomers), 1.5)),
+				catalog.Int(g.UniformInt(1, int64(nDemos))),
+				catalog.Int(g.SkewedInt(int64(nAddresses), 1.4)),
+				catalog.Int(g.UniformInt(1, int64(nStores))),
+				catalog.Int(g.UniformInt(1, 100)),
+				catalog.Float(g.Float(1, 500)),
+				catalog.Float(g.Float(-50, 250)),
+			}); err != nil {
+				return err
+			}
 		}
-	}
-	for i := 0; i < counts[CatalogSales]; i++ {
-		if err := db.Insert(CatalogSales, storage.Row{
-			catalog.Int(saleDate()),
-			catalog.Int(g.SkewedInt(int64(nItems), 2.0)),
-			catalog.Int(g.SkewedInt(int64(nCustomers), 1.6)),
-			catalog.Int(g.SkewedInt(int64(nAddresses), 1.6)),
-			catalog.Int(g.UniformInt(1, int64(nDemos))),
-			catalog.Int(g.UniformInt(1, 100)),
-			catalog.Float(g.Float(1, 800)),
-		}); err != nil {
-			return nil, err
+		for i := 0; i < n[CatalogSales]; i++ {
+			if err := db.Insert(CatalogSales, storage.Row{
+				catalog.Int(date()),
+				catalog.Int(g.SkewedInt(int64(nItems), 2.0)),
+				catalog.Int(g.SkewedInt(int64(nCustomers), 1.6)),
+				catalog.Int(g.SkewedInt(int64(nAddresses), 1.6)),
+				catalog.Int(g.UniformInt(1, int64(nDemos))),
+				catalog.Int(g.UniformInt(1, 100)),
+				catalog.Float(g.Float(1, 800)),
+			}); err != nil {
+				return err
+			}
 		}
-	}
-	for i := 0; i < counts[WebSales]; i++ {
-		if err := db.Insert(WebSales, storage.Row{
-			catalog.Int(saleDate()),
-			catalog.Int(g.SkewedInt(int64(nItems), 1.7)),
-			catalog.Int(g.SkewedInt(int64(nCustomers), 1.5)),
-			catalog.Int(g.UniformInt(1, 100)),
-			catalog.Float(g.Float(1, 600)),
-		}); err != nil {
-			return nil, err
+		for i := 0; i < n[WebSales]; i++ {
+			if err := db.Insert(WebSales, storage.Row{
+				catalog.Int(date()),
+				catalog.Int(g.SkewedInt(int64(nItems), 1.7)),
+				catalog.Int(g.SkewedInt(int64(nCustomers), 1.5)),
+				catalog.Int(g.UniformInt(1, 100)),
+				catalog.Float(g.Float(1, 600)),
+			}); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-
-	if err := stats.CollectAll(db, stats.DefaultOptions()); err != nil {
+	histCounts := map[string]int{}
+	floodCounts := map[string]int{}
+	for _, tbl := range []string{StoreSales, CatalogSales, WebSales} {
+		histCounts[tbl] = int(float64(counts[tbl]) * HistoricalFraction)
+		floodCounts[tbl] = counts[tbl] - histCounts[tbl]
+	}
+	if err := insertFacts(histDate, histCounts); err != nil {
 		return nil, err
 	}
+	collect := func() error {
+		if err := stats.CollectAll(db, stats.DefaultOptions()); err != nil {
+			return err
+		}
+		return storage.AnalyzeAll(db, storage.AnalyzeOptions{})
+	}
+	if opts.Hazards {
+		// RUNSTATS + ANALYZE before the flood: genuinely stale statistics.
+		if err := collect(); err != nil {
+			return nil, err
+		}
+	}
+	if err := insertFacts(saleDate, floodCounts); err != nil {
+		return nil, err
+	}
+	if !opts.Hazards {
+		if err := collect(); err != nil {
+			return nil, err
+		}
+	}
 	// Size memory relative to the data so plan choice matters at any scale:
-	// dimension tables fit in the buffer pool, fact tables do not, and large
-	// hash builds and sorts spill — mirroring the paper's 1 GB database with
+	// dimension tables (and a stale-statistics-sized fact snapshot) fit in
+	// the buffer pool while the biggest fact tables do not, and large hash
+	// builds and sorts spill — mirroring the paper's 1 GB database with
 	// "main memory adjusted accordingly to simulate real-world environment".
 	cfg := db.Catalog.Config
 	factPages := db.Pages(StoreSales) + db.Pages(CatalogSales) + db.Pages(WebSales)
-	cfg.BufferPoolPages = maxPages(32, factPages/8)
+	cfg.BufferPoolPages = maxPages(32, factPages/5)
 	cfg.SortHeapPages = maxPages(4, factPages/40)
 	db.Catalog.Config = cfg
 
@@ -263,23 +317,22 @@ func maxPages(a, b int64) int64 {
 }
 
 // InstallHazards distorts what the optimizer believes without changing the
-// data: fact-table statistics go stale (the optimizer thinks the facts are
-// much smaller than they are) and the configured transfer rate overstates the
-// true sequential read cost by 3x (the Figure 7 pattern).
+// data: the configured transfer rate overstates the true sequential read
+// cost by 3x (the Figure 7 pattern). Fact-table statistics staleness needs
+// no synthetic distortion any more — Generate collects statistics before the
+// recent-window flood, so the snapshot is genuinely stale.
 func InstallHazards(db *storage.Database) {
 	cat := db.Catalog
-	_ = cat.SetStaleFactor(CatalogSales, 0.08)
-	_ = cat.SetStaleFactor(StoreSales, 0.20)
-	_ = cat.SetStaleFactor(WebSales, 0.30)
 	cfg := cat.Config
 	cfg.RuntimeTransferRate = cfg.TransferRate
 	cfg.TransferRate = cfg.TransferRate * 3.0
 	cat.Config = cfg
 }
 
-// SaleDateRange returns the d_date_sk range [lo, hi] in which fact rows
-// actually exist, and the full dimension range [1, max]. Queries that filter
-// on wider ranges reproduce the over-estimation of Figure 8.
+// SaleDateRange returns the d_date_sk range [lo, hi] holding the
+// recent-window flood (the bulk of the fact rows), and the full dimension
+// range [1, max]. Queries filtering on ranges around this window reproduce
+// the misestimation of Figure 8.
 func SaleDateRange(db *storage.Database) (lo, hi, max int64) {
 	n := int64(db.RowCount(DateDim))
 	window := n / 12
@@ -287,4 +340,23 @@ func SaleDateRange(db *storage.Database) (lo, hi, max int64) {
 		window = 1
 	}
 	return n - window + 1, n, n
+}
+
+// WideDateRange returns the d_date_sk range of the Figure 8 wide-range
+// variant: it covers the entire recent sale window plus a tail of the old
+// calendar — months of dates, all of the actual sales — yet a statistics
+// snapshot taken before the flood believes it matches only the thin
+// historical tail.
+func WideDateRange(db *storage.Database) (lo, hi int64) {
+	winLo, winHi, max := SaleDateRange(db)
+	histSpan := max - (winHi - winLo + 1)
+	tail := histSpan / 30
+	if tail < 1 {
+		tail = 1
+	}
+	lo = winLo - tail
+	if lo < 1 {
+		lo = 1
+	}
+	return lo, winHi
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"galo/internal/sqlparser"
+	"galo/internal/storage"
 )
 
 // Queries returns the 99-query TPC-DS-like workload. The queries are
@@ -239,4 +240,53 @@ func Fig8Query() *sqlparser.Query {
 		AND d_year >= 1990 AND i_category = 'Jewelry'`)
 	q.Name = "TPCDS.FIG8"
 	return q
+}
+
+// Fig8WideQuery is the wide-range Figure 8 variant over the given database:
+// store_sales joined with date_dim restricted to WideDateRange — months of
+// dates covering every actual sale — then joined with item. The rewrite tier
+// carries the range transitively onto ss_sold_date_sk, where the stale
+// fact-side histogram (collected before the recent-window flood) says almost
+// nothing matches; the believed-tiny sorted index access then lets MSJOIN
+// claim sort-avoidance and win the plan, while at runtime the access floods
+// and a hash join over scans is decisively faster. This is the honest,
+// deterministic misestimation the learning engine harvests.
+func Fig8WideQuery(db *storage.Database) *sqlparser.Query {
+	lo, hi := WideDateRange(db)
+	q := sqlparser.MustParse(fmt.Sprintf(`SELECT i_item_desc, ss_quantity, ss_sales_price
+		FROM store_sales, date_dim, item
+		WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk
+		AND d_date_sk BETWEEN %d AND %d AND i_category = 'Jewelry'`, lo, hi))
+	q.Name = "TPCDS.FIG8W"
+	return q
+}
+
+// Fig8WideVariants returns n wide-range Figure 8 variants whose ranges start
+// progressively deeper in the old calendar while always covering the whole
+// recent sale window — the spread of reduction factors the learning engine
+// varies predicates over.
+func Fig8WideVariants(db *storage.Database, n int) []*sqlparser.Query {
+	winLo, winHi, max := SaleDateRange(db)
+	histSpan := max - (winHi - winLo + 1)
+	var out []*sqlparser.Query
+	for i := 0; i < n; i++ {
+		// Tails from ~2% up to ~6% of the old calendar: every variant sits
+		// inside the misestimation window (the stale histogram believes the
+		// sorted fact access is nearly free), and their believed cardinalities
+		// stay within one template's bounds band (~3x spread), so a template
+		// learned from one variant rescues the others.
+		tail := histSpan * int64(i+2) / int64(20*(n+1))
+		lo := winLo - tail
+		if lo < 1 {
+			lo = 1
+		}
+		q := sqlparser.MustParse(fmt.Sprintf(`SELECT i_item_desc, ss_quantity, ss_sales_price
+			FROM store_sales, date_dim, item
+			WHERE ss_sold_date_sk = d_date_sk AND ss_item_sk = i_item_sk
+			AND d_date_sk BETWEEN %d AND %d AND i_category = '%s'`,
+			lo, winHi, Categories[i%len(Categories)]))
+		q.Name = fmt.Sprintf("TPCDS.FIG8W%02d", i+1)
+		out = append(out, q)
+	}
+	return out
 }

@@ -3,6 +3,7 @@ package tpcds
 import (
 	"testing"
 
+	"galo/internal/catalog"
 	"galo/internal/sqlparser"
 	"galo/internal/storage"
 )
@@ -83,20 +84,42 @@ func TestGenerateCollectsStatsAndHazards(t *testing.T) {
 	if ts == nil {
 		t.Fatal("no stats for catalog_sales")
 	}
-	if ts.StaleFactor >= 1.0 {
-		t.Errorf("hazards should make catalog_sales stats stale, factor=%v", ts.StaleFactor)
+	// The statistics snapshot predates the recent-window flood, so it is
+	// genuinely stale: the recorded cardinality is the historical wave only.
+	actual := int64(db.RowCount(CatalogSales))
+	if ts.Cardinality >= actual/2 {
+		t.Errorf("hazards should leave a stale cardinality snapshot: recorded %d of %d", ts.Cardinality, actual)
+	}
+	// The stale histogram on the fact date key believes the sale window holds
+	// almost nothing.
+	cs := ts.ColumnStats("CS_SOLD_DATE_SK")
+	if cs == nil || cs.Histogram == nil {
+		t.Fatal("ANALYZE histograms missing for catalog_sales date key")
+	}
+	lo, hi, _ := SaleDateRange(db)
+	loV, hiV := catalog.Int(lo), catalog.Int(hi)
+	if frac := cs.Histogram.RangeFraction(&loV, &hiV); frac > 0.1 {
+		t.Errorf("stale histogram believes %.2f of sales are in the flood window", frac)
 	}
 	cfg := db.Catalog.Config
 	if cfg.RuntimeTransferRate <= 0 || cfg.TransferRate <= cfg.RuntimeTransferRate {
 		t.Errorf("hazards should overstate the configured transfer rate: %+v", cfg)
 	}
-	// Without hazards, estimates are honest.
+	// Without hazards, estimates are honest: full cardinality and a
+	// histogram that sees the flood.
 	clean, err := Generate(GenOptions{Seed: 7, Scale: 0.05, Hazards: false})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if clean.Catalog.Stats(CatalogSales).StaleFactor != 1.0 {
-		t.Errorf("hazard-free generation should keep fresh stats")
+	fresh := clean.Catalog.Stats(CatalogSales)
+	if fresh.Cardinality != int64(clean.RowCount(CatalogSales)) {
+		t.Errorf("hazard-free generation should keep fresh stats: %d of %d",
+			fresh.Cardinality, clean.RowCount(CatalogSales))
+	}
+	flo, fhi, _ := SaleDateRange(clean)
+	floV, fhiV := catalog.Int(flo), catalog.Int(fhi)
+	if frac := fresh.ColumnStats("CS_SOLD_DATE_SK").Histogram.RangeFraction(&floV, &fhiV); frac < 0.5 {
+		t.Errorf("fresh histogram should see the flood window: %.2f", frac)
 	}
 }
 
@@ -106,14 +129,26 @@ func TestSalesConcentratedInRecentDates(t *testing.T) {
 	if hi != max || lo <= 0 || lo >= hi {
 		t.Fatalf("SaleDateRange = %d..%d of %d", lo, hi, max)
 	}
-	// Every store_sales date key falls inside the sale window.
+	// The flood wave concentrates in the sale window: at least the
+	// non-historical fraction of store_sales dates falls inside it, while the
+	// historical wave spreads over the old calendar.
 	ssDef := db.Table(StoreSales).Def
 	ci := ssDef.ColumnIndex("SS_SOLD_DATE_SK")
+	inWindow, older := 0, 0
 	for _, row := range db.Table(StoreSales).Rows {
 		d := row[ci].AsInt()
-		if d < lo || d > hi {
-			t.Fatalf("store_sales date %d outside sale window [%d,%d]", d, lo, hi)
+		if d >= lo && d <= hi {
+			inWindow++
+		} else {
+			older++
 		}
+	}
+	total := inWindow + older
+	if float64(inWindow) < float64(total)*(1-HistoricalFraction) {
+		t.Errorf("flood not concentrated: %d of %d rows in window", inWindow, total)
+	}
+	if older == 0 {
+		t.Errorf("historical wave missing: all %d rows in the sale window", total)
 	}
 	// The dimension is an order of magnitude wider than the sale window — the
 	// Figure 8 precondition.
