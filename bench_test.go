@@ -65,7 +65,7 @@ func benchFigure(b *testing.B, db *galo.Database, query *galo.Query, workload st
 	b.ReportMetric(lastImprovement*100, "%improvement")
 }
 
-func sysKBSize(sys *galo.System) float64 { return float64(sys.KB.Size()) }
+func sysKBSize(sys *galo.System) float64 { return float64(sys.KB().Size()) }
 
 // BenchmarkFig01ClientJoinRewrite regenerates Figure 1: the client workload's
 // OPEN_IN / ENTRY_IDX join, comparing the problematic plan of Figure 1a (a

@@ -7,8 +7,14 @@
 //	galo learn   -workload tpcds|client [-scale 0.2] [-queries N] [-kb kb.nt]
 //	galo reopt   -workload tpcds|client -kb kb.nt [-query "SELECT ..."] [-name TPCDS.Q09]
 //	galo kb      -kb kb.nt
-//	galo serve   -kb kb.nt [-addr :3030]
+//	galo serve   -kb kb.nt [-addr :3030] [-online]
 //	galo explain -workload tpcds|client [-query "SELECT ..."]
+//
+// serve exposes the re-optimization HTTP API (see `galo help` for example
+// requests): POST /reopt re-optimizes SQL against the knowledge base,
+// POST /query answers SPARQL, GET /stats reports serving counters, and
+// -online promotes templates from misestimated runs into new KB epochs
+// while serving.
 package main
 
 import (
@@ -58,8 +64,22 @@ commands:
   learn    run offline learning over a workload and save the knowledge base
   reopt    re-optimize queries online against a knowledge base
   kb       list the templates stored in a knowledge base
-  serve    serve a knowledge base as a Fuseki-style SPARQL endpoint
-  explain  show the optimizer's plan for a query without GALO`)
+  serve    run the re-optimization HTTP service over a knowledge base
+  explain  show the optimizer's plan for a query without GALO
+
+the serve API (default address :3030):
+  # re-optimize a query; add "execute": true for validated simulated timings
+  curl -s localhost:3030/reopt -d '{"sql": "SELECT ss_quantity FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk", "execute": true}'
+
+  # SPARQL against the knowledge base (the paper's Fuseki role)
+  curl -s localhost:3030/query --data-urlencode 'query=SELECT ?s WHERE { ?s <http://galo/qep/property/hasPopType> "HSJOIN" . }'
+
+  # serving counters: KB epoch/size, cache and probe-dedup hits, online learning
+  curl -s localhost:3030/stats
+
+  with -online, executed queries whose plans misestimate cardinalities are
+  analyzed in the background and winning rewrites are published into the
+  next knowledge base epoch — no batch relearn, no restart.`)
 }
 
 type workloadFlags struct {
@@ -219,6 +239,7 @@ func runServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	kbPath := fs.String("kb", "kb.nt", "knowledge base to serve")
 	addr := fs.String("addr", ":3030", "listen address")
+	online := fs.Bool("online", false, "learn incrementally from executed queries that misestimate")
 	wf := addWorkloadFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -227,12 +248,22 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys := galo.NewSystem(db, galo.DefaultConfig())
+	cfg := galo.DefaultConfig()
+	if *online {
+		cfg.Online = galo.DefaultOnlineOptions()
+	}
+	sys := galo.NewSystem(db, cfg)
+	defer sys.Close()
 	if err := sys.LoadKB(*kbPath); err != nil {
 		return err
 	}
-	fmt.Printf("serving knowledge base (%d templates) on %s — POST SPARQL to /query\n", sys.KB.Size(), *addr)
-	return sys.ServeKB(*addr)
+	mode := "offline KB"
+	if *online {
+		mode = "online learning enabled"
+	}
+	fmt.Printf("serving re-optimization API (%d templates, %s) on %s — POST {\"sql\": ...} to /reopt, SPARQL to /query, stats at /stats\n",
+		sys.KB().Size(), mode, *addr)
+	return sys.Serve(*addr)
 }
 
 func runExplain(args []string) error {

@@ -35,10 +35,10 @@ func main() {
 	clientCfg := galo.DefaultConfig()
 	clientCfg.Learning.Workload = "client"
 	student := galo.NewSystem(clientDB, clientCfg)
-	if err := student.ImportKB(teacher.KB); err != nil {
+	if err := student.ImportKB(teacher.KB()); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("client system starts with %d imported templates and no learning of its own\n\n", student.KB.Size())
+	fmt.Printf("client system starts with %d imported templates and no learning of its own\n\n", student.KB().Size())
 
 	// Re-optimize the client workload with the borrowed knowledge only.
 	outcomes, summary, err := student.ReoptimizeWorkload(galo.ClientQueries()[:40])

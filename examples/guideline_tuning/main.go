@@ -44,7 +44,7 @@ func main() {
 		return
 	}
 	fmt.Printf("\nlearning found %d rewrite(s); knowledge base now holds %d template(s)\n",
-		report.TemplatesAdded, sys.KB.Size())
+		report.TemplatesAdded, sys.KB().Size())
 
 	res, err := sys.Reoptimize(problem)
 	if err != nil {

@@ -56,6 +56,20 @@ type LearningOptions = learning.Options
 // LearningReport summarizes an offline learning run.
 type LearningReport = learning.Report
 
+// OnlineOptions configures the online incremental learner that promotes
+// templates from misestimated executed plans into new knowledge base epochs.
+type OnlineOptions = learning.OnlineOptions
+
+// OnlineStats counts the online learner's progress.
+type OnlineStats = learning.OnlineStats
+
+// ReoptRequest and ReoptResponse are the POST /reopt API bodies served by
+// System.APIHandler / System.Serve.
+type ReoptRequest = core.ReoptRequest
+
+// ReoptResponse is the answer to a ReoptRequest.
+type ReoptResponse = core.ReoptResponse
+
 // MatchingOptions configures the online matching engine.
 type MatchingOptions = matching.Options
 
@@ -96,6 +110,10 @@ func DefaultLearningOptions() LearningOptions { return learning.DefaultOptions()
 
 // DefaultMatchingOptions returns the default online-matching configuration.
 func DefaultMatchingOptions() MatchingOptions { return matching.DefaultOptions() }
+
+// DefaultOnlineOptions returns the online-learning configuration used by
+// `galo serve -online`.
+func DefaultOnlineOptions() OnlineOptions { return learning.DefaultOnlineOptions() }
 
 // ParseSQL parses a SQL statement in the supported subset.
 func ParseSQL(sql string) (*Query, error) { return sqlparser.Parse(sql) }

@@ -3,6 +3,15 @@
 // workflows of the paper's Figure 2: offline learning over a workload, and
 // online re-optimization of incoming queries.
 //
+// Unlike the paper's batch experiments, this System is built as an always-on
+// service: the knowledge base publishes immutable epochs that concurrent
+// matchers pin snapshots of, workload re-optimization fans out across a
+// bounded worker pool, identical in-flight knowledge base probes collapse
+// into one evaluation, and — when enabled — an online incremental learner
+// turns executed plans' actual-vs-estimated cardinality gaps into new
+// templates for the next epoch, with no batch relearn. See DESIGN.md,
+// "Serving architecture".
+//
 // This is the system a deployment interacts with; the root package galo
 // re-exports it as the public API.
 package core
@@ -11,7 +20,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"galo/internal/executor"
 	"galo/internal/fuseki"
@@ -20,11 +31,14 @@ import (
 	"galo/internal/matching"
 	"galo/internal/optimizer"
 	"galo/internal/qgm"
+	"galo/internal/rdf"
 	"galo/internal/sqlparser"
 	"galo/internal/storage"
 )
 
-// Config configures a GALO system.
+// Config configures a GALO system. Zero-valued fields are filled with the
+// defaults used throughout the experiments; set fields are preserved, so a
+// caller can customize one knob without re-stating the rest.
 type Config struct {
 	// Learning configures the offline learning engine.
 	Learning learning.Options
@@ -33,6 +47,12 @@ type Config struct {
 	// RemoteKB optionally points at a Fuseki-style SPARQL endpoint to use for
 	// matching instead of the in-process knowledge base.
 	RemoteKB string
+	// ReoptWorkers bounds the worker pool ReoptimizeWorkload fans queries
+	// across; 0 means GOMAXPROCS, 1 restores the sequential behaviour.
+	ReoptWorkers int
+	// Online configures the online incremental learning loop (disabled by
+	// default; `galo serve -online` and tests enable it).
+	Online learning.OnlineOptions
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -40,62 +60,169 @@ func DefaultConfig() Config {
 	return Config{Learning: learning.DefaultOptions(), Matching: matching.DefaultOptions()}
 }
 
-// System is one GALO deployment over a database instance.
+// fillConfig fills only the unset fields of a partially-customized Config —
+// a caller who set Matching.ProbeWorkers must not lose it because
+// Matching.MaxJoins was left zero.
+func fillConfig(cfg Config) Config {
+	md := matching.DefaultOptions()
+	m := &cfg.Matching
+	if m.MaxJoins == 0 {
+		m.MaxJoins = md.MaxJoins
+	}
+	if m.OptimizerOptions == (optimizer.Options{}) {
+		m.OptimizerOptions = md.OptimizerOptions
+	}
+	ld := learning.DefaultOptions()
+	l := &cfg.Learning
+	if l.JoinThreshold == 0 {
+		l.JoinThreshold = ld.JoinThreshold
+	}
+	if l.MaxSubQueriesPerQuery == 0 {
+		l.MaxSubQueriesPerQuery = ld.MaxSubQueriesPerQuery
+	}
+	if l.RandomPlans == 0 {
+		l.RandomPlans = ld.RandomPlans
+	}
+	if l.PredicateVariants == 0 {
+		l.PredicateVariants = ld.PredicateVariants
+	}
+	if l.Runs == 0 {
+		l.Runs = ld.Runs
+	}
+	if l.MinImprovement == 0 {
+		l.MinImprovement = ld.MinImprovement
+	}
+	if l.BoundsSlack == 0 {
+		l.BoundsSlack = ld.BoundsSlack
+	}
+	if l.Workers == 0 {
+		l.Workers = ld.Workers
+	}
+	if l.Seed == 0 {
+		l.Seed = ld.Seed
+	}
+	if l.Workload == "" {
+		l.Workload = ld.Workload
+	}
+	return cfg
+}
+
+// System is one GALO deployment over a database instance. It is safe for
+// concurrent use: Reoptimize may race Learn, LoadKB and the online learner's
+// epoch publications.
 type System struct {
 	DB     *storage.Database
-	KB     *kb.KB
 	Config Config
 
+	// mu guards the knowledge base pointer, the matching engine and the
+	// online learner; the heavy work happens outside it.
 	mu      sync.Mutex
+	kb      *kb.KB
 	matcher *matching.Engine
+	online  *learning.Online
+	closed  bool
 }
 
 // NewSystem creates a GALO system over the database with an empty knowledge
-// base.
+// base. Zero-valued Config fields are filled with defaults; explicitly set
+// fields are preserved.
 func NewSystem(db *storage.Database, cfg Config) *System {
-	if cfg.Matching.MaxJoins == 0 {
-		cfg.Matching = matching.DefaultOptions()
-	}
-	if cfg.Learning.JoinThreshold == 0 {
-		cfg.Learning = learning.DefaultOptions()
-	}
-	return &System{DB: db, KB: kb.New(), Config: cfg}
+	return &System{DB: db, kb: kb.New(), Config: fillConfig(cfg)}
+}
+
+// KB returns the current knowledge base. The pointer is replaced wholesale
+// by LoadKB, so callers that need several consistent reads should hold on to
+// the returned KB (or pin its store's snapshot) rather than calling KB()
+// repeatedly.
+func (s *System) KB() *kb.KB {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kb
 }
 
 // endpoint returns the knowledge base endpoint used for matching.
-func (s *System) endpoint() matching.Endpoint {
+func (s *System) endpoint(knowledge *kb.KB) matching.Endpoint {
 	if s.Config.RemoteKB != "" {
 		return fuseki.NewClient(s.Config.RemoteKB)
 	}
-	return fuseki.LocalEndpoint{Store: s.KB.Store()}
+	return fuseki.LocalEndpoint{Store: knowledge.Store()}
 }
 
 // matchingEngine returns the system's shared matching engine, so the
 // routinization cache persists across queries (the paper's Figure 12:
 // workload re-optimization gets cheaper as fragments repeat). The engine is
-// rebuilt when the knowledge base object is replaced.
+// rebuilt when the knowledge base object is replaced; template additions
+// within one knowledge base invalidate cache entries through the KB epoch
+// instead.
 func (s *System) matchingEngine() *matching.Engine {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.matcher == nil {
-		s.matcher = matching.New(s.DB.Catalog, s.endpoint(), s.Config.Matching)
+		s.matcher = matching.New(s.DB.Catalog, s.endpoint(s.kb), s.Config.Matching)
 	}
 	return s.matcher
 }
 
-// kbSnapshot reads the current knowledge base pointer under the same lock
-// LoadKB replaces it under, so callers racing a LoadKB see a consistent
-// (old or new) knowledge base rather than a torn read.
-func (s *System) kbSnapshot() *kb.KB {
+// onlineLearner lazily starts the online incremental learner; a closed
+// system never restarts it (an Execute racing Close must not leak a fresh
+// worker goroutine past shutdown).
+func (s *System) onlineLearner() *learning.Online {
+	if !s.Config.Online.Enabled {
+		return nil
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.KB
+	if s.closed {
+		return nil
+	}
+	if s.online == nil {
+		s.online = learning.NewOnline(s.DB, s.KB, s.Config.Learning, s.Config.Online)
+	}
+	return s.online
+}
+
+// OnlineStats returns the online learner's counters (zero when the loop is
+// disabled or has not started).
+func (s *System) OnlineStats() learning.OnlineStats {
+	s.mu.Lock()
+	online := s.online
+	s.mu.Unlock()
+	if online == nil {
+		return learning.OnlineStats{}
+	}
+	return online.Stats()
+}
+
+// FlushOnlineLearning blocks until the online learner's backlog is analyzed
+// and its templates are published — for tests and benchmarks that need the
+// next epoch deterministically.
+func (s *System) FlushOnlineLearning() {
+	s.mu.Lock()
+	online := s.online
+	s.mu.Unlock()
+	if online != nil {
+		online.Flush()
+	}
+}
+
+// Close stops the system's background work (the online learner) and keeps
+// it stopped: later Executes will not restart it. It is safe to call on a
+// system that never started any, and idempotent.
+func (s *System) Close() {
+	s.mu.Lock()
+	online := s.online
+	s.online = nil
+	s.closed = true
+	s.mu.Unlock()
+	if online != nil {
+		online.Close()
+	}
 }
 
 // Learn runs the offline learning workflow over the workload queries and
 // populates the knowledge base.
 func (s *System) Learn(queries []*sqlparser.Query) (*learning.Report, error) {
-	engine := learning.New(s.DB, s.kbSnapshot(), s.Config.Learning)
+	engine := learning.New(s.DB, s.KB(), s.Config.Learning)
 	return engine.LearnWorkload(queries)
 }
 
@@ -113,9 +240,17 @@ func (s *System) Reoptimize(q *sqlparser.Query) (*matching.Result, error) {
 	return s.matchingEngine().Reoptimize(q)
 }
 
-// Execute runs a plan and returns its result and runtime statistics.
+// Execute runs a plan and returns its result and runtime statistics. When
+// online learning is enabled, the executed plan's actual-vs-estimated
+// cardinality gap is offered to the incremental learner.
 func (s *System) Execute(plan *qgm.Plan, q *sqlparser.Query) (*executor.Result, error) {
-	return executor.New(s.DB).Execute(plan, q)
+	res, err := executor.New(s.DB).Execute(plan, q)
+	if err == nil {
+		if online := s.onlineLearner(); online != nil {
+			online.Observe(q, plan)
+		}
+	}
+	return res, err
 }
 
 // QueryOutcome is the before/after record of one workload query, the unit of
@@ -151,8 +286,9 @@ type WorkloadSummary struct {
 	TotalGalo      float64
 }
 
-// ReoptimizeWorkload re-optimizes and executes every query of a workload,
-// returning per-query outcomes and a summary. Query runtimes are simulated
+// ReoptimizeWorkload re-optimizes and executes every query of a workload
+// across a bounded worker pool (Config.ReoptWorkers), returning per-query
+// outcomes in workload order and a summary. Query runtimes are simulated
 // (executor time model); the real wall-clock matching overhead — marginal in
 // the paper, since real queries run for minutes — is reported separately in
 // each outcome's MatchMillis.
@@ -162,38 +298,51 @@ type WorkloadSummary struct {
 // does not run slower than the original, so a matched pattern whose benefit
 // does not transfer to this query's context never regresses the workload.
 func (s *System) ReoptimizeWorkload(queries []*sqlparser.Query) ([]QueryOutcome, WorkloadSummary, error) {
-	exec := executor.New(s.DB)
-	var outcomes []QueryOutcome
 	var summary WorkloadSummary
+	workers := s.Config.ReoptWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	outcomes := make([]QueryOutcome, len(queries))
+	errs := make([]error, len(queries))
+	jobs := make(chan int)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				// A failure anywhere aborts the run: remaining queries are
+				// skipped instead of burning executor time on outcomes the
+				// error return will discard anyway.
+				if failed.Load() {
+					continue
+				}
+				if outcomes[i], errs[i] = s.reoptimizeOne(queries[i]); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
 	improvements := 0.0
-	for _, q := range queries {
-		res, err := s.Reoptimize(q)
-		if err != nil {
-			return nil, summary, fmt.Errorf("reoptimize %s: %w", q.Name, err)
+	for i := range queries {
+		if errs[i] != nil {
+			return nil, summary, errs[i]
 		}
-		origRun, err := exec.Execute(res.OriginalPlan, q)
-		if err != nil {
-			return nil, summary, fmt.Errorf("execute %s: %w", q.Name, err)
-		}
-		outcome := QueryOutcome{
-			Query:          q.Name,
-			OriginalMillis: origRun.Stats.ElapsedMillis,
-			GaloMillis:     origRun.Stats.ElapsedMillis,
-			MatchMillis:    res.MatchMillis,
-		}
-		if res.ReoptimizedPlan != nil && res.Rewritten() {
-			galoRun, err := exec.Execute(res.ReoptimizedPlan, q)
-			if err != nil {
-				return nil, summary, fmt.Errorf("execute rewritten %s: %w", q.Name, err)
-			}
-			outcome.Matched = true
-			outcome.Rewrites = len(res.Matches)
-			if galoRun.Stats.ElapsedMillis <= origRun.Stats.ElapsedMillis {
-				outcome.Applied = true
-				outcome.GaloMillis = galoRun.Stats.ElapsedMillis
-			}
-		}
-		outcomes = append(outcomes, outcome)
+		outcome := outcomes[i]
 		summary.Queries++
 		summary.TotalOriginal += outcome.OriginalMillis
 		summary.TotalGalo += outcome.GaloMillis
@@ -211,13 +360,47 @@ func (s *System) ReoptimizeWorkload(queries []*sqlparser.Query) ([]QueryOutcome,
 	return outcomes, summary, nil
 }
 
+// reoptimizeOne runs the full online workflow for one workload query:
+// re-optimize, execute both plans, keep the rewrite only when it does not
+// regress, and feed the executed original plan to the online learner.
+func (s *System) reoptimizeOne(q *sqlparser.Query) (QueryOutcome, error) {
+	res, err := s.Reoptimize(q)
+	if err != nil {
+		return QueryOutcome{}, fmt.Errorf("reoptimize %s: %w", q.Name, err)
+	}
+	origRun, err := s.Execute(res.OriginalPlan, q)
+	if err != nil {
+		return QueryOutcome{}, fmt.Errorf("execute %s: %w", q.Name, err)
+	}
+	outcome := QueryOutcome{
+		Query:          q.Name,
+		OriginalMillis: origRun.Stats.ElapsedMillis,
+		GaloMillis:     origRun.Stats.ElapsedMillis,
+		MatchMillis:    res.MatchMillis,
+	}
+	if res.ReoptimizedPlan != nil && res.Rewritten() {
+		galoRun, err := s.Execute(res.ReoptimizedPlan, q)
+		if err != nil {
+			return QueryOutcome{}, fmt.Errorf("execute rewritten %s: %w", q.Name, err)
+		}
+		outcome.Matched = true
+		outcome.Rewrites = len(res.Matches)
+		if galoRun.Stats.ElapsedMillis <= origRun.Stats.ElapsedMillis {
+			outcome.Applied = true
+			outcome.GaloMillis = galoRun.Stats.ElapsedMillis
+		}
+	}
+	return outcome, nil
+}
+
 // SaveKB writes the knowledge base to a file in N-Triples format.
 func (s *System) SaveKB(path string) error {
-	return os.WriteFile(path, []byte(s.kbSnapshot().NTriples()), 0o644)
+	return os.WriteFile(path, []byte(s.KB().NTriples()), 0o644)
 }
 
 // LoadKB loads a knowledge base previously written with SaveKB, replacing the
-// current one.
+// current one. In-flight matchers finish against the knowledge base (and
+// epoch snapshots) they already pinned; new work sees the fresh one.
 func (s *System) LoadKB(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -228,7 +411,7 @@ func (s *System) LoadKB(path string) error {
 		return err
 	}
 	s.mu.Lock()
-	s.KB = fresh
+	s.kb = fresh
 	s.matcher = nil // the engine (and its cache) points at the old store
 	s.mu.Unlock()
 	return nil
@@ -236,14 +419,18 @@ func (s *System) LoadKB(path string) error {
 
 // ImportKB merges another system's knowledge base into this one (the
 // cross-workload knowledge sharing of Exp-2).
-func (s *System) ImportKB(other *kb.KB) error { return s.kbSnapshot().Merge(other) }
+func (s *System) ImportKB(other *kb.KB) error { return s.KB().Merge(other) }
 
 // ServeKB exposes the knowledge base as a Fuseki-style SPARQL endpoint on the
 // given address; it blocks until the server stops.
 func (s *System) ServeKB(addr string) error {
-	return http.ListenAndServe(addr, fuseki.NewServer(s.kbSnapshot().Store()))
+	return http.ListenAndServe(addr, s.KBHandler())
 }
 
 // KBHandler returns the HTTP handler serving the knowledge base, for callers
-// that want to manage the listener themselves.
-func (s *System) KBHandler() http.Handler { return fuseki.NewServer(s.kbSnapshot().Store()) }
+// that want to manage the listener themselves. The handler resolves the
+// current knowledge base per request, so it keeps serving the live store
+// after a LoadKB replacement.
+func (s *System) KBHandler() http.Handler {
+	return fuseki.NewDynamicServer(func() *rdf.Store { return s.KB().Store() })
+}

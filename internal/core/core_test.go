@@ -52,7 +52,7 @@ func trainedSystem(t *testing.T) *System {
 			}
 		}
 		if coreMatchedQuery == nil {
-			t.Fatalf("knowledge base (size %d) matched none of the learned queries", sys.KB.Size())
+			t.Fatalf("knowledge base (size %d) matched none of the learned queries", sys.KB().Size())
 		}
 		coreDB, coreSys = db, sys
 	}
@@ -69,7 +69,7 @@ func TestLearnThenReoptimizeWorkflow(t *testing.T) {
 		t.Fatal("no original plan")
 	}
 	if len(res.Matches) == 0 {
-		t.Fatalf("knowledge base (size %d) did not match the learned query", sys.KB.Size())
+		t.Fatalf("knowledge base (size %d) did not match the learned query", sys.KB().Size())
 	}
 	base, err := sys.Optimize(coreMatchedQuery)
 	if err != nil {
@@ -124,8 +124,8 @@ func TestKBSaveLoadRoundtrip(t *testing.T) {
 	if err := fresh.LoadKB(path); err != nil {
 		t.Fatalf("LoadKB: %v", err)
 	}
-	if fresh.KB.Size() != sys.KB.Size() {
-		t.Errorf("reloaded KB size %d, want %d", fresh.KB.Size(), sys.KB.Size())
+	if fresh.KB().Size() != sys.KB().Size() {
+		t.Errorf("reloaded KB size %d, want %d", fresh.KB().Size(), sys.KB().Size())
 	}
 	res, err := fresh.Reoptimize(coreMatchedQuery)
 	if err != nil {
@@ -158,11 +158,11 @@ func TestRemoteKBEndpoint(t *testing.T) {
 func TestImportKBMergesTemplates(t *testing.T) {
 	sys := trainedSystem(t)
 	other := NewSystem(coreDB, Config{Learning: learning.DefaultOptions(), Matching: sys.Config.Matching})
-	before := other.KB.Size()
-	if err := other.ImportKB(sys.KB); err != nil {
+	before := other.KB().Size()
+	if err := other.ImportKB(sys.KB()); err != nil {
 		t.Fatalf("ImportKB: %v", err)
 	}
-	if other.KB.Size() != before+sys.KB.Size() {
-		t.Errorf("ImportKB size = %d, want %d", other.KB.Size(), before+sys.KB.Size())
+	if other.KB().Size() != before+sys.KB().Size() {
+		t.Errorf("ImportKB size = %d, want %d", other.KB().Size(), before+sys.KB().Size())
 	}
 }

@@ -1,0 +1,225 @@
+// The re-optimization HTTP service: `galo serve` exposed not just the
+// knowledge base (the Fuseki role of the paper's architecture) but the whole
+// online workflow, so clients submit SQL and receive the re-optimized plan —
+// GALO as an always-on service in front of the optimizer rather than a batch
+// experiment.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+)
+
+// ReoptRequest is the body of POST /reopt.
+type ReoptRequest struct {
+	// SQL is the query text to re-optimize (required).
+	SQL string `json:"sql"`
+	// Name optionally labels the query in the response.
+	Name string `json:"name,omitempty"`
+	// Execute additionally runs both plans on the simulated executor,
+	// validates the rewrite the way ReoptimizeWorkload does, and — when
+	// online learning is enabled — feeds the run to the incremental learner.
+	Execute bool `json:"execute,omitempty"`
+}
+
+// ReoptMatch describes one matched template in a ReoptResponse.
+type ReoptMatch struct {
+	TemplateIRI string  `json:"template_iri"`
+	Improvement float64 `json:"improvement"`
+	MatchMillis float64 `json:"match_millis"`
+	CacheHit    bool    `json:"cache_hit"`
+}
+
+// ReoptResponse is the body answering POST /reopt.
+type ReoptResponse struct {
+	Query   string `json:"query"`
+	KBEpoch uint64 `json:"kb_epoch"`
+	Matched bool   `json:"matched"`
+	// Rewritten reports whether re-optimization produced a different plan.
+	Rewritten bool         `json:"rewritten"`
+	Matches   []ReoptMatch `json:"matches,omitempty"`
+	// Guidelines is the merged OPTGUIDELINES document applied during
+	// re-optimization.
+	Guidelines      string `json:"guidelines,omitempty"`
+	OriginalPlan    string `json:"original_plan"`
+	ReoptimizedPlan string `json:"reoptimized_plan,omitempty"`
+	// MatchMillis is the knowledge base time spent on the matched fragments;
+	// ProbeMillis covers every probe issued; CacheHits counts probes answered
+	// by the routinization cache.
+	MatchMillis float64 `json:"match_millis"`
+	ProbeMillis float64 `json:"probe_millis"`
+	Probes      int     `json:"probes"`
+	CacheHits   int     `json:"cache_hits"`
+	// Execution results (only when the request asked to execute).
+	Executed       bool    `json:"executed,omitempty"`
+	Applied        bool    `json:"applied,omitempty"`
+	OriginalMillis float64 `json:"original_millis,omitempty"`
+	GaloMillis     float64 `json:"galo_millis,omitempty"`
+}
+
+// APIHandler returns the system's full HTTP surface:
+//
+//	POST /reopt   — body {"sql": "...", "execute": true} → the re-optimized
+//	                plan, matches, applied guidelines and timings.
+//	POST /query   — SPARQL SELECT against the knowledge base (Fuseki role).
+//	GET  /data    — knowledge base dump as N-Triples; POST loads triples.
+//	GET  /version — knowledge base epoch, for cache invalidation.
+//	GET  /stats   — serving counters: KB epoch and size, cached and
+//	                deduplicated probes, online-learning progress.
+//	GET  /healthz — liveness.
+//
+// Every route resolves the current knowledge base per request, so the
+// handler keeps answering from the live store across LoadKB replacements and
+// online-learning epoch publications.
+func (s *System) APIHandler() http.Handler {
+	mux := http.NewServeMux()
+	kbh := s.KBHandler()
+	mux.Handle("/query", kbh)
+	mux.Handle("/data", kbh)
+	mux.Handle("/version", kbh)
+	mux.Handle("/ping", kbh)
+	mux.HandleFunc("/reopt", s.handleReopt)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Serve exposes the re-optimization API (and the knowledge base endpoint) on
+// the given address; it blocks until the server stops.
+func (s *System) Serve(addr string) error {
+	return http.ListenAndServe(addr, s.APIHandler())
+}
+
+func (s *System) handleReopt(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a JSON body {\"sql\": \"SELECT ...\"}", http.StatusMethodNotAllowed)
+		return
+	}
+	var req ReoptRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.SQL == "" {
+		http.Error(w, "missing \"sql\"", http.StatusBadRequest)
+		return
+	}
+	q, err := sqlparser.Parse(req.SQL)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("parse: %v", err), http.StatusBadRequest)
+		return
+	}
+	q.Name = req.Name
+	if q.Name == "" {
+		q.Name = "HTTP"
+	}
+	resp, err := s.reoptResponse(q, req.Execute)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// reoptResponse runs the online workflow for one request.
+func (s *System) reoptResponse(q *sqlparser.Query, execute bool) (*ReoptResponse, error) {
+	epoch := s.KB().Epoch()
+	res, err := s.Reoptimize(q)
+	if err != nil {
+		return nil, fmt.Errorf("reoptimize: %w", err)
+	}
+	resp := &ReoptResponse{
+		Query:        q.Name,
+		KBEpoch:      epoch,
+		Matched:      len(res.Matches) > 0,
+		Rewritten:    res.Rewritten(),
+		OriginalPlan: qgm.Format(res.OriginalPlan),
+		MatchMillis:  res.MatchMillis,
+		ProbeMillis:  res.ProbeStats.TotalMillis,
+		Probes:       res.ProbeStats.Probes,
+		CacheHits:    res.ProbeStats.CacheHits,
+	}
+	for _, m := range res.Matches {
+		resp.Matches = append(resp.Matches, ReoptMatch{
+			TemplateIRI: m.TemplateIRI,
+			Improvement: m.Improvement,
+			MatchMillis: m.MatchMillis,
+			CacheHit:    m.CacheHit,
+		})
+	}
+	if res.Guidelines != nil {
+		if xml, err := res.Guidelines.XML(); err == nil {
+			resp.Guidelines = xml
+		}
+	}
+	if res.ReoptimizedPlan != nil {
+		resp.ReoptimizedPlan = qgm.Format(res.ReoptimizedPlan)
+	}
+	if !execute {
+		return resp, nil
+	}
+	origRun, err := s.Execute(res.OriginalPlan, q)
+	if err != nil {
+		return nil, fmt.Errorf("execute: %w", err)
+	}
+	resp.Executed = true
+	resp.OriginalMillis = origRun.Stats.ElapsedMillis
+	resp.GaloMillis = origRun.Stats.ElapsedMillis
+	if res.ReoptimizedPlan != nil && res.Rewritten() {
+		galoRun, err := s.Execute(res.ReoptimizedPlan, q)
+		if err != nil {
+			return nil, fmt.Errorf("execute rewritten: %w", err)
+		}
+		if galoRun.Stats.ElapsedMillis <= origRun.Stats.ElapsedMillis {
+			resp.Applied = true
+			resp.GaloMillis = galoRun.Stats.ElapsedMillis
+		}
+	}
+	return resp, nil
+}
+
+// statsResponse is the body of GET /stats.
+type statsResponse struct {
+	KBEpoch     uint64 `json:"kb_epoch"`
+	KBTemplates int    `json:"kb_templates"`
+	KBTriples   int    `json:"kb_triples"`
+	// CachedProbes is the routinization cache's current entry count;
+	// DedupedProbes counts probes that joined an identical in-flight probe.
+	CachedProbes  int   `json:"cached_probes"`
+	DedupedProbes int64 `json:"deduped_probes"`
+	Online        struct {
+		Enabled           bool  `json:"enabled"`
+		Observed          int64 `json:"observed"`
+		Triggered         int64 `json:"triggered"`
+		Dropped           int64 `json:"dropped"`
+		Analyzed          int64 `json:"analyzed"`
+		TemplatesPromoted int64 `json:"templates_promoted"`
+	} `json:"online"`
+}
+
+func (s *System) handleStats(w http.ResponseWriter, _ *http.Request) {
+	knowledge := s.KB()
+	var resp statsResponse
+	resp.KBEpoch = knowledge.Epoch()
+	resp.KBTemplates = knowledge.Size()
+	resp.KBTriples = knowledge.Store().Len()
+	eng := s.matchingEngine()
+	resp.CachedProbes = eng.CachedProbes()
+	resp.DedupedProbes = eng.DedupedProbes()
+	resp.Online.Enabled = s.Config.Online.Enabled
+	st := s.OnlineStats()
+	resp.Online.Observed = st.Observed
+	resp.Online.Triggered = st.Triggered
+	resp.Online.Dropped = st.Dropped
+	resp.Online.Analyzed = st.Analyzed
+	resp.Online.TemplatesPromoted = st.TemplatesPromoted
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}

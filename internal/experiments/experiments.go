@@ -177,7 +177,7 @@ func RunExp2(cfg Config) (*Exp2Result, error) {
 	if _, err := tpcdsSys.Learn(tpcdsQueries); err != nil {
 		return nil, err
 	}
-	out.TPCDSTemplates = tpcdsSys.KB.Size()
+	out.TPCDSTemplates = tpcdsSys.KB().Size()
 	out.TPCDS, out.TPCDSSummary, err = tpcdsSys.ReoptimizeWorkload(tpcdsQueries)
 	if err != nil {
 		return nil, err
@@ -197,8 +197,8 @@ func RunExp2(cfg Config) (*Exp2Result, error) {
 	if _, err := clientSys.Learn(clientQueries); err != nil {
 		return nil, err
 	}
-	out.ClientTemplates = clientSys.KB.Size()
-	if err := clientSys.ImportKB(tpcdsSys.KB); err != nil {
+	out.ClientTemplates = clientSys.KB().Size()
+	if err := clientSys.ImportKB(tpcdsSys.KB()); err != nil {
 		return nil, err
 	}
 	out.Client, out.ClientSummary, err = clientSys.ReoptimizeWorkload(clientQueries)
@@ -213,7 +213,7 @@ func RunExp2(cfg Config) (*Exp2Result, error) {
 // and counts those whose matched template was learned on the TPC-DS workload.
 func countCrossWorkloadMatches(sys *core.System, queries []*sqlparser.Query) int {
 	byIRI := map[string]string{}
-	for _, t := range sys.KB.Templates() {
+	for _, t := range sys.KB().Templates() {
 		byIRI[t.ID] = t.SourceWorkload
 	}
 	count := 0

@@ -28,15 +28,24 @@ import (
 	"galo/internal/sparql"
 )
 
-// Server serves a triple store over HTTP.
+// Server serves a triple store over HTTP. The store is resolved per request,
+// so a deployment that replaces its knowledge base (core.System.LoadKB) keeps
+// serving the live store rather than the one the handler was built over.
 type Server struct {
-	Store *rdf.Store
+	store func() *rdf.Store
 	mux   *http.ServeMux
 }
 
-// NewServer returns a server over the store.
+// NewServer returns a server over a fixed store.
 func NewServer(store *rdf.Store) *Server {
-	s := &Server{Store: store, mux: http.NewServeMux()}
+	return NewDynamicServer(func() *rdf.Store { return store })
+}
+
+// NewDynamicServer returns a server that re-resolves its store on every
+// request — the handler a System exposes so /query, /data and /version
+// always answer from the current knowledge base, across LoadKB replacements.
+func NewDynamicServer(resolve func() *rdf.Store) *Server {
+	s := &Server{store: resolve, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/data", s.handleData)
 	s.mux.HandleFunc("/ping", func(w http.ResponseWriter, _ *http.Request) {
@@ -44,7 +53,7 @@ func NewServer(store *rdf.Store) *Server {
 	})
 	s.mux.HandleFunc("/version", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]uint64{"version": s.Store.Version()})
+		_ = json.NewEncoder(w).Encode(map[string]uint64{"version": s.store().Version()})
 	})
 	return s
 }
@@ -100,7 +109,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	sols, err := sparql.Execute(q, s.Store)
+	// Pin one epoch for the whole evaluation: a concurrent knowledge base
+	// publication must not be half-visible to a multi-pattern query.
+	sols, err := sparql.Execute(q, s.store().Snapshot())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -130,14 +141,14 @@ func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		w.Header().Set("Content-Type", "application/n-triples")
-		fmt.Fprint(w, s.Store.NTriples())
+		fmt.Fprint(w, s.store().NTriples())
 	case http.MethodPost:
 		body, err := io.ReadAll(r.Body)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := s.Store.LoadNTriples(string(body)); err != nil {
+		if err := s.store().LoadNTriples(string(body)); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -246,13 +257,31 @@ type LocalEndpoint struct {
 	Store *rdf.Store
 }
 
-// Select parses and runs the query against the local store.
+// Select parses and runs the query against a pinned snapshot of the local
+// store, so one probe sees one consistent knowledge base epoch even while
+// learning publishes new templates concurrently.
 func (l LocalEndpoint) Select(queryText string) ([]sparql.Solution, error) {
 	q, err := sparql.Parse(queryText)
 	if err != nil {
 		return nil, err
 	}
-	return sparql.Execute(q, l.Store)
+	return sparql.Execute(q, l.Store.Snapshot())
+}
+
+// PinEpoch pins the store's current epoch and returns a Select function
+// frozen on it plus that epoch's version (matching the matching engine's
+// EpochPinner interface). Every probe issued through the returned function
+// sees exactly the pinned epoch, so cache entries tagged with the returned
+// version can never carry another epoch's solutions.
+func (l LocalEndpoint) PinEpoch() (func(string) ([]sparql.Solution, error), uint64) {
+	snap := l.Store.Snapshot()
+	return func(queryText string) ([]sparql.Solution, error) {
+		q, err := sparql.Parse(queryText)
+		if err != nil {
+			return nil, err
+		}
+		return sparql.Execute(q, snap)
+	}, snap.Version()
 }
 
 // KBVersion returns the local store's mutation counter (matching the

@@ -95,6 +95,14 @@ func New() *KB {
 // SPARQL matching).
 func (kb *KB) Store() *rdf.Store { return kb.store }
 
+// Epoch identifies the knowledge base's current published epoch. Every
+// template addition, merge or rewrite publishes exactly one new epoch (one
+// atomic snapshot swap in the RDF store), so readers that pinned a snapshot
+// before the publication keep matching against the previous epoch while new
+// probes see the new one. The matching engine keys its routinization cache
+// on this value.
+func (kb *KB) Epoch() uint64 { return kb.store.Version() }
+
 // Size returns the number of templates.
 func (kb *KB) Size() int {
 	kb.mu.RLock()
@@ -193,9 +201,15 @@ func (kb *KB) mergeInto(existing, incoming *Template) {
 // --- RDF encoding ------------------------------------------------------------
 
 func (kb *KB) writeTemplate(t *Template) {
+	// Triples are collected and inserted in one batch, so the template
+	// becomes visible to readers as one atomic epoch publication — a
+	// concurrent probe sees either none or all of the template's triples.
+	kb.store.AddAll(kb.templateTriples(t))
+}
+
+// templateTriples renders a template's full RDF encoding.
+func (kb *KB) templateTriples(t *Template) []rdf.Triple {
 	tmplIRI := transform.TemplateIRI(t.ID)
-	// Triples are collected and inserted in one batch so the store is locked
-	// once per template instead of once per triple.
 	var batch []rdf.Triple
 	add := func(s rdf.Term, prop string, o rdf.Term) {
 		batch = append(batch, rdf.Triple{S: s, P: transform.Prop(prop), O: o})
@@ -238,19 +252,22 @@ func (kb *KB) writeTemplate(t *Template) {
 			add(transform.KBPopIRI(t.ID, n.Inner.ID), transform.PropOutputStream, subj)
 		}
 	})
-	kb.store.AddAll(batch)
+	return batch
 }
 
-// rewriteTemplate removes the template's triples and writes them again
-// (bounds or guideline may have changed).
+// rewriteTemplate replaces the template's triples (bounds or guideline may
+// have changed) as ONE atomic epoch publication: removal patterns and the
+// re-rendered triples go through a single store.Apply, so a concurrent
+// reader pins either the old template or the new one, never a half-removed
+// in-between.
 func (kb *KB) rewriteTemplate(t *Template) {
 	tmplIRI := transform.TemplateIRI(t.ID)
-	kb.store.Remove(&tmplIRI, nil, nil)
+	removals := []rdf.Pattern{{S: &tmplIRI}}
 	t.Problem.Walk(func(n *qgm.Node) {
 		subj := transform.KBPopIRI(t.ID, n.ID)
-		kb.store.Remove(&subj, nil, nil)
+		removals = append(removals, rdf.Pattern{S: &subj})
 	})
-	kb.writeTemplate(t)
+	kb.store.Apply(removals, kb.templateTriples(t))
 }
 
 func defaultBounds(card float64) Range {

@@ -1,0 +1,90 @@
+package learning
+
+import (
+	"testing"
+
+	"galo/internal/executor"
+	"galo/internal/kb"
+	"galo/internal/optimizer"
+	"galo/internal/workload/tpcds"
+)
+
+// TestOnlineLearnerPromotesFromMisestimatedRun closes the loop: executing
+// the Figure 8 wide-range query (whose stale histogram misestimate is the
+// repo's deterministic problem pattern) and feeding the annotated plan to
+// the online learner must trigger analysis and publish templates into a new
+// knowledge base epoch — with no batch LearnWorkload anywhere.
+func TestOnlineLearnerPromotesFromMisestimatedRun(t *testing.T) {
+	db := learnDB(t)
+	knowledge := kb.New()
+	epoch0 := knowledge.Epoch()
+
+	online := NewOnline(db, func() *kb.KB { return knowledge }, fastOptions(), DefaultOnlineOptions())
+	defer online.Close()
+
+	q := tpcds.Fig8WideQuery(db)
+	opt := optimizer.New(db.Catalog, optimizer.DefaultOptions())
+	plan, _, err := opt.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := executor.New(db).Execute(plan, q); err != nil {
+		t.Fatal(err)
+	}
+	gap := plan.MaxEstimationGap()
+	if gap < 8 {
+		t.Fatalf("Fig8 wide query should misestimate heavily, gap = %.1f", gap)
+	}
+	if !online.Observe(q, plan) {
+		t.Fatal("observation above the gap threshold was not enqueued")
+	}
+	online.Flush()
+
+	stats := online.Stats()
+	if stats.Triggered != 1 || stats.Analyzed != 1 {
+		t.Errorf("stats = %+v, want 1 triggered / 1 analyzed", stats)
+	}
+	if stats.TemplatesPromoted == 0 || knowledge.Size() == 0 {
+		t.Fatalf("no templates promoted (stats %+v, KB size %d)", stats, knowledge.Size())
+	}
+	if knowledge.Epoch() == epoch0 {
+		t.Error("promotion did not publish a new KB epoch")
+	}
+
+	// A well-estimated plan must not trigger analysis.
+	q2 := tpcds.Fig3Query()
+	plan2, _, err := opt.Optimize(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := executor.New(db).Execute(plan2, q2); err != nil {
+		t.Fatal(err)
+	}
+	if plan2.MaxEstimationGap() >= 8 {
+		t.Skipf("fixture drift: Fig3 gap %.1f is no longer small", plan2.MaxEstimationGap())
+	}
+	if online.Observe(q2, plan2) {
+		t.Error("well-estimated plan was enqueued")
+	}
+	if got := online.Stats(); got.Observed != 2 || got.Triggered != 1 {
+		t.Errorf("stats after benign observation = %+v", got)
+	}
+}
+
+// TestOnlineObserveAfterCloseIsNoop pins the Observe/Close race contract.
+func TestOnlineObserveAfterCloseIsNoop(t *testing.T) {
+	db := learnDB(t)
+	knowledge := kb.New()
+	online := NewOnline(db, func() *kb.KB { return knowledge }, fastOptions(), DefaultOnlineOptions())
+	online.Close()
+	online.Close() // idempotent
+	q := tpcds.Fig8WideQuery(db)
+	opt := optimizer.New(db.Catalog, optimizer.DefaultOptions())
+	plan, _, err := opt.Optimize(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online.Observe(q, plan) {
+		t.Error("Observe after Close must be a no-op")
+	}
+}

@@ -2,26 +2,40 @@ package matching
 
 import (
 	"container/list"
+	"hash/fnv"
 	"sync"
 
 	"galo/internal/sparql"
 )
 
-// probeCache is a fixed-capacity LRU cache of knowledge base probe results,
-// keyed by the generated SPARQL query text. The query text is a complete
-// fingerprint of the probed fragment — its operator types, input-stream
-// structure and estimated cardinalities all feed the generated query — so two
-// fragments with equal query text are guaranteed to receive equal solutions
-// from an unchanged knowledge base. This is the paper's "routinization" fast
-// path (Figure 12): workloads re-submit the same plan fragments over and
-// over, and a repeated fragment should not pay full SPARQL evaluation again.
+// probeCacheShards is the number of independently locked shards the
+// routinization cache is split across. Under serving concurrency (the
+// paper's Figure 12 amortization measured with many clients) every request
+// hits the cache several times per plan; sharding keeps those hits from
+// serializing on one mutex.
+const probeCacheShards = 16
+
+// probeCache is a sharded, fixed-capacity LRU cache of knowledge base probe
+// results, keyed by the generated SPARQL query text. The query text is a
+// complete fingerprint of the probed fragment — its operator types,
+// input-stream structure and estimated cardinalities all feed the generated
+// query — so two fragments with equal query text are guaranteed to receive
+// equal solutions from an unchanged knowledge base. This is the paper's
+// "routinization" fast path (Figure 12): workloads re-submit the same plan
+// fragments over and over, and a repeated fragment should not pay full
+// SPARQL evaluation again.
 //
-// Entries are tagged with the knowledge base version they were computed
-// against; a lookup with a different version drops the stale entry, so
-// knowledge base updates invalidate the cache without coordination. Negative
-// results (no matching template) are cached too — most probes miss, and the
-// miss is exactly what routinization must make cheap.
+// Entries are tagged with the knowledge base epoch they were computed
+// against; a lookup with a different epoch drops the stale entry, so
+// knowledge base publications invalidate the cache without coordination —
+// the cache can never serve a solution across epochs. Negative results (no
+// matching template) are cached too — most probes miss, and the miss is
+// exactly what routinization must make cheap.
 type probeCache struct {
+	shards []*cacheShard
+}
+
+type cacheShard struct {
 	mu    sync.Mutex
 	cap   int
 	order *list.List
@@ -35,51 +49,82 @@ type probeEntry struct {
 }
 
 func newProbeCache(capacity int) *probeCache {
-	return &probeCache{cap: capacity, order: list.New(), items: map[string]*list.Element{}}
+	// Small configured capacities get fewer shards rather than a silently
+	// inflated total (16 shards of one entry each would both exceed the
+	// bound and thrash colliding hot keys); full sharding kicks in once
+	// every shard can hold a few entries.
+	shards := probeCacheShards
+	if shards > capacity {
+		shards = capacity
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	perShard := capacity / shards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &probeCache{shards: make([]*cacheShard, shards)}
+	for i := range c.shards {
+		c.shards[i] = &cacheShard{cap: perShard, order: list.New(), items: map[string]*list.Element{}}
+	}
+	return c
+}
+
+func (c *probeCache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return c.shards[h.Sum32()%uint32(len(c.shards))]
 }
 
 // get returns the cached solutions for key at the given knowledge base
-// version. A version mismatch evicts the entry and reports a miss.
+// epoch. An epoch mismatch evicts the entry and reports a miss.
 func (c *probeCache) get(key string, version uint64) ([]sparql.Solution, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
 	if !ok {
 		return nil, false
 	}
 	ent := el.Value.(*probeEntry)
 	if ent.version != version {
-		c.order.Remove(el)
-		delete(c.items, key)
+		s.order.Remove(el)
+		delete(s.items, key)
 		return nil, false
 	}
-	c.order.MoveToFront(el)
+	s.order.MoveToFront(el)
 	return ent.sols, true
 }
 
-// put stores the solutions for key at the given knowledge base version,
-// evicting the least recently used entry when the cache is full.
+// put stores the solutions for key at the given knowledge base epoch,
+// evicting the shard's least recently used entry when it is full.
 func (c *probeCache) put(key string, version uint64, sols []sparql.Solution) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
 		ent := el.Value.(*probeEntry)
 		ent.version = version
 		ent.sols = sols
-		c.order.MoveToFront(el)
+		s.order.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.order.PushFront(&probeEntry{key: key, version: version, sols: sols})
-	if c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*probeEntry).key)
+	s.items[key] = s.order.PushFront(&probeEntry{key: key, version: version, sols: sols})
+	if s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(*probeEntry).key)
 	}
 }
 
-// size returns the number of cached entries.
+// size returns the number of cached entries across all shards.
 func (c *probeCache) size() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+	total := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		total += s.order.Len()
+		s.mu.Unlock()
+	}
+	return total
 }

@@ -11,8 +11,10 @@ package matching
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"galo/internal/catalog"
@@ -42,6 +44,19 @@ type VersionedEndpoint interface {
 	// the version is momentarily unavailable (e.g. a remote endpoint that
 	// cannot be reached), which disables caching for that probe.
 	KBVersion() (version uint64, ok bool)
+}
+
+// EpochPinner is an Endpoint that can pin one knowledge base epoch: PinEpoch
+// returns a Select function frozen on the current epoch plus that epoch's
+// version. The engine pins once per plan, so every probe of the plan — and
+// every cache entry and singleflight key those probes produce — belongs to
+// exactly that epoch; the version tag can never disagree with the data
+// actually read, even while learning publishes new epochs mid-plan.
+// In-process endpoints (fuseki.LocalEndpoint) implement this; remote
+// endpoints cannot, and fall back to the conservative KBVersion tagging
+// (entries tagged with a superseded version are evicted on next lookup).
+type EpochPinner interface {
+	PinEpoch() (func(string) ([]sparql.Solution, error), uint64)
 }
 
 // Options configures the matching engine.
@@ -74,6 +89,8 @@ type Engine struct {
 	Endpoint Endpoint
 	Opts     Options
 	cache    *probeCache
+	flight   flightGroup
+	deduped  atomic.Int64
 }
 
 // New returns a matching engine over the catalog and knowledge base endpoint.
@@ -111,26 +128,57 @@ func (e *Engine) kbVersion() (uint64, bool) {
 	return e.Endpoint.(VersionedEndpoint).KBVersion()
 }
 
+// planEndpoint resolves the Select function and version tag one plan's
+// probes share: a pinned epoch when the endpoint supports it, the plain
+// endpoint with conservative version tagging otherwise.
+func (e *Engine) planEndpoint() (sel func(string) ([]sparql.Solution, error), version uint64, versionOK bool) {
+	if p, ok := e.Endpoint.(EpochPinner); ok {
+		sel, version = p.PinEpoch()
+		return sel, version, true
+	}
+	version, versionOK = e.kbVersion()
+	return e.Endpoint.Select, version, versionOK
+}
+
 // probe answers one knowledge base query, through the routinization cache
 // when it is active and a version was resolved. Tagging a whole plan's
 // probes with the version fetched at plan start is conservative: if the
 // knowledge base changes mid-plan, the entries are tagged with the older
 // version and evicted on their next lookup.
-func (e *Engine) probe(queryText string, version uint64, versionOK bool) (sols []sparql.Solution, cached bool, err error) {
+//
+// Cache misses go through a singleflight group keyed by (epoch, query
+// text): identical probes issued by concurrent re-optimizations collapse
+// into one SPARQL evaluation whose result all of them (and the cache)
+// receive. The epoch in the key keeps a probe issued after a knowledge base
+// publication from joining a pre-publication evaluation.
+func (e *Engine) probe(sel func(string) ([]sparql.Solution, error), queryText string, version uint64, versionOK bool) (sols []sparql.Solution, cached bool, err error) {
 	if e.cache != nil && versionOK {
 		if sols, hit := e.cache.get(queryText, version); hit {
 			return sols, true, nil
 		}
-		sols, err := e.Endpoint.Select(queryText)
-		if err != nil {
-			return nil, false, err
-		}
-		e.cache.put(queryText, version, sols)
-		return sols, false, nil
 	}
-	sols, err = e.Endpoint.Select(queryText)
-	return sols, false, err
+	key := queryText
+	if versionOK {
+		key = strconv.FormatUint(version, 16) + "|" + queryText
+	}
+	sols, shared, err := e.flight.do(key, func() ([]sparql.Solution, error) {
+		return sel(queryText)
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	if shared {
+		e.deduped.Add(1)
+	}
+	if e.cache != nil && versionOK {
+		e.cache.put(queryText, version, sols)
+	}
+	return sols, false, nil
 }
+
+// DedupedProbes returns how many probes were answered by joining another
+// in-flight identical probe instead of evaluating SPARQL themselves.
+func (e *Engine) DedupedProbes() int64 { return e.deduped.Load() }
 
 // Match is one problem pattern found in a plan.
 type Match struct {
@@ -197,7 +245,7 @@ func (e *Engine) MatchPlanStats(plan *qgm.Plan) ([]Match, ProbeStats, error) {
 		err error
 	}
 	outcomes := make([]outcome, len(fragments))
-	version, versionOK := e.kbVersion()
+	sel, version, versionOK := e.planEndpoint()
 	workers := e.Opts.ProbeWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -207,7 +255,7 @@ func (e *Engine) MatchPlanStats(plan *qgm.Plan) ([]Match, ProbeStats, error) {
 	}
 	if workers <= 1 {
 		for i, frag := range fragments {
-			m, ok, err := e.matchFragment(frag.Root, version, versionOK)
+			m, ok, err := e.matchFragment(frag.Root, sel, version, versionOK)
 			outcomes[i] = outcome{m, ok, err}
 		}
 	} else {
@@ -218,7 +266,7 @@ func (e *Engine) MatchPlanStats(plan *qgm.Plan) ([]Match, ProbeStats, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					m, ok, err := e.matchFragment(fragments[i].Root, version, versionOK)
+					m, ok, err := e.matchFragment(fragments[i].Root, sel, version, versionOK)
 					outcomes[i] = outcome{m, ok, err}
 				}
 			}()
@@ -265,13 +313,13 @@ func overlapsClaimed(frag *qgm.Node, claimed map[string]bool) bool {
 // matchFragment matches one sub-plan against the knowledge base and, when a
 // template matches, maps its guideline back to the incoming plan's table
 // instances.
-func (e *Engine) matchFragment(frag *qgm.Node, version uint64, versionOK bool) (Match, bool, error) {
+func (e *Engine) matchFragment(frag *qgm.Node, sel func(string) ([]sparql.Solution, error), version uint64, versionOK bool) (Match, bool, error) {
 	start := time.Now()
 	queryText, info, err := transform.FragmentMatchQuery(frag)
 	if err != nil {
 		return Match{}, false, err
 	}
-	sols, cached, err := e.probe(queryText, version, versionOK)
+	sols, cached, err := e.probe(sel, queryText, version, versionOK)
 	if err != nil {
 		return Match{}, false, fmt.Errorf("matching: knowledge base query failed: %w", err)
 	}

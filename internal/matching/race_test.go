@@ -1,6 +1,7 @@
 package matching
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -66,7 +67,7 @@ func TestProbeCacheServesFreshResultsAfterKBChange(t *testing.T) {
 
 	probe := func() ([]sparql.Solution, bool, error) {
 		v, ok := eng.kbVersion()
-		return eng.probe(query, v, ok)
+		return eng.probe(eng.Endpoint.Select, query, v, ok)
 	}
 	store.Add(rdf.Triple{S: rdf.NewIRI("a"), P: rdf.NewIRI("http://galo/qep/property/hasPopType"), O: rdf.NewLiteral("HSJOIN")})
 	sols, cached, err := probe()
@@ -99,31 +100,92 @@ func (v versionedStore) Select(queryText string) ([]sparql.Solution, error) {
 func (v versionedStore) KBVersion() (uint64, bool) { return v.store.Version(), true }
 
 // TestProbeCacheLRUEviction pins the cache's capacity and recency behavior.
+// Eviction is per shard, so the test drives three keys that hash to the same
+// shard of a cache whose shards hold two entries each.
 func TestProbeCacheLRUEviction(t *testing.T) {
-	c := newProbeCache(2)
-	c.put("a", 1, nil)
-	c.put("b", 1, nil)
-	if _, hit := c.get("a", 1); !hit {
+	c := newProbeCache(2 * probeCacheShards) // two entries per shard
+	var keys []string
+	want := c.shard("seed")
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if c.shard(k) == want {
+			keys = append(keys, k)
+		}
+	}
+	a, b, cc := keys[0], keys[1], keys[2]
+	c.put(a, 1, nil)
+	c.put(b, 1, nil)
+	if _, hit := c.get(a, 1); !hit {
 		t.Fatal("a should be cached")
 	}
-	c.put("c", 1, nil) // evicts b (least recently used)
-	if _, hit := c.get("b", 1); hit {
+	c.put(cc, 1, nil) // evicts b (least recently used in the shard)
+	if _, hit := c.get(b, 1); hit {
 		t.Error("b should have been evicted")
 	}
-	if _, hit := c.get("a", 1); !hit {
+	if _, hit := c.get(a, 1); !hit {
 		t.Error("a should have survived (recently used)")
 	}
-	if _, hit := c.get("c", 1); !hit {
+	if _, hit := c.get(cc, 1); !hit {
 		t.Error("c should be cached")
 	}
 	if c.size() != 2 {
 		t.Errorf("size = %d, want 2", c.size())
 	}
 	// Version mismatch evicts.
-	if _, hit := c.get("a", 2); hit {
+	if _, hit := c.get(a, 2); hit {
 		t.Error("stale version should miss")
 	}
 	if c.size() != 1 {
 		t.Errorf("size after stale eviction = %d, want 1", c.size())
 	}
+}
+
+// TestSingleflightDedupesIdenticalProbes issues the same probe from many
+// goroutines against a slow endpoint and checks that concurrent callers
+// joined one evaluation instead of each paying their own.
+func TestSingleflightDedupesIdenticalProbes(t *testing.T) {
+	store := rdf.NewStore()
+	store.Add(rdf.Triple{S: rdf.NewIRI("a"), P: rdf.NewIRI("http://galo/qep/property/hasPopType"), O: rdf.NewLiteral("HSJOIN")})
+	slow := slowEndpoint{versionedStore{store}, make(chan struct{})}
+	eng := New(nil, slow, DefaultOptions())
+	query := `PREFIX pr: <http://galo/qep/property/>
+		SELECT ?x WHERE { ?x pr:hasPopType "HSJOIN" . }`
+
+	const clients = 8
+	var wg sync.WaitGroup
+	var started sync.WaitGroup
+	started.Add(clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			started.Done()
+			v, ok := eng.kbVersion()
+			sols, _, err := eng.probe(eng.Endpoint.Select, query, v, ok)
+			if err != nil || len(sols) != 1 {
+				t.Errorf("probe: sols=%d err=%v", len(sols), err)
+			}
+		}()
+	}
+	started.Wait()
+	close(slow.release) // let the (deduplicated) evaluations proceed
+	wg.Wait()
+	if eng.DedupedProbes() == 0 {
+		t.Error("no probes were deduplicated across 8 identical concurrent calls")
+	}
+	if eng.DedupedProbes() > clients-1 {
+		t.Errorf("deduped %d probes from %d calls", eng.DedupedProbes(), clients)
+	}
+}
+
+// slowEndpoint blocks Selects until released, forcing concurrent probes to
+// overlap deterministically.
+type slowEndpoint struct {
+	versionedStore
+	release chan struct{}
+}
+
+func (s slowEndpoint) Select(queryText string) ([]sparql.Solution, error) {
+	<-s.release
+	return s.versionedStore.Select(queryText)
 }

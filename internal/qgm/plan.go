@@ -110,6 +110,40 @@ func (p *Plan) Signature() string {
 	return p.Root.Signature()
 }
 
+// MaxEstimationGap returns the largest per-operator ratio between actual and
+// estimated cardinality over the operators the executor ran (ActMillis set),
+// in whichever direction the estimate erred; 1 means every estimate was
+// exact, and plans that never executed report 1. This is the signal the
+// online learning loop triggers on: a plan whose runtime truth diverged from
+// the optimizer's beliefs is a candidate problem pattern.
+func (p *Plan) MaxEstimationGap() float64 {
+	worst := 1.0
+	if p == nil || p.Root == nil {
+		return worst
+	}
+	p.Root.Walk(func(n *Node) {
+		if n.ActMillis <= 0 {
+			return
+		}
+		est := n.EstCardinality
+		if est < 1 {
+			est = 1
+		}
+		act := n.ActCardinality
+		if act < 1 {
+			act = 1
+		}
+		ratio := act / est
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+	})
+	return worst
+}
+
 // Validate checks structural invariants: joins have two children, scans have
 // none, unary operators have exactly one, IDs are unique, and every scan
 // names a table and instance.

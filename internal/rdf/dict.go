@@ -36,6 +36,17 @@ func (d *dictionary) lookup(t Term) (uint32, bool) {
 // term is the reverse lookup; id must have been returned by intern.
 func (d *dictionary) term(id uint32) Term { return d.terms[id] }
 
+// clone returns a copy whose ID map is private; the terms slice is shared by
+// header (appends only ever write beyond this clone's length, which holders
+// of the original never read).
+func (d *dictionary) clone() *dictionary {
+	ids := make(map[Term]uint32, len(d.ids)+8)
+	for k, v := range d.ids {
+		ids[k] = v
+	}
+	return &dictionary{terms: d.terms, ids: ids}
+}
+
 // size returns the number of interned terms.
 func (d *dictionary) size() int { return len(d.terms) }
 

@@ -11,14 +11,20 @@
 // per-probe cost depends on the size of the touched posting lists rather than
 // on the total store size — the property GALO's online matching engine relies
 // on (Figures 11-12 of the paper).
+//
+// The store has epoch-snapshot semantics: every mutation batch builds a fresh
+// immutable Snapshot by copying-on-write exactly what it touches and
+// publishes it with one atomic pointer swap. Readers pin a Snapshot and see
+// one consistent epoch for as long as they hold it — a SPARQL probe never
+// observes a half-written template — while writers never block readers.
 package rdf
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // TermKind distinguishes IRIs from literals.
@@ -52,16 +58,7 @@ func (t Term) IsIRI() bool { return t.Kind == IRI }
 
 // Float parses the literal as a float64; ok is false for IRIs and
 // non-numeric literals.
-func (t Term) Float() (float64, bool) {
-	if t.Kind != Literal {
-		return 0, false
-	}
-	f, err := strconv.ParseFloat(strings.TrimSpace(t.Value), 64)
-	if err != nil {
-		return 0, false
-	}
-	return f, true
-}
+func (t Term) Float() (float64, bool) { return numericLiteral(t) }
 
 // String renders the term in N-Triples syntax.
 func (t Term) String() string {
@@ -90,395 +87,145 @@ func (t Triple) String() string {
 	return fmt.Sprintf("%s %s %s .", t.S, t.P, t.O)
 }
 
+// Pattern is a triple pattern for batch removal; nil components are
+// wildcards.
+type Pattern struct {
+	S, P, O *Term
+}
+
 // Store is an in-memory triple store with subject/predicate/object indexes
-// keyed on dictionary-encoded term IDs. It is safe for concurrent use.
+// keyed on dictionary-encoded term IDs, plus a numeric secondary index per
+// predicate. It is safe for concurrent use: writers serialize on a mutex and
+// publish immutable epoch snapshots; readers load the current snapshot
+// without locking.
 type Store struct {
-	mu   sync.RWMutex
-	dict *dictionary
-	// spo: subject -> predicate -> sorted object IDs, and the two rotations.
-	spo map[uint32]map[uint32][]uint32
-	pos map[uint32]map[uint32][]uint32
-	osp map[uint32]map[uint32][]uint32
-	// predN / objN count the triples carrying each predicate / object, for
-	// the cardinality estimates selectivity-ordered SPARQL evaluation uses.
-	predN map[uint32]int
-	objN  map[uint32]int
-	n     int
-	// version counts successful mutations; readers use it to invalidate
-	// caches built over the store's contents.
-	version uint64
+	mu   sync.Mutex // serializes writers; readers never take it
+	snap atomic.Pointer[Snapshot]
 }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
-	return &Store{
-		dict:  newDictionary(),
-		spo:   map[uint32]map[uint32][]uint32{},
-		pos:   map[uint32]map[uint32][]uint32{},
-		osp:   map[uint32]map[uint32][]uint32{},
-		predN: map[uint32]int{},
-		objN:  map[uint32]int{},
-	}
+	s := &Store{}
+	s.snap.Store(emptySnapshot())
+	return s
 }
+
+// Snapshot pins the current epoch. The returned view is immutable and safe
+// to read without coordination for as long as the caller holds it; later
+// mutations publish new epochs without disturbing it.
+func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
 
 // Add inserts a triple (duplicates are ignored).
-func (s *Store) Add(t Triple) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.addLocked(t)
-}
+func (s *Store) Add(t Triple) { s.AddAll([]Triple{t}) }
 
-// AddAll inserts several triples under a single lock acquisition.
-func (s *Store) AddAll(ts []Triple) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, t := range ts {
-		s.addLocked(t)
-	}
-}
-
-func (s *Store) addLocked(t Triple) {
-	sid := s.dict.intern(t.S)
-	pid := s.dict.intern(t.P)
-	oid := s.dict.intern(t.O)
-	list, inserted := insertSorted(index(s.spo, sid)[pid], oid)
-	if !inserted {
-		return
-	}
-	s.spo[sid][pid] = list
-	pm := index(s.pos, pid)
-	pm[oid], _ = insertSorted(pm[oid], sid)
-	om := index(s.osp, oid)
-	om[sid], _ = insertSorted(om[sid], pid)
-	s.predN[pid]++
-	s.objN[oid]++
-	s.n++
-	s.version++
-}
-
-func index(idx map[uint32]map[uint32][]uint32, a uint32) map[uint32][]uint32 {
-	m, ok := idx[a]
-	if !ok {
-		m = map[uint32][]uint32{}
-		idx[a] = m
-	}
-	return m
-}
-
-// Len returns the number of distinct triples stored.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.n
-}
-
-// Version returns a counter that increases with every successful mutation.
-// Two calls returning the same value bracket a window in which the store's
-// contents did not change, which makes it a safe cache-invalidation key.
-func (s *Store) Version() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.version
-}
-
-// Match returns the triples matching the pattern; nil components are
-// wildcards. Results are in a deterministic order (ascending dictionary IDs,
-// i.e. first-interned terms first); callers needing lexicographic order must
-// sort the result themselves.
-func (s *Store) Match(subj, pred, obj *Term) []Triple {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var sid, pid, oid uint32
-	var ok bool
-	if subj != nil {
-		if sid, ok = s.dict.lookup(*subj); !ok {
-			return nil
-		}
-	}
-	if pred != nil {
-		if pid, ok = s.dict.lookup(*pred); !ok {
-			return nil
-		}
-	}
-	if obj != nil {
-		if oid, ok = s.dict.lookup(*obj); !ok {
-			return nil
-		}
-	}
-	var out []Triple
-	switch {
-	case subj != nil && pred != nil:
-		for _, o := range s.spo[sid][pid] {
-			if obj != nil && o != oid {
-				continue
-			}
-			out = append(out, Triple{*subj, *pred, s.dict.term(o)})
-		}
-	case subj != nil:
-		pm := s.spo[sid]
-		for _, p := range sortedIDs(pm) {
-			pt := s.dict.term(p)
-			for _, o := range pm[p] {
-				if obj != nil && o != oid {
-					continue
-				}
-				out = append(out, Triple{*subj, pt, s.dict.term(o)})
-			}
-		}
-	case pred != nil && obj != nil:
-		for _, su := range s.pos[pid][oid] {
-			out = append(out, Triple{s.dict.term(su), *pred, *obj})
-		}
-	case pred != nil:
-		om := s.pos[pid]
-		for _, o := range sortedIDs(om) {
-			ot := s.dict.term(o)
-			for _, su := range om[o] {
-				out = append(out, Triple{s.dict.term(su), *pred, ot})
-			}
-		}
-	case obj != nil:
-		sm := s.osp[oid]
-		for _, su := range sortedIDs(sm) {
-			st := s.dict.term(su)
-			for _, p := range sm[su] {
-				out = append(out, Triple{st, s.dict.term(p), *obj})
-			}
-		}
-	default:
-		for _, su := range sortedIDs(s.spo) {
-			st := s.dict.term(su)
-			pm := s.spo[su]
-			for _, p := range sortedIDs(pm) {
-				pt := s.dict.term(p)
-				for _, o := range pm[p] {
-					out = append(out, Triple{st, pt, s.dict.term(o)})
-				}
-			}
-		}
-	}
-	return out
-}
-
-func sortedIDs[V any](m map[uint32]V) []uint32 {
-	out := make([]uint32, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// Subjects returns every distinct subject in the store, in deterministic
-// (dictionary ID) order.
-func (s *Store) Subjects() []Term {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.termsOf(sortedIDs(s.spo))
-}
-
-func (s *Store) termsOf(ids []uint32) []Term {
-	out := make([]Term, len(ids))
-	for i, id := range ids {
-		out[i] = s.dict.term(id)
-	}
-	return out
-}
-
-// ObjectsOf returns the objects of (subject, predicate) in deterministic
-// (dictionary ID) order. The result is a fresh slice the caller owns.
-func (s *Store) ObjectsOf(subject, predicate Term) []Term {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sid, ok := s.dict.lookup(subject)
-	if !ok {
-		return nil
-	}
-	pid, ok := s.dict.lookup(predicate)
-	if !ok {
-		return nil
-	}
-	return s.termsOf(s.spo[sid][pid])
-}
-
-// SubjectsOf returns the subjects carrying (predicate, object) in
-// deterministic (dictionary ID) order — the reverse of ObjectsOf, answered
-// from the POS index without scanning.
-func (s *Store) SubjectsOf(predicate, object Term) []Term {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	pid, ok := s.dict.lookup(predicate)
-	if !ok {
-		return nil
-	}
-	oid, ok := s.dict.lookup(object)
-	if !ok {
-		return nil
-	}
-	return s.termsOf(s.pos[pid][oid])
-}
-
-// SubjectsWithPred returns the distinct subjects that carry at least one
-// triple with the given predicate, in deterministic (dictionary ID) order.
-func (s *Store) SubjectsWithPred(predicate Term) []Term {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	pid, ok := s.dict.lookup(predicate)
-	if !ok {
-		return nil
-	}
-	seen := map[uint32]struct{}{}
-	ids := make([]uint32, 0, len(s.pos[pid]))
-	for _, subs := range s.pos[pid] {
-		for _, su := range subs {
-			if _, dup := seen[su]; !dup {
-				seen[su] = struct{}{}
-				ids = append(ids, su)
-			}
-		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	return s.termsOf(ids)
-}
-
-// CountSP returns the number of triples with the given subject and predicate.
-func (s *Store) CountSP(subject, predicate Term) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sid, ok := s.dict.lookup(subject)
-	if !ok {
-		return 0
-	}
-	pid, ok := s.dict.lookup(predicate)
-	if !ok {
-		return 0
-	}
-	return len(s.spo[sid][pid])
-}
-
-// CountPO returns the number of triples with the given predicate and object.
-func (s *Store) CountPO(predicate, object Term) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	pid, ok := s.dict.lookup(predicate)
-	if !ok {
-		return 0
-	}
-	oid, ok := s.dict.lookup(object)
-	if !ok {
-		return 0
-	}
-	return len(s.pos[pid][oid])
-}
-
-// CountP returns the number of triples carrying the given predicate.
-func (s *Store) CountP(predicate Term) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	pid, ok := s.dict.lookup(predicate)
-	if !ok {
-		return 0
-	}
-	return s.predN[pid]
-}
-
-// CountO returns the number of triples carrying the given object.
-func (s *Store) CountO(object Term) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	oid, ok := s.dict.lookup(object)
-	if !ok {
-		return 0
-	}
-	return s.objN[oid]
-}
-
-// FirstObject returns the first object of (subject, predicate) — in
-// deterministic dictionary-ID order — and whether it exists.
-func (s *Store) FirstObject(subject, predicate Term) (Term, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sid, ok := s.dict.lookup(subject)
-	if !ok {
-		return Term{}, false
-	}
-	pid, ok := s.dict.lookup(predicate)
-	if !ok {
-		return Term{}, false
-	}
-	objs := s.spo[sid][pid]
-	if len(objs) == 0 {
-		return Term{}, false
-	}
-	return s.dict.term(objs[0]), true
-}
+// AddAll inserts several triples as one atomic batch: readers observe either
+// none or all of them.
+func (s *Store) AddAll(ts []Triple) { s.Apply(nil, ts) }
 
 // Remove deletes matching triples and returns how many were removed; nil
 // components are wildcards.
 func (s *Store) Remove(subj, pred, obj *Term) int {
-	victims := s.Match(subj, pred, obj)
-	if len(victims) == 0 {
-		return 0
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, t := range victims {
-		sid, _ := s.dict.lookup(t.S)
-		pid, _ := s.dict.lookup(t.P)
-		oid, _ := s.dict.lookup(t.O)
-		if !removeIndex(s.spo, sid, pid, oid) {
-			continue
-		}
-		removeIndex(s.pos, pid, oid, sid)
-		removeIndex(s.osp, oid, sid, pid)
-		if s.predN[pid]--; s.predN[pid] == 0 {
-			delete(s.predN, pid)
-		}
-		if s.objN[oid]--; s.objN[oid] == 0 {
-			delete(s.objN, oid)
-		}
-		s.n--
-		s.version++
-	}
-	return len(victims)
+	return s.Apply([]Pattern{{S: subj, P: pred, O: obj}}, nil)
 }
 
-func removeIndex(idx map[uint32]map[uint32][]uint32, a, b, c uint32) bool {
-	m := idx[a]
-	if m == nil {
-		return false
+// Apply removes every triple matching one of the removal patterns and then
+// inserts the additions, all as ONE atomic epoch publication — the primitive
+// the knowledge base uses to replace a template's triples without readers
+// ever seeing the template half-written. It returns the number of triples
+// removed.
+func (s *Store) Apply(removals []Pattern, additions []Triple) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	base := s.snap.Load()
+	m := newMutation(base)
+	removed := 0
+	for _, p := range removals {
+		for _, victim := range base.Match(p.S, p.P, p.O) {
+			if m.remove(victim) {
+				removed++
+			}
+		}
 	}
-	list, removed := removeSorted(m[b], c)
-	if !removed {
-		return false
+	for _, t := range additions {
+		m.add(t)
 	}
-	m[b] = list
-	if len(list) == 0 {
-		delete(m, b)
+	if next := m.publishable(base); next != nil {
+		s.snap.Store(next)
 	}
-	if len(m) == 0 {
-		delete(idx, a)
-	}
-	return true
+	return removed
+}
+
+// --- Store read methods (delegate to the current snapshot) -------------------
+
+// Len returns the number of distinct triples stored.
+func (s *Store) Len() int { return s.Snapshot().Len() }
+
+// Version returns a counter that increases with every successful mutation
+// batch. Two calls returning the same value bracket a window in which the
+// store's contents did not change, which makes it a safe cache-invalidation
+// key; the knowledge base surfaces it as the KB epoch.
+func (s *Store) Version() uint64 { return s.Snapshot().Version() }
+
+// Match returns the triples matching the pattern in the current epoch; nil
+// components are wildcards.
+func (s *Store) Match(subj, pred, obj *Term) []Triple { return s.Snapshot().Match(subj, pred, obj) }
+
+// Subjects returns every distinct subject in the current epoch.
+func (s *Store) Subjects() []Term { return s.Snapshot().Subjects() }
+
+// ObjectsOf returns the objects of (subject, predicate) in the current epoch.
+func (s *Store) ObjectsOf(subject, predicate Term) []Term {
+	return s.Snapshot().ObjectsOf(subject, predicate)
+}
+
+// SubjectsOf returns the subjects carrying (predicate, object) in the
+// current epoch.
+func (s *Store) SubjectsOf(predicate, object Term) []Term {
+	return s.Snapshot().SubjectsOf(predicate, object)
+}
+
+// SubjectsWithPred returns the distinct subjects carrying the predicate in
+// the current epoch.
+func (s *Store) SubjectsWithPred(predicate Term) []Term {
+	return s.Snapshot().SubjectsWithPred(predicate)
+}
+
+// SubjectsWithPredInRange returns the distinct subjects carrying the
+// predicate with a numeric object in [lo, hi] in the current epoch.
+func (s *Store) SubjectsWithPredInRange(predicate Term, lo, hi *float64) []Term {
+	return s.Snapshot().SubjectsWithPredInRange(predicate, lo, hi)
+}
+
+// CountSP returns the number of triples with the given subject and predicate.
+func (s *Store) CountSP(subject, predicate Term) int { return s.Snapshot().CountSP(subject, predicate) }
+
+// CountPO returns the number of triples with the given predicate and object.
+func (s *Store) CountPO(predicate, object Term) int { return s.Snapshot().CountPO(predicate, object) }
+
+// CountP returns the number of triples carrying the given predicate.
+func (s *Store) CountP(predicate Term) int { return s.Snapshot().CountP(predicate) }
+
+// CountPInRange counts the predicate's triples with a numeric object in
+// [lo, hi].
+func (s *Store) CountPInRange(predicate Term, lo, hi *float64) int {
+	return s.Snapshot().CountPInRange(predicate, lo, hi)
+}
+
+// CountO returns the number of triples carrying the given object.
+func (s *Store) CountO(object Term) int { return s.Snapshot().CountO(object) }
+
+// FirstObject returns the first object of (subject, predicate) and whether
+// it exists.
+func (s *Store) FirstObject(subject, predicate Term) (Term, bool) {
+	return s.Snapshot().FirstObject(subject, predicate)
 }
 
 // NTriples serializes the whole store in N-Triples format with a
 // deterministic, lexicographically sorted line order (stable across
 // serialize/parse roundtrips regardless of internal dictionary IDs).
-func (s *Store) NTriples() string {
-	triples := s.Match(nil, nil, nil)
-	lines := make([]string, len(triples))
-	for i, t := range triples {
-		lines[i] = t.String()
-	}
-	sort.Strings(lines)
-	var b strings.Builder
-	for _, line := range lines {
-		b.WriteString(line)
-		b.WriteString("\n")
-	}
-	return b.String()
-}
+func (s *Store) NTriples() string { return s.Snapshot().NTriples() }
+
+// --- N-Triples parsing -------------------------------------------------------
 
 // ParseNTriples parses N-Triples text (as produced by NTriples) into triples.
 func ParseNTriples(text string) ([]Triple, error) {
@@ -543,7 +290,7 @@ func splitTerms(line string) ([]Term, error) {
 	return out, nil
 }
 
-// LoadNTriples parses and adds the triples to the store.
+// LoadNTriples parses and adds the triples to the store as one atomic batch.
 func (s *Store) LoadNTriples(text string) error {
 	ts, err := ParseNTriples(text)
 	if err != nil {

@@ -1,0 +1,391 @@
+package rdf
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Graph is the read-only view of a triple store. Both *Store (always the
+// latest published epoch) and *Snapshot (one pinned epoch) implement it, so
+// code that only reads — the SPARQL evaluator above all — can run against
+// either: against the live store for convenience, or against a pinned
+// snapshot when a multi-step evaluation must see one consistent epoch.
+type Graph interface {
+	// Match returns the triples matching the pattern; nil components are
+	// wildcards.
+	Match(subj, pred, obj *Term) []Triple
+	// Subjects returns every distinct subject.
+	Subjects() []Term
+	// ObjectsOf returns the objects of (subject, predicate).
+	ObjectsOf(subject, predicate Term) []Term
+	// SubjectsOf returns the subjects carrying (predicate, object).
+	SubjectsOf(predicate, object Term) []Term
+	// SubjectsWithPred returns the distinct subjects carrying the predicate.
+	SubjectsWithPred(predicate Term) []Term
+	// SubjectsWithPredInRange returns the distinct subjects carrying the
+	// predicate with a numeric literal object in [lo, hi] (nil bounds are
+	// open), answered from the numeric secondary index.
+	SubjectsWithPredInRange(predicate Term, lo, hi *float64) []Term
+	// CountSP / CountPO / CountP / CountO are the cardinality accessors the
+	// selectivity-ordered SPARQL evaluator estimates with.
+	CountSP(subject, predicate Term) int
+	CountPO(predicate, object Term) int
+	CountP(predicate Term) int
+	CountO(object Term) int
+	// CountPInRange counts the predicate's triples whose numeric literal
+	// object lies in [lo, hi] (nil bounds are open).
+	CountPInRange(predicate Term, lo, hi *float64) int
+	// FirstObject returns the first object of (subject, predicate).
+	FirstObject(subject, predicate Term) (Term, bool)
+	// Len returns the number of distinct triples.
+	Len() int
+	// Version identifies the epoch of the contents.
+	Version() uint64
+}
+
+// numEntry is one entry of the numeric secondary index: a triple
+// (subject, predicate, numeric literal) recorded as (value, subject) in a
+// per-predicate list sorted by (value, subject). It is the cardinality-band
+// index: probe queries constrain hasLowerCardinality/hasHigherCardinality
+// values with FILTER bounds, and the sorted list turns candidate-start
+// resolution for such patterns from "every subject carrying the predicate"
+// into a binary-searched band.
+type numEntry struct {
+	val  float64
+	subj uint32
+}
+
+// Snapshot is one immutable epoch of a Store. Readers share snapshots
+// without locks: a snapshot's maps and posting lists are never mutated after
+// publication (writers copy-on-write whatever a batch touches and publish a
+// fresh Snapshot atomically).
+type Snapshot struct {
+	dict *dictionary
+	// spo: subject -> predicate -> sorted object IDs, and the two rotations.
+	spo map[uint32]map[uint32][]uint32
+	pos map[uint32]map[uint32][]uint32
+	osp map[uint32]map[uint32][]uint32
+	// num: predicate -> (value, subject) entries sorted by (value, subject),
+	// for triples whose object is a numeric literal.
+	num map[uint32][]numEntry
+	// predN / objN count the triples carrying each predicate / object.
+	predN map[uint32]int
+	objN  map[uint32]int
+	n     int
+	// version counts mutations since the store was created; every published
+	// epoch has a distinct, increasing version.
+	version uint64
+}
+
+func emptySnapshot() *Snapshot {
+	return &Snapshot{
+		dict:  newDictionary(),
+		spo:   map[uint32]map[uint32][]uint32{},
+		pos:   map[uint32]map[uint32][]uint32{},
+		osp:   map[uint32]map[uint32][]uint32{},
+		num:   map[uint32][]numEntry{},
+		predN: map[uint32]int{},
+		objN:  map[uint32]int{},
+	}
+}
+
+// Len returns the number of distinct triples in the snapshot.
+func (g *Snapshot) Len() int { return g.n }
+
+// Version identifies the snapshot's epoch.
+func (g *Snapshot) Version() uint64 { return g.version }
+
+// Match returns the triples matching the pattern; nil components are
+// wildcards. Results are in a deterministic order (ascending dictionary IDs,
+// i.e. first-interned terms first); callers needing lexicographic order must
+// sort the result themselves.
+func (g *Snapshot) Match(subj, pred, obj *Term) []Triple {
+	var sid, pid, oid uint32
+	var ok bool
+	if subj != nil {
+		if sid, ok = g.dict.lookup(*subj); !ok {
+			return nil
+		}
+	}
+	if pred != nil {
+		if pid, ok = g.dict.lookup(*pred); !ok {
+			return nil
+		}
+	}
+	if obj != nil {
+		if oid, ok = g.dict.lookup(*obj); !ok {
+			return nil
+		}
+	}
+	var out []Triple
+	switch {
+	case subj != nil && pred != nil:
+		for _, o := range g.spo[sid][pid] {
+			if obj != nil && o != oid {
+				continue
+			}
+			out = append(out, Triple{*subj, *pred, g.dict.term(o)})
+		}
+	case subj != nil:
+		pm := g.spo[sid]
+		for _, p := range sortedIDs(pm) {
+			pt := g.dict.term(p)
+			for _, o := range pm[p] {
+				if obj != nil && o != oid {
+					continue
+				}
+				out = append(out, Triple{*subj, pt, g.dict.term(o)})
+			}
+		}
+	case pred != nil && obj != nil:
+		for _, su := range g.pos[pid][oid] {
+			out = append(out, Triple{g.dict.term(su), *pred, *obj})
+		}
+	case pred != nil:
+		om := g.pos[pid]
+		for _, o := range sortedIDs(om) {
+			ot := g.dict.term(o)
+			for _, su := range om[o] {
+				out = append(out, Triple{g.dict.term(su), *pred, ot})
+			}
+		}
+	case obj != nil:
+		sm := g.osp[oid]
+		for _, su := range sortedIDs(sm) {
+			st := g.dict.term(su)
+			for _, p := range sm[su] {
+				out = append(out, Triple{st, g.dict.term(p), *obj})
+			}
+		}
+	default:
+		for _, su := range sortedIDs(g.spo) {
+			st := g.dict.term(su)
+			pm := g.spo[su]
+			for _, p := range sortedIDs(pm) {
+				pt := g.dict.term(p)
+				for _, o := range pm[p] {
+					out = append(out, Triple{st, pt, g.dict.term(o)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sortedIDs[V any](m map[uint32]V) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Subjects returns every distinct subject in the snapshot, in deterministic
+// (dictionary ID) order.
+func (g *Snapshot) Subjects() []Term { return g.termsOf(sortedIDs(g.spo)) }
+
+func (g *Snapshot) termsOf(ids []uint32) []Term {
+	out := make([]Term, len(ids))
+	for i, id := range ids {
+		out[i] = g.dict.term(id)
+	}
+	return out
+}
+
+// ObjectsOf returns the objects of (subject, predicate) in deterministic
+// (dictionary ID) order. The result is shared with the snapshot's internal
+// posting list rendering; callers must not mutate it.
+func (g *Snapshot) ObjectsOf(subject, predicate Term) []Term {
+	sid, ok := g.dict.lookup(subject)
+	if !ok {
+		return nil
+	}
+	pid, ok := g.dict.lookup(predicate)
+	if !ok {
+		return nil
+	}
+	return g.termsOf(g.spo[sid][pid])
+}
+
+// SubjectsOf returns the subjects carrying (predicate, object) in
+// deterministic (dictionary ID) order — the reverse of ObjectsOf, answered
+// from the POS index without scanning.
+func (g *Snapshot) SubjectsOf(predicate, object Term) []Term {
+	pid, ok := g.dict.lookup(predicate)
+	if !ok {
+		return nil
+	}
+	oid, ok := g.dict.lookup(object)
+	if !ok {
+		return nil
+	}
+	return g.termsOf(g.pos[pid][oid])
+}
+
+// SubjectsWithPred returns the distinct subjects that carry at least one
+// triple with the given predicate, in deterministic (dictionary ID) order.
+func (g *Snapshot) SubjectsWithPred(predicate Term) []Term {
+	pid, ok := g.dict.lookup(predicate)
+	if !ok {
+		return nil
+	}
+	seen := map[uint32]struct{}{}
+	ids := make([]uint32, 0, len(g.pos[pid]))
+	for _, subs := range g.pos[pid] {
+		for _, su := range subs {
+			if _, dup := seen[su]; !dup {
+				seen[su] = struct{}{}
+				ids = append(ids, su)
+			}
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return g.termsOf(ids)
+}
+
+// numRange returns the half-open slice [i, j) of the predicate's numeric
+// index entries whose values lie in [lo, hi]; nil bounds are open.
+func numRange(entries []numEntry, lo, hi *float64) []numEntry {
+	i := 0
+	if lo != nil {
+		i = sort.Search(len(entries), func(k int) bool { return entries[k].val >= *lo })
+	}
+	j := len(entries)
+	if hi != nil {
+		j = sort.Search(len(entries), func(k int) bool { return entries[k].val > *hi })
+	}
+	if i >= j {
+		return nil
+	}
+	return entries[i:j]
+}
+
+// SubjectsWithPredInRange returns the distinct subjects carrying the
+// predicate with a numeric literal object in [lo, hi] (nil bounds are open),
+// in deterministic (dictionary ID) order. This is the cardinality-band
+// secondary index lookup: cost is proportional to the band, not to the
+// number of subjects carrying the predicate.
+func (g *Snapshot) SubjectsWithPredInRange(predicate Term, lo, hi *float64) []Term {
+	pid, ok := g.dict.lookup(predicate)
+	if !ok {
+		return nil
+	}
+	band := numRange(g.num[pid], lo, hi)
+	if len(band) == 0 {
+		return nil
+	}
+	seen := make(map[uint32]struct{}, len(band))
+	ids := make([]uint32, 0, len(band))
+	for _, e := range band {
+		if _, dup := seen[e.subj]; !dup {
+			seen[e.subj] = struct{}{}
+			ids = append(ids, e.subj)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return g.termsOf(ids)
+}
+
+// CountPInRange counts the predicate's triples whose numeric literal object
+// lies in [lo, hi] (nil bounds are open).
+func (g *Snapshot) CountPInRange(predicate Term, lo, hi *float64) int {
+	pid, ok := g.dict.lookup(predicate)
+	if !ok {
+		return 0
+	}
+	return len(numRange(g.num[pid], lo, hi))
+}
+
+// CountSP returns the number of triples with the given subject and predicate.
+func (g *Snapshot) CountSP(subject, predicate Term) int {
+	sid, ok := g.dict.lookup(subject)
+	if !ok {
+		return 0
+	}
+	pid, ok := g.dict.lookup(predicate)
+	if !ok {
+		return 0
+	}
+	return len(g.spo[sid][pid])
+}
+
+// CountPO returns the number of triples with the given predicate and object.
+func (g *Snapshot) CountPO(predicate, object Term) int {
+	pid, ok := g.dict.lookup(predicate)
+	if !ok {
+		return 0
+	}
+	oid, ok := g.dict.lookup(object)
+	if !ok {
+		return 0
+	}
+	return len(g.pos[pid][oid])
+}
+
+// CountP returns the number of triples carrying the given predicate.
+func (g *Snapshot) CountP(predicate Term) int {
+	pid, ok := g.dict.lookup(predicate)
+	if !ok {
+		return 0
+	}
+	return g.predN[pid]
+}
+
+// CountO returns the number of triples carrying the given object.
+func (g *Snapshot) CountO(object Term) int {
+	oid, ok := g.dict.lookup(object)
+	if !ok {
+		return 0
+	}
+	return g.objN[oid]
+}
+
+// FirstObject returns the first object of (subject, predicate) — in
+// deterministic dictionary-ID order — and whether it exists.
+func (g *Snapshot) FirstObject(subject, predicate Term) (Term, bool) {
+	sid, ok := g.dict.lookup(subject)
+	if !ok {
+		return Term{}, false
+	}
+	pid, ok := g.dict.lookup(predicate)
+	if !ok {
+		return Term{}, false
+	}
+	objs := g.spo[sid][pid]
+	if len(objs) == 0 {
+		return Term{}, false
+	}
+	return g.dict.term(objs[0]), true
+}
+
+// NTriples serializes the snapshot in N-Triples format with a deterministic,
+// lexicographically sorted line order.
+func (g *Snapshot) NTriples() string {
+	triples := g.Match(nil, nil, nil)
+	lines := make([]string, len(triples))
+	for i, t := range triples {
+		lines[i] = t.String()
+	}
+	sort.Strings(lines)
+	var b strings.Builder
+	for _, line := range lines {
+		b.WriteString(line)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// numericLiteral parses a literal term's numeric value for the secondary
+// index; ok is false for IRIs and non-numeric literals.
+func numericLiteral(t Term) (float64, bool) {
+	if t.Kind != Literal {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(t.Value), 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}

@@ -9,23 +9,30 @@ import (
 	"galo/internal/rdf"
 )
 
-// Execute evaluates the query against the store and returns its solutions.
-// Basic graph patterns are evaluated by backtracking joins in greedy
-// selectivity order: at every step the evaluator picks the cheapest remaining
-// pattern under the current bindings (using the store's cardinality
-// accessors as estimates), so bindings produced by selective patterns
-// propagate into the rest of the plan instead of being discovered by
-// exhaustive enumeration. Filters are applied as soon as all of their
-// variables are bound.
-func Execute(q *Query, store *rdf.Store) ([]Solution, error) {
+// Execute evaluates the query against a graph — the live store, or a pinned
+// rdf.Snapshot when the caller needs the whole evaluation to see one
+// consistent epoch — and returns its solutions. Basic graph patterns are
+// evaluated by backtracking joins in greedy selectivity order: at every step
+// the evaluator picks the cheapest remaining pattern under the current
+// bindings (using the graph's cardinality accessors as estimates), so
+// bindings produced by selective patterns propagate into the rest of the
+// plan instead of being discovered by exhaustive enumeration. Filters are
+// applied as soon as all of their variables are bound; numeric FILTER bounds
+// on a pattern's object variable additionally route candidate-start
+// resolution through the graph's numeric band index, so patterns like
+// "?pop :hasLowerCardinality ?lo . FILTER(?lo <= C)" touch only the
+// subjects inside the value band instead of every subject carrying the
+// predicate.
+func Execute(q *Query, graph rdf.Graph) ([]Solution, error) {
 	if q == nil || len(q.Patterns) == 0 {
 		return nil, fmt.Errorf("sparql: empty query")
 	}
-	ev := &evaluator{q: q, store: store, done: make([]bool, len(q.Patterns))}
+	ev := &evaluator{q: q, graph: graph, done: make([]bool, len(q.Patterns))}
 	ev.filterVars = make([][]string, len(q.Filters))
 	for i, f := range q.Filters {
 		ev.filterVars[i] = exprVars(f)
 	}
+	ev.bounds = numericBounds(q.Filters)
 	ev.match(len(q.Patterns), Solution{}, map[int]bool{})
 	solutions := ev.results
 	if q.Limit > 0 && len(solutions) > q.Limit {
@@ -50,12 +57,103 @@ func Execute(q *Query, store *rdf.Store) ([]Solution, error) {
 
 type evaluator struct {
 	q          *Query
-	store      *rdf.Store
+	graph      rdf.Graph
 	results    []Solution
 	filterVars [][]string
+	// bounds holds the numeric interval each variable is constrained to by
+	// the query's top-level FILTER comparisons, for band-index lookups.
+	bounds map[string]varBounds
 	// done marks the patterns already evaluated on the current backtracking
 	// branch; the evaluator picks the cheapest not-done pattern next.
 	done []bool
+}
+
+// varBounds is the closed numeric interval a FILTER constrains a variable
+// to; nil ends are open. The band lookup it feeds is conservative — the
+// FILTERs themselves still decide membership exactly — so strict and
+// non-strict comparisons may share the same bound.
+type varBounds struct {
+	lo, hi *float64
+}
+
+// numericBounds derives per-variable numeric intervals from the top-level
+// conjunction of filters: only comparisons between one variable and one
+// numeric constant, reached through AND alone, constrain a variable (an OR
+// branch cannot, since the other branch may admit anything).
+func numericBounds(filters []Expr) map[string]varBounds {
+	out := map[string]varBounds{}
+	narrow := func(v string, lo, hi *float64) {
+		b := out[v]
+		if lo != nil && (b.lo == nil || *lo > *b.lo) {
+			b.lo = lo
+		}
+		if hi != nil && (b.hi == nil || *hi < *b.hi) {
+			b.hi = hi
+		}
+		out[v] = b
+	}
+	var collect func(Expr)
+	collect = func(e Expr) {
+		switch x := e.(type) {
+		case And:
+			collect(x.L)
+			collect(x.R)
+		case Comparison:
+			var v string
+			var c float64
+			op := x.Op
+			switch {
+			case x.L.Var != "" && x.R.Num != nil:
+				v, c = x.L.Var, *x.R.Num
+			case x.R.Var != "" && x.L.Num != nil:
+				// Mirror the comparison so the variable is on the left.
+				v, c = x.R.Var, *x.L.Num
+				switch op {
+				case "<":
+					op = ">"
+				case "<=":
+					op = ">="
+				case ">":
+					op = "<"
+				case ">=":
+					op = "<="
+				}
+			default:
+				return
+			}
+			val := c
+			switch op {
+			case "<", "<=":
+				narrow(v, nil, &val)
+			case ">", ">=":
+				narrow(v, &val, nil)
+			case "=":
+				narrow(v, &val, &val)
+			}
+		}
+	}
+	for _, f := range filters {
+		collect(f)
+	}
+	return out
+}
+
+// objectBand returns the numeric interval constraining the pattern's object
+// variable, when the pattern is a single plain step whose object is an
+// as-yet-unbound variable under FILTER bounds — the case the band index
+// accelerates.
+func (ev *evaluator) objectBand(pat Pattern, binding Solution) (lo, hi *float64, ok bool) {
+	if !pat.O.IsVar || len(pat.Path) != 1 || pat.Path[0].OneOrMore {
+		return nil, nil, false
+	}
+	if _, bound := binding[pat.O.Var]; bound {
+		return nil, nil, false
+	}
+	b, has := ev.bounds[pat.O.Var]
+	if !has || (b.lo == nil && b.hi == nil) {
+		return nil, nil, false
+	}
+	return b.lo, b.hi, true
 }
 
 func (ev *evaluator) match(remaining int, binding Solution, applied map[int]bool) {
@@ -131,24 +229,30 @@ func resolveRef(n NodeRef, binding Solution) (rdf.Term, bool) {
 }
 
 // estimate returns the estimated number of bindings the pattern produces
-// under the current binding, from the store's cardinality accessors:
+// under the current binding, from the graph's cardinality accessors:
 // CountSP for a resolved subject, CountPO for a resolved object reachable
-// through the POS index, and the predicate's total triple count otherwise.
+// through the POS index, CountPInRange when FILTER bounds confine the
+// object variable to a numeric band, and the predicate's total triple count
+// otherwise.
 func (ev *evaluator) estimate(pat Pattern, binding Solution) int {
 	first := pat.Path[0]
 	if s, ok := resolveRef(pat.S, binding); ok {
-		return ev.store.CountSP(s, first.Pred)
+		return ev.graph.CountSP(s, first.Pred)
 	}
 	if o, ok := resolveRef(pat.O, binding); ok && len(pat.Path) == 1 && !first.OneOrMore {
-		return ev.store.CountPO(first.Pred, o)
+		return ev.graph.CountPO(first.Pred, o)
 	}
-	return ev.store.CountP(first.Pred)
+	if lo, hi, ok := ev.objectBand(pat, binding); ok {
+		return ev.graph.CountPInRange(first.Pred, lo, hi)
+	}
+	return ev.graph.CountP(first.Pred)
 }
 
 // resolveStarts returns the candidate subjects for a pattern given the
 // current binding: the resolved subject when it is bound or concrete, the
 // POS-index reverse lookup when the object is resolved and the path is a
-// single plain step, and otherwise every subject carrying the path's first
+// single plain step, the numeric band index when FILTER bounds confine the
+// object variable, and otherwise every subject carrying the path's first
 // predicate (never the whole store).
 func (ev *evaluator) resolveStarts(pat Pattern, binding Solution) []rdf.Term {
 	if s, ok := resolveRef(pat.S, binding); ok {
@@ -156,9 +260,16 @@ func (ev *evaluator) resolveStarts(pat Pattern, binding Solution) []rdf.Term {
 	}
 	first := pat.Path[0]
 	if o, ok := resolveRef(pat.O, binding); ok && len(pat.Path) == 1 && !first.OneOrMore {
-		return ev.store.SubjectsOf(first.Pred, o)
+		return ev.graph.SubjectsOf(first.Pred, o)
 	}
-	return ev.store.SubjectsWithPred(first.Pred)
+	if lo, hi, ok := ev.objectBand(pat, binding); ok {
+		// Subjects outside the band carry no in-range value, so every one of
+		// their bindings would fail the FILTER; subjects inside may also
+		// carry out-of-range values, which the FILTER still rejects
+		// individually. The band is therefore a safe restriction.
+		return ev.graph.SubjectsWithPredInRange(first.Pred, lo, hi)
+	}
+	return ev.graph.SubjectsWithPred(first.Pred)
 }
 
 // walkPath follows the property path from the start term and returns every
@@ -175,7 +286,7 @@ func (ev *evaluator) walkPath(start rdf.Term, path []PredStep) []rdf.Term {
 				for len(frontier) > 0 {
 					n := frontier[0]
 					frontier = frontier[1:]
-					for _, o := range ev.store.ObjectsOf(n, step.Pred) {
+					for _, o := range ev.graph.ObjectsOf(n, step.Pred) {
 						if !visited[o] {
 							visited[o] = true
 							next[o] = true
@@ -186,7 +297,7 @@ func (ev *evaluator) walkPath(start rdf.Term, path []PredStep) []rdf.Term {
 			}
 		} else {
 			for _, c := range current {
-				for _, o := range ev.store.ObjectsOf(c, step.Pred) {
+				for _, o := range ev.graph.ObjectsOf(c, step.Pred) {
 					next[o] = true
 				}
 			}
