@@ -7,14 +7,18 @@
 //	galo learn   -workload tpcds|client [-scale 0.2] [-queries N] [-kb kb.nt]
 //	galo reopt   -workload tpcds|client -kb kb.nt [-query "SELECT ..."] [-name TPCDS.Q09]
 //	galo kb      -kb kb.nt
-//	galo serve   -kb kb.nt [-addr :3030] [-online]
+//	galo serve   -kb kb.nt [-addr :3030] [-online] [-shards N]
 //	galo explain -workload tpcds|client [-query "SELECT ..."]
 //
 // serve exposes the re-optimization HTTP API (see `galo help` for example
 // requests): POST /reopt re-optimizes SQL against the knowledge base,
 // POST /query answers SPARQL, GET /stats reports serving counters, and
 // -online promotes templates from misestimated runs into new KB epochs
-// while serving.
+// while serving. -shards splits the knowledge base across N independent
+// epoch-snapshot shards (probes fan out only to the shards their fragment
+// signatures route to), and -probe-budget/-max-inflight turn on admission
+// control: /reopt answers 429 when a client's probe budget is spent or the
+// matcher is saturated.
 package main
 
 import (
@@ -74,12 +78,22 @@ the serve API (default address :3030):
   # SPARQL against the knowledge base (the paper's Fuseki role)
   curl -s localhost:3030/query --data-urlencode 'query=SELECT ?s WHERE { ?s <http://galo/qep/property/hasPopType> "HSJOIN" . }'
 
-  # serving counters: KB epoch/size, cache and probe-dedup hits, online learning
+  # serving counters: KB epoch/size, per-shard epochs and probe fan-out,
+  # cache and probe-dedup hits, admission backpressure, online learning
   curl -s localhost:3030/stats
 
   with -online, executed queries whose plans misestimate cardinalities are
   analyzed in the background and winning rewrites are published into the
-  next knowledge base epoch — no batch relearn, no restart.`)
+  next knowledge base epoch — no batch relearn, no restart.
+
+  with -shards N, the knowledge base splits across N independent
+  epoch-snapshot shards: each template lives in exactly one shard and a
+  plan's probes fan out only to the shards its fragment signatures route
+  to, so a publication on one shard never invalidates another's cache.
+
+  with -probe-budget / -max-inflight, /reopt sheds load with 429 when a
+  client's probe budget is exhausted or the matcher is saturated; the
+  backpressure counters appear under "admission" in /stats.`)
 }
 
 type workloadFlags struct {
@@ -162,6 +176,7 @@ func runReopt(args []string) error {
 	kbPath := fs.String("kb", "kb.nt", "knowledge base to match against")
 	queryText := fs.String("query", "", "SQL text of a single query to re-optimize")
 	queryName := fs.String("name", "", "name of a workload query to re-optimize (e.g. TPCDS.Q09)")
+	shards := fs.Int("shards", 1, "number of knowledge base shards to load into")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -169,7 +184,9 @@ func runReopt(args []string) error {
 	if err != nil {
 		return err
 	}
-	sys := galo.NewSystem(db, galo.DefaultConfig())
+	cfg := galo.DefaultConfig()
+	cfg.Shards = *shards
+	sys := galo.NewSystem(db, cfg)
 	if err := sys.LoadKB(*kbPath); err != nil {
 		return err
 	}
@@ -240,6 +257,9 @@ func runServe(args []string) error {
 	kbPath := fs.String("kb", "kb.nt", "knowledge base to serve")
 	addr := fs.String("addr", ":3030", "listen address")
 	online := fs.Bool("online", false, "learn incrementally from executed queries that misestimate")
+	shards := fs.Int("shards", 1, "number of knowledge base shards (templates partition by problem-signature prefix)")
+	probeBudget := fs.Int("probe-budget", 0, "per-client KB-probe budget per second on /reopt; 0 disables admission control")
+	maxInflight := fs.Int("max-inflight", 0, "max concurrent /reopt requests before load shedding; 0 = unlimited")
 	wf := addWorkloadFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -249,6 +269,9 @@ func runServe(args []string) error {
 		return err
 	}
 	cfg := galo.DefaultConfig()
+	cfg.Shards = *shards
+	cfg.Admission.ProbeBudget = *probeBudget
+	cfg.Admission.MaxConcurrent = *maxInflight
 	if *online {
 		cfg.Online = galo.DefaultOnlineOptions()
 	}
@@ -261,8 +284,8 @@ func runServe(args []string) error {
 	if *online {
 		mode = "online learning enabled"
 	}
-	fmt.Printf("serving re-optimization API (%d templates, %s) on %s — POST {\"sql\": ...} to /reopt, SPARQL to /query, stats at /stats\n",
-		sys.KB().Size(), mode, *addr)
+	fmt.Printf("serving re-optimization API (%d templates, %d shard(s), %s) on %s — POST {\"sql\": ...} to /reopt, SPARQL to /query, stats at /stats\n",
+		sys.KB().Size(), sys.KB().Shards(), mode, *addr)
 	return sys.Serve(*addr)
 }
 

@@ -70,6 +70,10 @@ type ReoptRequest = core.ReoptRequest
 // ReoptResponse is the answer to a ReoptRequest.
 type ReoptResponse = core.ReoptResponse
 
+// AdmissionOptions configures serving-time admission control on /reopt:
+// per-client probe budgets and load shedding when the matcher saturates.
+type AdmissionOptions = core.AdmissionOptions
+
 // MatchingOptions configures the online matching engine.
 type MatchingOptions = matching.Options
 
@@ -125,8 +129,14 @@ func MustParseSQL(sql string) *Query { return sqlparser.MustParse(sql) }
 // paper's figures.
 func FormatPlan(p *Plan) string { return qgm.Format(p) }
 
-// NewKnowledgeBase returns an empty knowledge base.
+// NewKnowledgeBase returns an empty single-shard knowledge base.
 func NewKnowledgeBase() *KnowledgeBase { return kb.New() }
+
+// NewShardedKnowledgeBase returns an empty knowledge base split across n
+// shards: each template lives in exactly one shard (routed by a prefix of
+// its problem shape signature) and epoch publications never touch the other
+// shards.
+func NewShardedKnowledgeBase(n int) *KnowledgeBase { return kb.NewSharded(n) }
 
 // --- Workloads ---------------------------------------------------------------
 

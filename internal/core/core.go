@@ -1,19 +1,3 @@
-// Package core wires GALO's components — the transformation engine, the
-// learning engine, the matching engine and the knowledge base — into the two
-// workflows of the paper's Figure 2: offline learning over a workload, and
-// online re-optimization of incoming queries.
-//
-// Unlike the paper's batch experiments, this System is built as an always-on
-// service: the knowledge base publishes immutable epochs that concurrent
-// matchers pin snapshots of, workload re-optimization fans out across a
-// bounded worker pool, identical in-flight knowledge base probes collapse
-// into one evaluation, and — when enabled — an online incremental learner
-// turns executed plans' actual-vs-estimated cardinality gaps into new
-// templates for the next epoch, with no batch relearn. See DESIGN.md,
-// "Serving architecture".
-//
-// This is the system a deployment interacts with; the root package galo
-// re-exports it as the public API.
 package core
 
 import (
@@ -53,6 +37,16 @@ type Config struct {
 	// Online configures the online incremental learning loop (disabled by
 	// default; `galo serve -online` and tests enable it).
 	Online learning.OnlineOptions
+	// Shards is the number of knowledge base shards (kb.NewSharded). Each
+	// template lives in exactly one shard and publishes epochs only there;
+	// a plan's probes fan out to the shards its fragment signatures route
+	// to. 0 means a single shard. Ignored when RemoteKB is set (a remote
+	// endpoint presents as one shard).
+	Shards int
+	// Admission configures serving-time admission control for the HTTP API
+	// (per-client probe budgets and load shedding on /reopt); the zero
+	// value disables it.
+	Admission AdmissionOptions
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -104,6 +98,9 @@ func fillConfig(cfg Config) Config {
 	if l.Workload == "" {
 		l.Workload = ld.Workload
 	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
 	return cfg
 }
 
@@ -121,13 +118,17 @@ type System struct {
 	matcher *matching.Engine
 	online  *learning.Online
 	closed  bool
+
+	// admission holds the HTTP API's admission-control state (server.go).
+	admission admissionState
 }
 
 // NewSystem creates a GALO system over the database with an empty knowledge
-// base. Zero-valued Config fields are filled with defaults; explicitly set
-// fields are preserved.
+// base (sharded per Config.Shards). Zero-valued Config fields are filled
+// with defaults; explicitly set fields are preserved.
 func NewSystem(db *storage.Database, cfg Config) *System {
-	return &System{DB: db, kb: kb.New(), Config: fillConfig(cfg)}
+	cfg = fillConfig(cfg)
+	return &System{DB: db, kb: kb.NewSharded(cfg.Shards), Config: cfg}
 }
 
 // KB returns the current knowledge base. The pointer is replaced wholesale
@@ -140,25 +141,35 @@ func (s *System) KB() *kb.KB {
 	return s.kb
 }
 
-// endpoint returns the knowledge base endpoint used for matching.
-func (s *System) endpoint(knowledge *kb.KB) matching.Endpoint {
+// endpoints returns the per-shard knowledge base endpoints and the router
+// used for matching. A remote knowledge base presents as a single shard
+// (remote endpoints cannot be partitioned from here); the in-process KB gets
+// one pinned-snapshot endpoint per shard, routed by the same shape-prefix
+// function the KB used to place templates.
+func (s *System) endpoints(knowledge *kb.KB) ([]matching.Endpoint, matching.Router) {
 	if s.Config.RemoteKB != "" {
-		return fuseki.NewClient(s.Config.RemoteKB)
+		return []matching.Endpoint{fuseki.NewClient(s.Config.RemoteKB)}, nil
 	}
-	return fuseki.LocalEndpoint{Store: knowledge.Store()}
+	stores := knowledge.Stores()
+	eps := make([]matching.Endpoint, len(stores))
+	for i, st := range stores {
+		eps[i] = fuseki.LocalEndpoint{Store: st}
+	}
+	return eps, knowledge.RouteShape
 }
 
 // matchingEngine returns the system's shared matching engine, so the
 // routinization cache persists across queries (the paper's Figure 12:
 // workload re-optimization gets cheaper as fragments repeat). The engine is
 // rebuilt when the knowledge base object is replaced; template additions
-// within one knowledge base invalidate cache entries through the KB epoch
-// instead.
+// within one knowledge base invalidate cache entries through the owning
+// shard's epoch instead.
 func (s *System) matchingEngine() *matching.Engine {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.matcher == nil {
-		s.matcher = matching.New(s.DB.Catalog, s.endpoint(s.kb), s.Config.Matching)
+		eps, router := s.endpoints(s.kb)
+		s.matcher = matching.NewSharded(s.DB.Catalog, eps, router, s.Config.Matching)
 	}
 	return s.matcher
 }
@@ -406,7 +417,7 @@ func (s *System) LoadKB(path string) error {
 	if err != nil {
 		return err
 	}
-	fresh := kb.New()
+	fresh := kb.NewSharded(s.Config.Shards)
 	if err := fresh.LoadNTriples(string(data)); err != nil {
 		return err
 	}
@@ -429,8 +440,13 @@ func (s *System) ServeKB(addr string) error {
 
 // KBHandler returns the HTTP handler serving the knowledge base, for callers
 // that want to manage the listener themselves. The handler resolves the
-// current knowledge base per request, so it keeps serving the live store
-// after a LoadKB replacement.
+// current knowledge base per request, so it keeps serving the live shard
+// stores after a LoadKB replacement; /query fans out over a pinned snapshot
+// of every shard, and POST /data additively merges the posted templates
+// into their owning shards (kb.KB.LoadNTriples).
 func (s *System) KBHandler() http.Handler {
-	return fuseki.NewDynamicServer(func() *rdf.Store { return s.KB().Store() })
+	return fuseki.NewShardedServer(
+		func() []*rdf.Store { return s.KB().Stores() },
+		func(nt string) error { return s.KB().LoadNTriples(nt) },
+	)
 }

@@ -1,0 +1,38 @@
+// Package core wires GALO's components — the transformation engine, the
+// learning engine, the matching engine and the knowledge base — into the two
+// workflows of the paper's Figure 2: offline learning over a workload, and
+// online re-optimization of incoming queries.
+//
+// Unlike the paper's batch experiments, this System is built as an always-on
+// service: the knowledge base is sharded across independent epoch-snapshot
+// stores that concurrent matchers pin per-shard snapshots of, workload
+// re-optimization fans out across a bounded worker pool, identical in-flight
+// knowledge base probes collapse into one evaluation, and — when enabled —
+// an online incremental learner turns executed plans' actual-vs-estimated
+// cardinality gaps into new templates for the next epoch of the owning
+// shard, with no batch relearn. See DESIGN.md, "Serving architecture" and
+// "Sharded knowledge base".
+//
+// # Concurrency contract
+//
+// A System is safe for concurrent use: Reoptimize may race Learn, LoadKB
+// and the online learner's epoch publications. The knowledge base pointer
+// is swapped wholesale by LoadKB under the system mutex; in-flight matchers
+// finish against the KB (and shard snapshots) they already pinned, while
+// new plans see the fresh one. The matching engine — and its routinization
+// cache — is shared across queries and rebuilt only when the KB object is
+// replaced; publications within one KB invalidate cache entries through the
+// owning shard's epoch alone.
+//
+// The HTTP surface (server.go: /reopt, /query, /data, /version, /stats,
+// /healthz) resolves the live knowledge base per request. /reopt applies
+// admission control (AdmissionOptions): a global in-flight cap sheds load
+// when the matcher saturates, and per-client probe budgets throttle
+// monopolizing clients — both answer 429 and surface backpressure counters
+// in /stats. The online learner's bounded queue (learning.OnlineOptions.
+// QueueSize) is the third backpressure stage: serving latency never waits
+// on learning.
+//
+// This is the system a deployment interacts with; the root package galo
+// re-exports it as the public API.
+package core

@@ -8,11 +8,126 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"galo/internal/qgm"
 	"galo/internal/sqlparser"
 )
+
+// AdmissionOptions configures serving-time admission control on the /reopt
+// route, the backpressure layer beyond the online learner's bounded queue:
+// matching work is shed *before* it starts, instead of queueing behind a
+// saturated matcher. The zero value disables both mechanisms.
+type AdmissionOptions struct {
+	// ProbeBudget is the per-client token-bucket capacity, measured in
+	// knowledge base probes. Each /reopt response debits the probes it
+	// actually issued; a client whose bucket is empty receives 429 until
+	// refill. 0 disables per-client budgets.
+	ProbeBudget int
+	// RefillPerSecond is the bucket refill rate in probes per second; 0
+	// means a full bucket (ProbeBudget probes) per second.
+	RefillPerSecond float64
+	// MaxConcurrent caps in-flight /reopt requests — the matcher-saturation
+	// guard. Requests beyond the cap are shed with 429 rather than queued.
+	// 0 disables the cap.
+	MaxConcurrent int
+}
+
+// admissionState is the runtime side of AdmissionOptions, embedded in System.
+type admissionState struct {
+	mu      sync.Mutex
+	buckets map[string]*clientBucket
+
+	inFlight  atomic.Int64
+	throttled atomic.Int64 // requests rejected by a per-client probe budget
+	shed      atomic.Int64 // requests rejected by the concurrency cap
+}
+
+// clientBucket is one client's probe token bucket.
+type clientBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// bucketSweepThreshold is the bucket-map size that triggers a sweep of
+// fully refilled buckets. A bucket whose refill has brought it back to
+// capacity carries no state a fresh bucket would not (new clients start
+// full), so dropping it never changes an admission decision — the sweep
+// bounds the map against clients that never return (or an attacker minting
+// a fresh X-Galo-Client per request) without weakening any live budget.
+const bucketSweepThreshold = 1024
+
+// clientKey identifies the client a /reopt request charges: the
+// X-Galo-Client header when present (deployments put an API key or tenant
+// ID there), else the remote host.
+func clientKey(r *http.Request) string {
+	if c := r.Header.Get("X-Galo-Client"); c != "" {
+		return c
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// admitProbes reports whether the client's probe bucket holds at least one
+// whole probe token, refilling it for the time elapsed since its last use.
+// A new client starts with a full bucket.
+func (s *System) admitProbes(client string, now time.Time) bool {
+	opts := s.Config.Admission
+	if opts.ProbeBudget <= 0 {
+		return true
+	}
+	refill := opts.RefillPerSecond
+	if refill <= 0 {
+		refill = float64(opts.ProbeBudget)
+	}
+	a := &s.admission
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.buckets == nil {
+		a.buckets = map[string]*clientBucket{}
+	}
+	if len(a.buckets) >= bucketSweepThreshold {
+		for k, b := range a.buckets {
+			if k != client && b.tokens+now.Sub(b.last).Seconds()*refill >= float64(opts.ProbeBudget) {
+				delete(a.buckets, k)
+			}
+		}
+	}
+	b, ok := a.buckets[client]
+	if !ok {
+		b = &clientBucket{tokens: float64(opts.ProbeBudget), last: now}
+		a.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * refill
+	if b.tokens > float64(opts.ProbeBudget) {
+		b.tokens = float64(opts.ProbeBudget)
+	}
+	b.last = now
+	return b.tokens >= 1
+}
+
+// chargeProbes debits the probes one answered request actually issued. The
+// bucket may go negative — the request was admitted on the balance known
+// before its cost was — which simply extends the refill time before the
+// client is admitted again.
+func (s *System) chargeProbes(client string, probes int) {
+	if s.Config.Admission.ProbeBudget <= 0 || probes <= 0 {
+		return
+	}
+	a := &s.admission
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if b, ok := a.buckets[client]; ok {
+		b.tokens -= float64(probes)
+	}
+}
 
 // ReoptRequest is the body of POST /reopt.
 type ReoptRequest struct {
@@ -67,14 +182,21 @@ type ReoptResponse struct {
 //	                plan, matches, applied guidelines and timings.
 //	POST /query   — SPARQL SELECT against the knowledge base (Fuseki role).
 //	GET  /data    — knowledge base dump as N-Triples; POST loads triples.
-//	GET  /version — knowledge base epoch, for cache invalidation.
-//	GET  /stats   — serving counters: KB epoch and size, cached and
-//	                deduplicated probes, online-learning progress.
+//	GET  /version — knowledge base epoch (sum over shards), for cache
+//	                invalidation.
+//	GET  /stats   — serving counters: KB epoch and size, per-shard epochs
+//	                and probe fan-out, cached and deduplicated probes,
+//	                admission-control backpressure, online-learning
+//	                progress.
 //	GET  /healthz — liveness.
 //
+// POST /reopt is subject to admission control (Config.Admission): requests
+// beyond the concurrency cap, or from clients whose probe budget is spent,
+// are rejected with 429 Too Many Requests and counted in /stats.
+//
 // Every route resolves the current knowledge base per request, so the
-// handler keeps answering from the live store across LoadKB replacements and
-// online-learning epoch publications.
+// handler keeps answering from the live shard stores across LoadKB
+// replacements and online-learning epoch publications.
 func (s *System) APIHandler() http.Handler {
 	mux := http.NewServeMux()
 	kbh := s.KBHandler()
@@ -101,6 +223,27 @@ func (s *System) handleReopt(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST a JSON body {\"sql\": \"SELECT ...\"}", http.StatusMethodNotAllowed)
 		return
 	}
+	// Admission control: shed before any matching work happens. The
+	// concurrency cap guards the matcher (global saturation); the probe
+	// budget guards fairness (one client cannot monopolize the probe
+	// workers). Both reject with 429 + Retry-After, counted in /stats.
+	if max := s.Config.Admission.MaxConcurrent; max > 0 {
+		if s.admission.inFlight.Add(1) > int64(max) {
+			s.admission.inFlight.Add(-1)
+			s.admission.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "matcher saturated, retry later", http.StatusTooManyRequests)
+			return
+		}
+		defer s.admission.inFlight.Add(-1)
+	}
+	client := clientKey(r)
+	if !s.admitProbes(client, time.Now()) {
+		s.admission.throttled.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "probe budget exhausted, retry later", http.StatusTooManyRequests)
+		return
+	}
 	var req ReoptRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
@@ -124,6 +267,7 @@ func (s *System) handleReopt(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.chargeProbes(client, resp.Probes)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
 }
@@ -185,16 +329,44 @@ func (s *System) reoptResponse(q *sqlparser.Query, execute bool) (*ReoptResponse
 	return resp, nil
 }
 
-// statsResponse is the body of GET /stats.
+// shardStat is one knowledge base shard's row in /stats.
+type shardStat struct {
+	// Shard is the shard index (the RouteShape target).
+	Shard int `json:"shard"`
+	// Epoch is the shard's own epoch counter; a template publication bumps
+	// exactly one shard's epoch.
+	Epoch uint64 `json:"epoch"`
+	// Templates and Triples size the shard's slice of the knowledge base.
+	Templates int `json:"templates"`
+	Triples   int `json:"triples"`
+	// Probes counts the fragment probes this shard has answered since the
+	// matching engine was built — the fan-out profile.
+	Probes int64 `json:"probes"`
+}
+
+// statsResponse is the body of GET /stats. Every field is documented in
+// DESIGN.md, "Serving architecture".
 type statsResponse struct {
 	KBEpoch     uint64 `json:"kb_epoch"`
 	KBTemplates int    `json:"kb_templates"`
 	KBTriples   int    `json:"kb_triples"`
+	KBShards    int    `json:"kb_shards"`
+	// Shards breaks the knowledge base down per shard.
+	Shards []shardStat `json:"shards"`
 	// CachedProbes is the routinization cache's current entry count;
 	// DedupedProbes counts probes that joined an identical in-flight probe.
 	CachedProbes  int   `json:"cached_probes"`
 	DedupedProbes int64 `json:"deduped_probes"`
-	Online        struct {
+	// Admission reports the backpressure counters of the /reopt admission
+	// layer (AdmissionOptions).
+	Admission struct {
+		ProbeBudget    int   `json:"probe_budget"`
+		MaxConcurrent  int   `json:"max_concurrent"`
+		InFlight       int64 `json:"in_flight"`
+		ThrottledTotal int64 `json:"throttled_total"`
+		ShedTotal      int64 `json:"shed_total"`
+	} `json:"admission"`
+	Online struct {
 		Enabled           bool  `json:"enabled"`
 		Observed          int64 `json:"observed"`
 		Triggered         int64 `json:"triggered"`
@@ -209,10 +381,27 @@ func (s *System) handleStats(w http.ResponseWriter, _ *http.Request) {
 	var resp statsResponse
 	resp.KBEpoch = knowledge.Epoch()
 	resp.KBTemplates = knowledge.Size()
-	resp.KBTriples = knowledge.Store().Len()
+	resp.KBTriples = knowledge.Triples()
+	resp.KBShards = knowledge.Shards()
 	eng := s.matchingEngine()
 	resp.CachedProbes = eng.CachedProbes()
 	resp.DedupedProbes = eng.DedupedProbes()
+	epochs := knowledge.Epochs()
+	sizes := knowledge.ShardSizes()
+	probes := eng.ProbesByShard()
+	for i, st := range knowledge.Stores() {
+		row := shardStat{Shard: i, Epoch: epochs[i], Templates: sizes[i], Triples: st.Len()}
+		// A remote KB presents fewer engine shards than the local KB holds.
+		if i < len(probes) {
+			row.Probes = probes[i]
+		}
+		resp.Shards = append(resp.Shards, row)
+	}
+	resp.Admission.ProbeBudget = s.Config.Admission.ProbeBudget
+	resp.Admission.MaxConcurrent = s.Config.Admission.MaxConcurrent
+	resp.Admission.InFlight = s.admission.inFlight.Load()
+	resp.Admission.ThrottledTotal = s.admission.throttled.Load()
+	resp.Admission.ShedTotal = s.admission.shed.Load()
 	resp.Online.Enabled = s.Config.Online.Enabled
 	st := s.OnlineStats()
 	resp.Online.Observed = st.Observed

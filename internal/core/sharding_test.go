@@ -1,0 +1,380 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"galo/internal/kb"
+	"galo/internal/qgm"
+)
+
+// shardedTrainedSystem clones the trained fixture knowledge base into a
+// fresh system with four KB shards (the PR 3 serving-bench scenario, scaled
+// out).
+func shardedTrainedSystem(t *testing.T, cfg func(*Config)) *System {
+	t.Helper()
+	trained := trainedSystem(t)
+	path := filepath.Join(t.TempDir(), "kb.nt")
+	if err := trained.SaveKB(path); err != nil {
+		t.Fatal(err)
+	}
+	c := trained.Config
+	c.Shards = 4
+	if cfg != nil {
+		cfg(&c)
+	}
+	sys := NewSystem(coreDB, c)
+	t.Cleanup(sys.Close)
+	if err := sys.LoadKB(path); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.KB().Shards(); got != 4 {
+		t.Fatalf("Shards = %d, want 4", got)
+	}
+	if sys.KB().Size() != trained.KB().Size() {
+		t.Fatalf("sharded KB has %d templates, want %d", sys.KB().Size(), trained.KB().Size())
+	}
+	return sys
+}
+
+// syntheticTemplateForShard synthesizes a template routed to the wanted
+// shard by varying a join-chain shape until the KB's router agrees.
+func syntheticTemplateForShard(t *testing.T, knowledge *kb.KB, want int) *kb.Template {
+	t.Helper()
+	ops := []qgm.OpType{qgm.OpHSJOIN, qgm.OpNLJOIN, qgm.OpMSJOIN}
+	for joins := 1; joins < 8; joins++ {
+		for variant := 0; variant < 64; variant++ {
+			name := func(i int) string { return fmt.Sprintf("SYN%d_%d_T%d", joins, variant, i) }
+			cur := &qgm.Node{Op: qgm.OpTBSCAN, Table: name(0), TableInstance: name(0), EstCardinality: 1000}
+			for j := 0; j < joins; j++ {
+				inner := &qgm.Node{Op: qgm.OpIXSCAN, Table: name(j + 1), TableInstance: name(j + 1), Index: "IX", EstCardinality: 100}
+				cur = &qgm.Node{Op: ops[(variant+j)%len(ops)], Outer: cur, Inner: inner, EstCardinality: 500}
+			}
+			plan := qgm.NewPlan(cur)
+			problem := plan.Root.Outer
+			bounds := map[int]kb.Range{}
+			problem.Walk(func(n *qgm.Node) { bounds[n.ID] = kb.Range{Lo: n.EstCardinality / 10, Hi: n.EstCardinality * 10} })
+			guideline := "<OPTGUIDELINES><HSJOIN>"
+			for i := 0; i <= joins; i++ {
+				guideline += fmt.Sprintf("<TBSCAN TABID='TABLE_%d'/>", i+1)
+			}
+			guideline += "</HSJOIN></OPTGUIDELINES>"
+			tmpl := &kb.Template{Problem: problem, Bounds: bounds, GuidelineXML: guideline, Improvement: 0.2, Structural: true}
+			if knowledge.ShardOf(tmpl) == want {
+				return tmpl
+			}
+		}
+	}
+	t.Fatalf("no synthetic shape routes to shard %d", want)
+	return nil
+}
+
+// TestShardedPublicationPreservesRoutinizedCache is the acceptance check of
+// the sharded knowledge base: with 4 shards and the trained serving
+// scenario, a template publication on one shard must not invalidate
+// routinized cache entries served from the other shards — the repeat
+// request stays all-cache-hits, and only the publishing shard's epoch moves.
+func TestShardedPublicationPreservesRoutinizedCache(t *testing.T) {
+	sys := shardedTrainedSystem(t, nil)
+
+	// Warm the routinization cache and record the fan-out profile.
+	first, err := sys.Reoptimize(coreMatchedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Matches) == 0 {
+		t.Fatal("trained query no longer matches under sharding")
+	}
+	warm, err := sys.Reoptimize(coreMatchedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.ProbeStats.CacheHits != warm.ProbeStats.Probes {
+		t.Fatalf("warm pass not routinized: %d/%d probes cached",
+			warm.ProbeStats.CacheHits, warm.ProbeStats.Probes)
+	}
+
+	// Publish a template on a shard the plan's probes never touched.
+	probes := sys.matchingEngine().ProbesByShard()
+	target := -1
+	for i, n := range probes {
+		if n == 0 {
+			target = i
+			break
+		}
+	}
+	if target == -1 {
+		t.Skip("plan probed every shard; no untouched shard to publish on")
+	}
+	knowledge := sys.KB()
+	before := knowledge.Epochs()
+	if _, err := knowledge.Add(syntheticTemplateForShard(t, knowledge, target)); err != nil {
+		t.Fatal(err)
+	}
+	after := knowledge.Epochs()
+	for i := range after {
+		bumped := after[i] != before[i]
+		if bumped != (i == target) {
+			t.Errorf("shard %d epoch %d -> %d (publishing shard %d)", i, before[i], after[i], target)
+		}
+	}
+
+	// The repeat request must still be served entirely from the cache: the
+	// publication belongs to another shard's epoch.
+	repeat, err := sys.Reoptimize(coreMatchedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repeat.ProbeStats.CacheHits != repeat.ProbeStats.Probes {
+		t.Errorf("publication on shard %d invalidated other shards' cache: %d/%d probes cached",
+			target, repeat.ProbeStats.CacheHits, repeat.ProbeStats.Probes)
+	}
+	if len(repeat.Matches) != len(first.Matches) {
+		t.Errorf("matches changed across an unrelated publication: %d -> %d",
+			len(first.Matches), len(repeat.Matches))
+	}
+}
+
+// statsOf fetches and decodes GET /stats.
+func statsOf(t *testing.T, url string) statsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestReoptProbeBudgetExhaustion pins the per-client admission control:
+// when a client's probe budget is spent, /reopt answers 429 and the
+// backpressure counter surfaces in /stats — while other clients are still
+// admitted.
+func TestReoptProbeBudgetExhaustion(t *testing.T) {
+	db := coreDBForConfig(t)
+	cfg := DefaultConfig()
+	cfg.Admission.ProbeBudget = 1
+	cfg.Admission.RefillPerSecond = 1e-9 // effectively no refill within the test
+	sys := NewSystem(db, cfg)
+	defer sys.Close()
+	srv := httptest.NewServer(sys.APIHandler())
+	defer srv.Close()
+
+	sql := "SELECT ss_quantity FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk"
+	post := func(client string) *http.Response {
+		payload, _ := json.Marshal(ReoptRequest{SQL: sql})
+		req, _ := http.NewRequest(http.MethodPost, srv.URL+"/reopt", bytes.NewReader(payload))
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Galo-Client", client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := post("tenant-a"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request: status %d, want 200", resp.StatusCode)
+	}
+	resp := post("tenant-a")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("request after budget exhaustion: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	// Budgets are per client: another tenant is still admitted.
+	if resp := post("tenant-b"); resp.StatusCode != http.StatusOK {
+		t.Errorf("other client: status %d, want 200", resp.StatusCode)
+	}
+
+	stats := statsOf(t, srv.URL)
+	if stats.Admission.ThrottledTotal < 1 {
+		t.Errorf("throttled_total = %d, want >= 1", stats.Admission.ThrottledTotal)
+	}
+	if stats.Admission.ProbeBudget != 1 {
+		t.Errorf("probe_budget = %d, want 1", stats.Admission.ProbeBudget)
+	}
+}
+
+// TestReoptShedsWhenMatcherSaturated pins the concurrency cap: requests
+// beyond MaxConcurrent are shed with 429 and counted.
+func TestReoptShedsWhenMatcherSaturated(t *testing.T) {
+	db := coreDBForConfig(t)
+	cfg := DefaultConfig()
+	cfg.Admission.MaxConcurrent = 1
+	sys := NewSystem(db, cfg)
+	defer sys.Close()
+	srv := httptest.NewServer(sys.APIHandler())
+	defer srv.Close()
+
+	sql := "SELECT ss_quantity FROM store_sales, date_dim WHERE ss_sold_date_sk = d_date_sk"
+	post := func() int {
+		payload, _ := json.Marshal(ReoptRequest{SQL: sql})
+		resp, err := http.Post(srv.URL+"/reopt", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	// Occupy the only slot, as a long-running request would.
+	sys.admission.inFlight.Add(1)
+	if status := post(); status != http.StatusTooManyRequests {
+		t.Fatalf("saturated matcher: status %d, want 429", status)
+	}
+	stats := statsOf(t, srv.URL)
+	if stats.Admission.ShedTotal < 1 {
+		t.Errorf("shed_total = %d, want >= 1", stats.Admission.ShedTotal)
+	}
+	if stats.Admission.InFlight != 1 {
+		t.Errorf("in_flight = %d, want 1", stats.Admission.InFlight)
+	}
+	// Slot released: admitted again.
+	sys.admission.inFlight.Add(-1)
+	if status := post(); status != http.StatusOK {
+		t.Errorf("after release: status %d, want 200", status)
+	}
+}
+
+// TestConcurrentShardPublicationsDoNotCrossServe race-gates the per-shard
+// publication contract (run with -race): publications racing onto two
+// shards — the same kb.Add path online promotion publishes through — must
+// never stall concurrent readers whose probes route to other shards, never
+// bump the readers' shard epochs, and never invalidate their routinized
+// entries. A second phase adds wholesale LoadKB replacement to the race.
+func TestConcurrentShardPublicationsDoNotCrossServe(t *testing.T) {
+	sys := shardedTrainedSystem(t, nil)
+	path := filepath.Join(t.TempDir(), "kb.nt")
+	if err := sys.SaveKB(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the cache and find two shards the reader's probes never touch.
+	if _, err := sys.Reoptimize(coreMatchedQuery); err != nil {
+		t.Fatal(err)
+	}
+	probes := sys.matchingEngine().ProbesByShard()
+	var untouched []int
+	for i, n := range probes {
+		if n == 0 {
+			untouched = append(untouched, i)
+		}
+	}
+	if len(untouched) < 2 {
+		t.Skipf("reader probes %v leave %d untouched shards, need 2", probes, len(untouched))
+	}
+	shardA, shardB := untouched[0], untouched[1]
+	knowledge := sys.KB()
+	epochsBefore := knowledge.Epochs()
+
+	// Phase 1: two publishers race readers; no KB replacement, so every
+	// reader pass must be a pure cache hit — the publications belong to
+	// other shards' epochs.
+	var wg sync.WaitGroup
+	for _, target := range []int{shardA, shardB} {
+		wg.Add(1)
+		go func(target int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := knowledge.Add(syntheticTemplateForShard(t, knowledge, target)); err != nil {
+					t.Errorf("Add to shard %d: %v", target, err)
+				}
+			}
+		}(target)
+	}
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				res, err := sys.Reoptimize(coreMatchedQuery)
+				if err != nil {
+					t.Errorf("Reoptimize: %v", err)
+					return
+				}
+				if res.ProbeStats.CacheHits != res.ProbeStats.Probes {
+					t.Errorf("reader lost cache entries to a foreign-shard publication: %d/%d",
+						res.ProbeStats.CacheHits, res.ProbeStats.Probes)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	epochsAfter := knowledge.Epochs()
+	for i := range epochsAfter {
+		published := i == shardA || i == shardB
+		if published && epochsAfter[i] == epochsBefore[i] {
+			t.Errorf("publishing shard %d epoch did not move", i)
+		}
+		if !published && epochsAfter[i] != epochsBefore[i] {
+			t.Errorf("unrelated shard %d epoch moved %d -> %d", i, epochsBefore[i], epochsAfter[i])
+		}
+	}
+
+	// Phase 2: add wholesale LoadKB replacement to the race. In-flight
+	// readers finish against the KB they pinned; the run must stay
+	// race-free and deadlock-free, and quiesce to a matching KB.
+	var wg2 sync.WaitGroup
+	wg2.Add(1)
+	go func() {
+		defer wg2.Done()
+		for i := 0; i < 4; i++ {
+			if err := sys.LoadKB(path); err != nil {
+				t.Errorf("LoadKB: %v", err)
+			}
+		}
+	}()
+	for _, target := range []int{shardA, shardB} {
+		wg2.Add(1)
+		go func(target int) {
+			defer wg2.Done()
+			for i := 0; i < 10; i++ {
+				kbNow := sys.KB()
+				if _, err := kbNow.Add(syntheticTemplateForShard(t, kbNow, target)); err != nil {
+					t.Errorf("Add to shard %d: %v", target, err)
+				}
+			}
+		}(target)
+	}
+	for c := 0; c < 4; c++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			for i := 0; i < 8; i++ {
+				if _, err := sys.Reoptimize(coreMatchedQuery); err != nil {
+					t.Errorf("Reoptimize during LoadKB race: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg2.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("publication race stalled")
+	}
+
+	res, err := sys.Reoptimize(coreMatchedQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) == 0 {
+		t.Error("trained query no longer matches after the publication race")
+	}
+}

@@ -28,32 +28,52 @@ import (
 	"galo/internal/sparql"
 )
 
-// Server serves a triple store over HTTP. The store is resolved per request,
-// so a deployment that replaces its knowledge base (core.System.LoadKB) keeps
-// serving the live store rather than the one the handler was built over.
+// Server serves one or more triple stores (knowledge base shards) over
+// HTTP. The stores are resolved per request, so a deployment that replaces
+// its knowledge base (core.System.LoadKB) keeps serving the live stores
+// rather than the ones the handler was built over. With several shards,
+// /query fans out over a pinned snapshot of every shard and merges the
+// solutions, /version reports the epoch sum, and /data dumps the merged
+// graph — one Fuseki front door over a partitioned knowledge base.
 type Server struct {
-	store func() *rdf.Store
-	mux   *http.ServeMux
+	stores func() []*rdf.Store
+	load   func(ntriples string) error
+	mux    *http.ServeMux
 }
 
-// NewServer returns a server over a fixed store.
+// NewServer returns a server over a fixed single store.
 func NewServer(store *rdf.Store) *Server {
 	return NewDynamicServer(func() *rdf.Store { return store })
 }
 
-// NewDynamicServer returns a server that re-resolves its store on every
-// request — the handler a System exposes so /query, /data and /version
-// always answer from the current knowledge base, across LoadKB replacements.
+// NewDynamicServer returns a single-store server that re-resolves its store
+// on every request. POST /data loads triples additively into the resolved
+// store, preserving the raw-store semantics callers of this constructor
+// expect.
 func NewDynamicServer(resolve func() *rdf.Store) *Server {
-	s := &Server{store: resolve, mux: http.NewServeMux()}
+	return NewShardedServer(
+		func() []*rdf.Store { return []*rdf.Store{resolve()} },
+		func(nt string) error { return resolve().LoadNTriples(nt) },
+	)
+}
+
+// NewShardedServer returns a server over a dynamic set of shard stores.
+// load handles POST /data (a knowledge base passes kb.KB.LoadNTriples here,
+// so posted templates are routed to their owning shards; nil rejects loads).
+func NewShardedServer(resolve func() []*rdf.Store, load func(ntriples string) error) *Server {
+	s := &Server{stores: resolve, load: load, mux: http.NewServeMux()}
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/data", s.handleData)
 	s.mux.HandleFunc("/ping", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("/version", func(w http.ResponseWriter, _ *http.Request) {
+		var sum uint64
+		for _, st := range s.stores() {
+			sum += st.Version()
+		}
 		w.Header().Set("Content-Type", "application/json")
-		_ = json.NewEncoder(w).Encode(map[string]uint64{"version": s.store().Version()})
+		_ = json.NewEncoder(w).Encode(map[string]uint64{"version": sum})
 	})
 	return s
 }
@@ -109,12 +129,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	// Pin one epoch for the whole evaluation: a concurrent knowledge base
-	// publication must not be half-visible to a multi-pattern query.
-	sols, err := sparql.Execute(q, s.store().Snapshot())
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
+	// Pin one epoch per shard for the whole evaluation: a concurrent
+	// knowledge base publication must not be half-visible to a
+	// multi-pattern query. Each shard holds disjoint templates, so the
+	// merged solution set is the union.
+	var sols []sparql.Solution
+	for _, st := range s.stores() {
+		part, err := sparql.Execute(q, st.Snapshot())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		sols = append(sols, part...)
+	}
+	if q.Limit > 0 && len(sols) > q.Limit {
+		sols = sols[:q.Limit]
 	}
 	doc := jsonResults{Results: jsonBinding{Bindings: []map[string]jsonTerm{}}}
 	if q.SelectAll {
@@ -141,14 +170,18 @@ func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
 		w.Header().Set("Content-Type", "application/n-triples")
-		fmt.Fprint(w, s.store().NTriples())
+		fmt.Fprint(w, rdf.MergeNTriples(s.stores()))
 	case http.MethodPost:
+		if s.load == nil {
+			http.Error(w, "loading not supported", http.StatusMethodNotAllowed)
+			return
+		}
 		body, err := io.ReadAll(r.Body)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := s.store().LoadNTriples(string(body)); err != nil {
+		if err := s.load(string(body)); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}

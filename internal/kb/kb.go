@@ -1,13 +1,3 @@
-// Package kb implements GALO's knowledge base: the collection of
-// problem-pattern templates (an abstracted plan fragment with per-operator
-// property bounds) and their recommended rewrites (a guideline document),
-// stored as an RDF graph and queried via SPARQL during online
-// re-optimization.
-//
-// Templates are abstracted with canonical symbol labels (TABLE_1, TABLE_2,
-// ...) so that a pattern learned over one query — or one workload — matches
-// structurally similar plans over entirely different tables, which is what
-// the paper's Exp-2 cross-workload reuse result relies on.
 package kb
 
 import (
@@ -77,31 +67,83 @@ func (t *Template) Signature() string {
 	return t.Problem.Signature()
 }
 
-// KB is the knowledge base.
+// KB is the knowledge base. Its RDF graph is split across one or more
+// shards (independent epoch-snapshot stores); every template's triples live
+// in exactly one shard, chosen by RouteShape over the template problem's
+// shape signature. The template index (templates, bySignature) stays global.
 type KB struct {
+	// stores is immutable after construction: one RDF store per shard.
+	stores []*rdf.Store
+
 	mu          sync.RWMutex
-	store       *rdf.Store
 	templates   []*Template
 	bySignature map[string]*Template
 	seq         int
 }
 
-// New returns an empty knowledge base.
-func New() *KB {
-	return &KB{store: rdf.NewStore(), bySignature: map[string]*Template{}}
+// New returns an empty single-shard knowledge base.
+func New() *KB { return NewSharded(1) }
+
+// NewSharded returns an empty knowledge base split across n shards
+// (values below one mean a single shard).
+func NewSharded(n int) *KB {
+	if n < 1 {
+		n = 1
+	}
+	stores := make([]*rdf.Store, n)
+	for i := range stores {
+		stores[i] = rdf.NewStore()
+	}
+	return &KB{stores: stores, bySignature: map[string]*Template{}}
 }
 
-// Store exposes the underlying RDF store (for serving via Fuseki or for
-// SPARQL matching).
-func (kb *KB) Store() *rdf.Store { return kb.store }
+// Shards returns the number of knowledge base shards.
+func (kb *KB) Shards() int { return len(kb.stores) }
 
-// Epoch identifies the knowledge base's current published epoch. Every
-// template addition, merge or rewrite publishes exactly one new epoch (one
-// atomic snapshot swap in the RDF store), so readers that pinned a snapshot
-// before the publication keep matching against the previous epoch while new
-// probes see the new one. The matching engine keys its routinization cache
-// on this value.
-func (kb *KB) Epoch() uint64 { return kb.store.Version() }
+// Store exposes the first shard's RDF store. It is the whole knowledge base
+// only for single-shard KBs (the default); sharded callers — the matching
+// engine, the Fuseki handler — use Stores/ShardStore instead.
+func (kb *KB) Store() *rdf.Store { return kb.stores[0] }
+
+// ShardStore returns shard i's RDF store.
+func (kb *KB) ShardStore(i int) *rdf.Store { return kb.stores[i] }
+
+// Stores returns every shard's RDF store, in shard order.
+func (kb *KB) Stores() []*rdf.Store { return append([]*rdf.Store(nil), kb.stores...) }
+
+// Epoch identifies the knowledge base's current published epoch across all
+// shards (the sum of the per-shard epochs, so it is monotonic and changes
+// exactly when some shard publishes). Single-shard callers can use it as
+// the cache-invalidation key; sharded matching pins the per-shard vector
+// (Epochs) instead, so a publication on one shard never invalidates entries
+// served from another.
+func (kb *KB) Epoch() uint64 {
+	var sum uint64
+	for _, st := range kb.stores {
+		sum += st.Version()
+	}
+	return sum
+}
+
+// Epochs returns the per-shard epoch vector. Every template addition, merge
+// or rewrite publishes exactly one new epoch (one atomic snapshot swap) on
+// the owning shard and leaves every other shard's epoch untouched.
+func (kb *KB) Epochs() []uint64 {
+	out := make([]uint64, len(kb.stores))
+	for i, st := range kb.stores {
+		out[i] = st.Version()
+	}
+	return out
+}
+
+// Triples returns the total triple count across all shards.
+func (kb *KB) Triples() int {
+	total := 0
+	for _, st := range kb.stores {
+		total += st.Len()
+	}
+	return total
+}
 
 // Size returns the number of templates.
 func (kb *KB) Size() int {
@@ -202,9 +244,10 @@ func (kb *KB) mergeInto(existing, incoming *Template) {
 
 func (kb *KB) writeTemplate(t *Template) {
 	// Triples are collected and inserted in one batch, so the template
-	// becomes visible to readers as one atomic epoch publication — a
-	// concurrent probe sees either none or all of the template's triples.
-	kb.store.AddAll(kb.templateTriples(t))
+	// becomes visible to readers as one atomic epoch publication on the
+	// owning shard — a concurrent probe sees either none or all of the
+	// template's triples, and no other shard's epoch moves.
+	kb.stores[kb.ShardOf(t)].AddAll(kb.templateTriples(t))
 }
 
 // templateTriples renders a template's full RDF encoding.
@@ -256,10 +299,12 @@ func (kb *KB) templateTriples(t *Template) []rdf.Triple {
 }
 
 // rewriteTemplate replaces the template's triples (bounds or guideline may
-// have changed) as ONE atomic epoch publication: removal patterns and the
-// re-rendered triples go through a single store.Apply, so a concurrent
-// reader pins either the old template or the new one, never a half-removed
-// in-between.
+// have changed) as ONE atomic epoch publication on the owning shard:
+// removal patterns and the re-rendered triples go through a single
+// store.Apply, so a concurrent reader pins either the old template or the
+// new one, never a half-removed in-between. The shard cannot have changed —
+// merging requires an identical problem signature, and the routing key is a
+// function of the problem's shape.
 func (kb *KB) rewriteTemplate(t *Template) {
 	tmplIRI := transform.TemplateIRI(t.ID)
 	removals := []rdf.Pattern{{S: &tmplIRI}}
@@ -267,7 +312,7 @@ func (kb *KB) rewriteTemplate(t *Template) {
 		subj := transform.KBPopIRI(t.ID, n.ID)
 		removals = append(removals, rdf.Pattern{S: &subj})
 	})
-	kb.store.Apply(removals, kb.templateTriples(t))
+	kb.stores[kb.ShardOf(t)].Apply(removals, kb.templateTriples(t))
 }
 
 func defaultBounds(card float64) Range {
@@ -279,22 +324,83 @@ func defaultBounds(card float64) Range {
 	return Range{Lo: lo, Hi: card * slack}
 }
 
-// NTriples serializes the knowledge base graph.
+// NTriples serializes the knowledge base graph. The output is shard-
+// agnostic — lines from all shards are merged into one lexicographically
+// sorted document, so a dump taken from a 4-shard KB loads into a KB with
+// any shard count (routing is recomputed at load time).
 func (kb *KB) NTriples() string {
 	kb.mu.RLock()
 	defer kb.mu.RUnlock()
-	return kb.store.NTriples()
+	return rdf.MergeNTriples(kb.stores)
 }
 
-// LoadNTriples loads a previously serialized knowledge base and reconstructs
-// the template index (the "KB to QEP mapper" of the paper's architecture).
+// LoadNTriples merges the templates serialized in text into the knowledge
+// base, reconstructing them (the "KB to QEP mapper" of the paper's
+// architecture) and routing each to its owning shard. Like the Fuseki-style
+// /data load it is additive: templates whose problem signature is already
+// known widen the existing template, new templates are published in ONE
+// batch per owning shard (at most one epoch per shard per load), and the
+// shards never pass through an emptied state a concurrently pinned probe
+// could observe. Triples that are not part of any template are kept too
+// (in shard 0), so a raw-triple load through the HTTP endpoint round-trips.
+// Serialized dumps carry no shard layout, so a KB saved under one shard
+// count loads under any other.
 func (kb *KB) LoadNTriples(text string) error {
-	kb.mu.Lock()
-	defer kb.mu.Unlock()
-	if err := kb.store.LoadNTriples(text); err != nil {
+	scratch := rdf.NewStore()
+	if err := scratch.LoadNTriples(text); err != nil {
 		return err
 	}
-	return kb.reconstruct()
+	templates, err := reconstructTemplates(scratch)
+	if err != nil {
+		return err
+	}
+	kb.mu.Lock()
+	defer kb.mu.Unlock()
+	taken := make(map[string]bool, len(kb.templates))
+	for _, t := range kb.templates {
+		taken[t.ID] = true
+	}
+	// Every triple belonging to a reconstructed template is accounted for
+	// by re-rendering it (reconstruct → render is a faithful round trip);
+	// whatever remains in the text is a non-template triple to preserve.
+	covered := map[string]bool{}
+	tripleKey := func(tr rdf.Triple) string {
+		return fmt.Sprintf("%d\x00%s\x00%d\x00%s\x00%d\x00%s",
+			tr.S.Kind, tr.S.Value, tr.P.Kind, tr.P.Value, tr.O.Kind, tr.O.Value)
+	}
+	for _, t := range templates {
+		for _, tr := range kb.templateTriples(t) {
+			covered[tripleKey(tr)] = true
+		}
+	}
+	batches := make([][]rdf.Triple, len(kb.stores))
+	for _, t := range templates {
+		sig := t.Signature()
+		if existing, ok := kb.bySignature[sig]; ok {
+			kb.mergeInto(existing, t)
+			continue
+		}
+		kb.seq++
+		if t.ID == "" || taken[t.ID] {
+			t.ID = kb.newID(sig)
+		}
+		taken[t.ID] = true
+		kb.templates = append(kb.templates, t)
+		kb.bySignature[sig] = t
+		shard := kb.ShardOf(t)
+		batches[shard] = append(batches[shard], kb.templateTriples(t)...)
+	}
+	for _, tr := range scratch.Match(nil, nil, nil) {
+		if !covered[tripleKey(tr)] {
+			batches[0] = append(batches[0], tr)
+		}
+	}
+	for i, batch := range batches {
+		if len(batch) > 0 {
+			kb.stores[i].AddAll(batch)
+		}
+	}
+	return nil
 }
 
 // Merge copies every template of other into this knowledge base (the paper's

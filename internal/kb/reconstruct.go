@@ -2,6 +2,7 @@ package kb
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -10,51 +11,52 @@ import (
 	"galo/internal/transform"
 )
 
-// reconstruct rebuilds the in-memory template index from the RDF graph. It is
+// reconstructTemplates rebuilds the template index from an RDF graph. It is
 // the inverse of writeTemplate and implements the "KB to QEP mapper" role of
 // the paper's matching engine for knowledge bases loaded from disk or fetched
-// from a remote endpoint.
-func (kb *KB) reconstruct() error {
-	kb.templates = nil
-	kb.bySignature = map[string]*Template{}
+// from a remote endpoint. The graph carries no shard layout; LoadNTriples
+// routes the reconstructed templates afterwards. Templates are returned in
+// stable (ID) order so re-rendering them produces the same shard epochs for
+// the same input.
+func reconstructTemplates(store *rdf.Store) ([]*Template, error) {
+	var templates []*Template
 	guidelineProp := transform.Prop(transform.PropGuideline)
-	for _, tr := range kb.store.Match(nil, &guidelineProp, nil) {
+	for _, tr := range store.Match(nil, &guidelineProp, nil) {
 		tmplIRI := tr.S
 		id := strings.TrimPrefix(tmplIRI.Value, transform.KBTmplBase)
 		t := &Template{ID: id, GuidelineXML: tr.O.Value, Bounds: map[int]Range{}}
-		if v, ok := kb.store.FirstObject(tmplIRI, transform.Prop(transform.PropImprovement)); ok {
+		if v, ok := store.FirstObject(tmplIRI, transform.Prop(transform.PropImprovement)); ok {
 			if f, ok := v.Float(); ok {
 				t.Improvement = f
 			}
 		}
-		if v, ok := kb.store.FirstObject(tmplIRI, transform.Prop(transform.PropSourceQuery)); ok {
+		if v, ok := store.FirstObject(tmplIRI, transform.Prop(transform.PropSourceQuery)); ok {
 			t.SourceQuery = v.Value
 		}
-		if v, ok := kb.store.FirstObject(tmplIRI, transform.Prop(transform.PropSourceWorkload)); ok {
+		if v, ok := store.FirstObject(tmplIRI, transform.Prop(transform.PropSourceWorkload)); ok {
 			t.SourceWorkload = v.Value
 		}
-		if v, ok := kb.store.FirstObject(tmplIRI, transform.Prop(transform.PropStructural)); ok && v.Value == "true" {
+		if v, ok := store.FirstObject(tmplIRI, transform.Prop(transform.PropStructural)); ok && v.Value == "true" {
 			t.Structural = true
 		}
-		problem, bounds, err := kb.reconstructProblem(id, tmplIRI)
+		problem, bounds, err := reconstructProblem(store, id, tmplIRI)
 		if err != nil {
-			return fmt.Errorf("kb: template %s: %w", id, err)
+			return nil, fmt.Errorf("kb: template %s: %w", id, err)
 		}
 		t.Problem = problem
 		t.Bounds = bounds
 		t.Joins = problem.CountJoins()
-		kb.templates = append(kb.templates, t)
-		kb.bySignature[t.Signature()] = t
-		kb.seq++
+		templates = append(templates, t)
 	}
-	return nil
+	sort.Slice(templates, func(i, j int) bool { return templates[i].ID < templates[j].ID })
+	return templates, nil
 }
 
 // reconstructProblem rebuilds the problem fragment tree of one template from
 // its pop resources.
-func (kb *KB) reconstructProblem(templateID string, tmplIRI rdf.Term) (*qgm.Node, map[int]Range, error) {
+func reconstructProblem(store *rdf.Store, templateID string, tmplIRI rdf.Term) (*qgm.Node, map[int]Range, error) {
 	inTemplate := transform.Prop(transform.PropInTemplate)
-	popTriples := kb.store.Match(nil, &inTemplate, &tmplIRI)
+	popTriples := store.Match(nil, &inTemplate, &tmplIRI)
 	if len(popTriples) == 0 {
 		return nil, nil, fmt.Errorf("no operators recorded")
 	}
@@ -74,21 +76,21 @@ func (kb *KB) reconstructProblem(templateID string, tmplIRI rdf.Term) (*qgm.Node
 			continue
 		}
 		n := &qgm.Node{ID: id}
-		if v, ok := kb.store.FirstObject(tr.S, transform.Prop(transform.PropPopType)); ok {
+		if v, ok := store.FirstObject(tr.S, transform.Prop(transform.PropPopType)); ok {
 			n.Op = qgm.OpType(v.Value)
 		}
-		if v, ok := kb.store.FirstObject(tr.S, transform.Prop(transform.PropCanonicalTable)); ok {
+		if v, ok := store.FirstObject(tr.S, transform.Prop(transform.PropCanonicalTable)); ok {
 			n.Table = v.Value
 			n.TableInstance = v.Value
 		}
-		if v, ok := kb.store.FirstObject(tr.S, transform.Prop(transform.PropBloomFilter)); ok && v.Value == "true" {
+		if v, ok := store.FirstObject(tr.S, transform.Prop(transform.PropBloomFilter)); ok && v.Value == "true" {
 			n.BloomFilter = true
 		}
 		var r Range
-		if v, ok := kb.store.FirstObject(tr.S, transform.Prop(transform.PropLowerCardinality)); ok {
+		if v, ok := store.FirstObject(tr.S, transform.Prop(transform.PropLowerCardinality)); ok {
 			r.Lo, _ = v.Float()
 		}
-		if v, ok := kb.store.FirstObject(tr.S, transform.Prop(transform.PropHigherCardinality)); ok {
+		if v, ok := store.FirstObject(tr.S, transform.Prop(transform.PropHigherCardinality)); ok {
 			r.Hi, _ = v.Float()
 		}
 		bounds[id] = r
@@ -99,13 +101,13 @@ func (kb *KB) reconstructProblem(templateID string, tmplIRI rdf.Term) (*qgm.Node
 	hasParent := map[int]bool{}
 	for id, n := range nodes {
 		subj := transform.KBPopIRI(templateID, id)
-		if v, ok := kb.store.FirstObject(subj, transform.Prop(transform.PropOuterInput)); ok {
+		if v, ok := store.FirstObject(subj, transform.Prop(transform.PropOuterInput)); ok {
 			if cid, ok := idOf(v); ok {
 				n.Outer = nodes[cid]
 				hasParent[cid] = true
 			}
 		}
-		if v, ok := kb.store.FirstObject(subj, transform.Prop(transform.PropInnerInput)); ok {
+		if v, ok := store.FirstObject(subj, transform.Prop(transform.PropInnerInput)); ok {
 			if cid, ok := idOf(v); ok {
 				n.Inner = nodes[cid]
 				hasParent[cid] = true

@@ -1,0 +1,87 @@
+package kb
+
+import (
+	"hash/fnv"
+	"strings"
+)
+
+// routePrefixLen is how many leading bytes of the shape signature feed the
+// routing hash. Shape signatures open with the fragment's root operator and
+// left spine (e.g. "HSJOIN(IXSCAN,NLJOIN(..."), so a short prefix already
+// separates structurally different fragments while keeping the key cheap to
+// hash on the probe hot path.
+const routePrefixLen = 24
+
+// RouteShape maps a problem/fragment shape signature (qgm.Node.
+// ShapeSignature) and join count to the owning shard. Routing hashes a
+// prefix of the shape signature; when no usable shape is available it falls
+// back to a join-count band. The function is deterministic and depends only
+// on the shard count, so the matching engine and the learning engine always
+// agree on where a given shape lives: a template published for shape S and a
+// fragment probe for shape S meet in the same shard.
+//
+// An applicable match requires the fragment's operator-type tree to equal
+// the template problem's tree (the guideline references every canonical
+// table of the full problem, so a probe that only matches a rooted subtree
+// of a bigger template can never rebind the guideline). The probe SPARQL
+// does NOT constrain the bloom-filter flag, so the "+BF" marker the shape
+// signature carries is stripped before routing — a template learned without
+// a bloom filter must live in the same shard a bloom-filtered fragment of
+// the same operator tree probes. BF-stripped shape equality is therefore a
+// necessary condition for an applicable match, which is what makes the
+// shape-keyed partition lossless for probe fan-out.
+func (kb *KB) RouteShape(shape string, joins int) int {
+	n := len(kb.stores)
+	if n == 1 {
+		return 0
+	}
+	if shape == "" || shape == "_" {
+		return joinBand(joins) % n
+	}
+	shape = strings.ReplaceAll(shape, "+BF", "")
+	prefix := shape
+	if len(prefix) > routePrefixLen {
+		prefix = prefix[:routePrefixLen]
+	}
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(prefix))
+	return int(h.Sum32() % uint32(n))
+}
+
+// joinBand buckets a join count into the coarse bands used as the routing
+// fallback when a fragment carries no shape signature.
+func joinBand(joins int) int {
+	switch {
+	case joins <= 1:
+		return 0
+	case joins <= 3:
+		return 1
+	case joins <= 5:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// ShardOf returns the shard that owns (or would own) the template.
+func (kb *KB) ShardOf(t *Template) int {
+	if t == nil || t.Problem == nil {
+		joins := 0
+		if t != nil {
+			joins = t.Joins
+		}
+		return kb.RouteShape("", joins)
+	}
+	return kb.RouteShape(t.Problem.ShapeSignature(), t.Problem.CountJoins())
+}
+
+// ShardSizes returns the number of templates living in each shard.
+func (kb *KB) ShardSizes() []int {
+	kb.mu.RLock()
+	defer kb.mu.RUnlock()
+	sizes := make([]int, len(kb.stores))
+	for _, t := range kb.templates {
+		sizes[kb.ShardOf(t)]++
+	}
+	return sizes
+}

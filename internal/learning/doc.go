@@ -1,0 +1,29 @@
+// Package learning implements GALO's learning engines.
+//
+// The offline engine (Engine, Section 3.2 of the paper) decomposes workload
+// queries into sub-queries, varies predicate values to cover different
+// reduction factors, executes and ranks competing plans from the Random
+// Plan Generator against the optimizer's plan, and abstracts the winning
+// rewrites into problem-pattern templates stored in the knowledge base.
+//
+// The online incremental learner (Online) closes the same loop at serving
+// time: executed plans whose actual-vs-estimated cardinality gap clears
+// OnlineOptions.GapThreshold are enqueued for the identical per-query
+// analysis, and winning templates are promoted into the next knowledge base
+// epoch without a batch relearn.
+//
+// # Concurrency contract
+//
+// Offline learning fans out across Options.Workers goroutines; per-query
+// random seeds are derived from query text alone, so a workload learns the
+// same knowledge base at any worker count. Template publication goes
+// through kb.KB.Add, which routes each template to its owning shard and
+// publishes exactly one epoch there — concurrent matchers on other shards
+// are unaffected.
+//
+// Online.Observe never blocks the serving path: the analysis queue is
+// bounded (OnlineOptions.QueueSize, the first stage of the serving stack's
+// admission control), and observations arriving at a full queue are dropped
+// and counted. One background worker drains the queue; Close stops it after
+// draining, and Flush lets tests wait for a deterministic next epoch.
+package learning

@@ -1,9 +1,3 @@
-// Package learning implements GALO's offline learning engine (Section 3.2 of
-// the paper): workload queries are decomposed into sub-queries, predicate
-// values are varied to cover different reduction factors, competing plans
-// from the Random Plan Generator are executed and ranked against the
-// optimizer's plan, and the winning rewrites are abstracted into
-// problem-pattern templates stored in the knowledge base.
 package learning
 
 import (

@@ -1,11 +1,3 @@
-// Package matching implements GALO's online matching engine (Section 3.3 of
-// the paper): an incoming query's plan is segmented into sub-plans (climbing
-// the tree up to the RETURN operator, capped by the same join threshold used
-// during learning), each segment is turned into a SPARQL query by the
-// transformation engine and run against the knowledge base, and the matched
-// templates' guidelines — with canonical table labels mapped back to the
-// query's table instances — are collected into a guideline document with
-// which the query is re-optimized.
 package matching
 
 import (
@@ -83,18 +75,43 @@ func DefaultOptions() Options {
 	return Options{MaxJoins: 4, OptimizerOptions: optimizer.DefaultOptions()}
 }
 
+// Router maps a plan fragment's shape signature (qgm.Node.ShapeSignature)
+// and join count to the index of the knowledge base shard whose templates
+// could match it. It must agree with the routing the knowledge base applied
+// when templates were published (kb.KB.RouteShape); a nil Router sends every
+// probe to shard 0.
+type Router func(shape string, joins int) int
+
 // Engine is the online matching engine. It is safe for concurrent use.
 type Engine struct {
-	Cat      *catalog.Catalog
-	Endpoint Endpoint
-	Opts     Options
-	cache    *probeCache
-	flight   flightGroup
-	deduped  atomic.Int64
+	Cat  *catalog.Catalog
+	Opts Options
+
+	// endpoints holds one knowledge base endpoint per shard; route picks the
+	// shard a fragment's probe goes to. Both are immutable after New.
+	endpoints []Endpoint
+	route     Router
+
+	cache       *probeCache
+	flight      flightGroup
+	deduped     atomic.Int64
+	shardProbes []atomic.Int64
 }
 
-// New returns a matching engine over the catalog and knowledge base endpoint.
+// New returns a matching engine over the catalog and a single (unsharded)
+// knowledge base endpoint.
 func New(cat *catalog.Catalog, endpoint Endpoint, opts Options) *Engine {
+	return NewSharded(cat, []Endpoint{endpoint}, nil, opts)
+}
+
+// NewSharded returns a matching engine over a sharded knowledge base: one
+// endpoint per shard, with route deciding which shard each fragment probes.
+// The routinization cache is enabled only when every endpoint can report a
+// version (VersionedEndpoint), so no shard can serve stale guidelines.
+func NewSharded(cat *catalog.Catalog, endpoints []Endpoint, route Router, opts Options) *Engine {
+	if len(endpoints) == 0 {
+		panic("matching: NewSharded needs at least one endpoint")
+	}
 	if opts.MaxJoins <= 0 {
 		opts.MaxJoins = 4
 	}
@@ -102,11 +119,54 @@ func New(cat *catalog.Catalog, endpoint Endpoint, opts Options) *Engine {
 	if cacheSize == 0 {
 		cacheSize = 4096
 	}
-	e := &Engine{Cat: cat, Endpoint: endpoint, Opts: opts}
-	if _, versioned := endpoint.(VersionedEndpoint); versioned && cacheSize > 0 {
+	e := &Engine{
+		Cat:         cat,
+		Opts:        opts,
+		endpoints:   endpoints,
+		route:       route,
+		shardProbes: make([]atomic.Int64, len(endpoints)),
+	}
+	allVersioned := true
+	for _, ep := range endpoints {
+		if _, ok := ep.(VersionedEndpoint); !ok {
+			allVersioned = false
+			break
+		}
+	}
+	if allVersioned && cacheSize > 0 {
 		e.cache = newProbeCache(cacheSize)
 	}
 	return e
+}
+
+// Endpoint returns the single knowledge base endpoint of an unsharded
+// engine (shard 0 of a sharded one).
+func (e *Engine) Endpoint() Endpoint { return e.endpoints[0] }
+
+// Shards returns the number of knowledge base shards the engine probes.
+func (e *Engine) Shards() int { return len(e.endpoints) }
+
+// ProbesByShard returns how many fragment probes each shard has answered
+// (cache hits included) since the engine was built — the fan-out profile a
+// deployment watches to spot routing skew.
+func (e *Engine) ProbesByShard() []int64 {
+	out := make([]int64, len(e.shardProbes))
+	for i := range e.shardProbes {
+		out[i] = e.shardProbes[i].Load()
+	}
+	return out
+}
+
+// shardFor routes one fragment to the shard whose templates could match it.
+func (e *Engine) shardFor(frag *qgm.Node) int {
+	if len(e.endpoints) == 1 || e.route == nil {
+		return 0
+	}
+	s := e.route(frag.ShapeSignature(), frag.CountJoins())
+	if s < 0 || s >= len(e.endpoints) {
+		return 0
+	}
+	return s
 }
 
 // CachedProbes returns how many probe results are currently cached (0 when
@@ -118,51 +178,63 @@ func (e *Engine) CachedProbes() int {
 	return e.cache.size()
 }
 
-// kbVersion resolves the endpoint's knowledge base version when caching is
-// active; callers fetch it once per plan so remote endpoints pay one
-// round-trip per MatchPlan, not one per fragment.
-func (e *Engine) kbVersion() (uint64, bool) {
-	if e.cache == nil {
-		return 0, false
-	}
-	return e.Endpoint.(VersionedEndpoint).KBVersion()
+// shardConn is one shard's resolved probe path for the duration of a plan:
+// the Select function every probe routed to the shard goes through, plus the
+// shard's pinned (or conservatively fetched) epoch.
+type shardConn struct {
+	sel       func(string) ([]sparql.Solution, error)
+	version   uint64
+	versionOK bool
 }
 
-// planEndpoint resolves the Select function and version tag one plan's
-// probes share: a pinned epoch when the endpoint supports it, the plain
-// endpoint with conservative version tagging otherwise.
-func (e *Engine) planEndpoint() (sel func(string) ([]sparql.Solution, error), version uint64, versionOK bool) {
-	if p, ok := e.Endpoint.(EpochPinner); ok {
-		sel, version = p.PinEpoch()
-		return sel, version, true
+// planShards resolves the Select function and version tag per shard, once
+// per plan: a pinned epoch snapshot when the endpoint supports it
+// (EpochPinner), the plain endpoint with conservative version tagging
+// otherwise. The result is the plan's *epoch vector* — every probe of the
+// plan reads from, and tags its cache/singleflight keys with, exactly the
+// epoch its shard had at plan start, independent of the other shards.
+func (e *Engine) planShards() []shardConn {
+	conns := make([]shardConn, len(e.endpoints))
+	for i, ep := range e.endpoints {
+		if p, ok := ep.(EpochPinner); ok {
+			sel, version := p.PinEpoch()
+			conns[i] = shardConn{sel: sel, version: version, versionOK: true}
+			continue
+		}
+		conn := shardConn{sel: ep.Select}
+		if e.cache != nil {
+			conn.version, conn.versionOK = ep.(VersionedEndpoint).KBVersion()
+		}
+		conns[i] = conn
 	}
-	version, versionOK = e.kbVersion()
-	return e.Endpoint.Select, version, versionOK
+	return conns
 }
 
-// probe answers one knowledge base query, through the routinization cache
-// when it is active and a version was resolved. Tagging a whole plan's
-// probes with the version fetched at plan start is conservative: if the
-// knowledge base changes mid-plan, the entries are tagged with the older
-// version and evicted on their next lookup.
+// probe answers one knowledge base query against one shard, through the
+// routinization cache when it is active and a version was resolved. Tagging
+// a whole plan's probes with the version fetched at plan start is
+// conservative: if the shard changes mid-plan, the entries are tagged with
+// the older version and evicted on their next lookup.
 //
-// Cache misses go through a singleflight group keyed by (epoch, query
-// text): identical probes issued by concurrent re-optimizations collapse
-// into one SPARQL evaluation whose result all of them (and the cache)
-// receive. The epoch in the key keeps a probe issued after a knowledge base
-// publication from joining a pre-publication evaluation.
-func (e *Engine) probe(sel func(string) ([]sparql.Solution, error), queryText string, version uint64, versionOK bool) (sols []sparql.Solution, cached bool, err error) {
-	if e.cache != nil && versionOK {
-		if sols, hit := e.cache.get(queryText, version); hit {
+// Cache and singleflight keys carry the shard index as well as the epoch, so
+// a publication on one shard can never invalidate — or serve — entries that
+// belong to another: identical probes issued by concurrent re-optimizations
+// collapse into one SPARQL evaluation only when they target the same shard
+// at the same epoch.
+func (e *Engine) probe(shard int, conn shardConn, queryText string) (sols []sparql.Solution, cached bool, err error) {
+	e.shardProbes[shard].Add(1)
+	key := "s" + strconv.Itoa(shard) + "|" + queryText
+	if e.cache != nil && conn.versionOK {
+		if sols, hit := e.cache.get(key, conn.version); hit {
 			return sols, true, nil
 		}
 	}
-	key := queryText
-	if versionOK {
-		key = strconv.FormatUint(version, 16) + "|" + queryText
+	flightKey := key
+	if conn.versionOK {
+		flightKey = "s" + strconv.Itoa(shard) + "|" + strconv.FormatUint(conn.version, 16) + "|" + queryText
 	}
-	sols, shared, err := e.flight.do(key, func() ([]sparql.Solution, error) {
-		return sel(queryText)
+	sols, shared, err := e.flight.do(flightKey, func() ([]sparql.Solution, error) {
+		return conn.sel(queryText)
 	})
 	if err != nil {
 		return nil, false, err
@@ -170,8 +242,8 @@ func (e *Engine) probe(sel func(string) ([]sparql.Solution, error), queryText st
 	if shared {
 		e.deduped.Add(1)
 	}
-	if e.cache != nil && versionOK {
-		e.cache.put(queryText, version, sols)
+	if e.cache != nil && conn.versionOK {
+		e.cache.put(key, conn.version, sols)
 	}
 	return sols, false, nil
 }
@@ -224,11 +296,14 @@ func (e *Engine) MatchPlan(plan *qgm.Plan) ([]Match, error) {
 }
 
 // MatchPlanStats is MatchPlan plus probe statistics. Probes fan out across a
-// bounded worker pool (Options.ProbeWorkers); selection then runs over the
-// results in deterministic order: fragments are tried from the largest (most
-// context) down to single joins, and fragments overlapping an already-matched
-// fragment are skipped, so each part of the plan is rewritten by at most one
-// template.
+// bounded worker pool (Options.ProbeWorkers), each fragment routed to the
+// knowledge base shard its shape signature can hit — the plan pins a vector
+// of shard epochs up front, so every probe reads a consistent snapshot of
+// its shard no matter what publishes elsewhere mid-plan. Selection then runs
+// over the results in deterministic order: fragments are tried from the
+// largest (most context) down to single joins, and fragments overlapping an
+// already-matched fragment are skipped, so each part of the plan is
+// rewritten by at most one template.
 func (e *Engine) MatchPlanStats(plan *qgm.Plan) ([]Match, ProbeStats, error) {
 	var stats ProbeStats
 	if plan == nil || plan.Root == nil {
@@ -245,7 +320,7 @@ func (e *Engine) MatchPlanStats(plan *qgm.Plan) ([]Match, ProbeStats, error) {
 		err error
 	}
 	outcomes := make([]outcome, len(fragments))
-	sel, version, versionOK := e.planEndpoint()
+	conns := e.planShards()
 	workers := e.Opts.ProbeWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -255,7 +330,7 @@ func (e *Engine) MatchPlanStats(plan *qgm.Plan) ([]Match, ProbeStats, error) {
 	}
 	if workers <= 1 {
 		for i, frag := range fragments {
-			m, ok, err := e.matchFragment(frag.Root, sel, version, versionOK)
+			m, ok, err := e.matchFragment(frag.Root, conns)
 			outcomes[i] = outcome{m, ok, err}
 		}
 	} else {
@@ -266,7 +341,7 @@ func (e *Engine) MatchPlanStats(plan *qgm.Plan) ([]Match, ProbeStats, error) {
 			go func() {
 				defer wg.Done()
 				for i := range jobs {
-					m, ok, err := e.matchFragment(fragments[i].Root, sel, version, versionOK)
+					m, ok, err := e.matchFragment(fragments[i].Root, conns)
 					outcomes[i] = outcome{m, ok, err}
 				}
 			}()
@@ -310,16 +385,17 @@ func overlapsClaimed(frag *qgm.Node, claimed map[string]bool) bool {
 	return false
 }
 
-// matchFragment matches one sub-plan against the knowledge base and, when a
-// template matches, maps its guideline back to the incoming plan's table
-// instances.
-func (e *Engine) matchFragment(frag *qgm.Node, sel func(string) ([]sparql.Solution, error), version uint64, versionOK bool) (Match, bool, error) {
+// matchFragment matches one sub-plan against the shard of the knowledge
+// base its shape signature routes to and, when a template matches, maps its
+// guideline back to the incoming plan's table instances.
+func (e *Engine) matchFragment(frag *qgm.Node, conns []shardConn) (Match, bool, error) {
 	start := time.Now()
 	queryText, info, err := transform.FragmentMatchQuery(frag)
 	if err != nil {
 		return Match{}, false, err
 	}
-	sols, cached, err := e.probe(sel, queryText, version, versionOK)
+	shard := e.shardFor(frag)
+	sols, cached, err := e.probe(shard, conns[shard], queryText)
 	if err != nil {
 		return Match{}, false, fmt.Errorf("matching: knowledge base query failed: %w", err)
 	}

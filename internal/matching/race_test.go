@@ -66,8 +66,8 @@ func TestProbeCacheServesFreshResultsAfterKBChange(t *testing.T) {
 		SELECT ?x WHERE { ?x pr:hasPopType "HSJOIN" . }`
 
 	probe := func() ([]sparql.Solution, bool, error) {
-		v, ok := eng.kbVersion()
-		return eng.probe(eng.Endpoint.Select, query, v, ok)
+		conns := eng.planShards()
+		return eng.probe(0, conns[0], query)
 	}
 	store.Add(rdf.Triple{S: rdf.NewIRI("a"), P: rdf.NewIRI("http://galo/qep/property/hasPopType"), O: rdf.NewLiteral("HSJOIN")})
 	sols, cached, err := probe()
@@ -160,8 +160,8 @@ func TestSingleflightDedupesIdenticalProbes(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			started.Done()
-			v, ok := eng.kbVersion()
-			sols, _, err := eng.probe(eng.Endpoint.Select, query, v, ok)
+			conns := eng.planShards()
+			sols, _, err := eng.probe(0, conns[0], query)
 			if err != nil || len(sols) != 1 {
 				t.Errorf("probe: sols=%d err=%v", len(sols), err)
 			}

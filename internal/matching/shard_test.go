@@ -1,0 +1,167 @@
+package matching
+
+import (
+	"fmt"
+	"testing"
+
+	"galo/internal/fuseki"
+	"galo/internal/kb"
+	"galo/internal/optimizer"
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+	"galo/internal/workload/tpcds"
+)
+
+// shardedEngine builds an engine over a 4-shard copy of the fixture
+// knowledge base, with one pinned-snapshot endpoint per shard and the KB's
+// own shape router.
+func shardedEngine(t *testing.T) (*Engine, *kb.KB) {
+	t.Helper()
+	_, single := fixture(t)
+	sharded := kb.NewSharded(4)
+	if err := sharded.LoadNTriples(single.NTriples()); err != nil {
+		t.Fatal(err)
+	}
+	if sharded.Size() != single.Size() {
+		t.Fatalf("sharded copy has %d templates, want %d", sharded.Size(), single.Size())
+	}
+	endpoints := make([]Endpoint, sharded.Shards())
+	for i, st := range sharded.Stores() {
+		endpoints[i] = fuseki.LocalEndpoint{Store: st}
+	}
+	return NewSharded(fixtureDB.Catalog, endpoints, sharded.RouteShape, DefaultOptions()), sharded
+}
+
+// TestShardedEngineMatchesLikeSingleShard pins the losslessness of the
+// shape-routed partition: fanning probes out to per-shard endpoints finds
+// exactly the applicable matches the single-shard engine finds, fragment
+// for fragment.
+func TestShardedEngineMatchesLikeSingleShard(t *testing.T) {
+	db, knowledge := fixture(t)
+	singleEng := newEngine(db, knowledge)
+	shardEng, _ := shardedEngine(t)
+	opt := optimizer.New(db.Catalog, optimizer.DefaultOptions())
+
+	queries := []*sqlparser.Query{tpcds.Fig8WideQuery(db), tpcds.Fig7Query(), tpcds.Fig4Query(), tpcds.Fig3Query()}
+	matchedSomewhere := false
+	for _, q := range queries {
+		plan := opt.MustOptimize(q)
+		got, err := shardEng.MatchPlan(plan)
+		if err != nil {
+			t.Fatalf("sharded MatchPlan(%s): %v", q.Name, err)
+		}
+		want, err := singleEng.MatchPlan(plan)
+		if err != nil {
+			t.Fatalf("single MatchPlan(%s): %v", q.Name, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: sharded found %d matches, single-shard %d", q.Name, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].FragmentRootID != want[i].FragmentRootID {
+				t.Errorf("%s match %d: fragment %d vs %d", q.Name, i, got[i].FragmentRootID, want[i].FragmentRootID)
+			}
+			if got[i].Improvement != want[i].Improvement {
+				t.Errorf("%s match %d: improvement %v vs %v", q.Name, i, got[i].Improvement, want[i].Improvement)
+			}
+		}
+		matchedSomewhere = matchedSomewhere || len(got) > 0
+	}
+	if !matchedSomewhere {
+		t.Fatal("no query matched at all; the equivalence check is vacuous")
+	}
+	// The fan-out actually spread over shards: more than one shard probed.
+	probed := 0
+	for _, n := range shardEng.ProbesByShard() {
+		if n > 0 {
+			probed++
+		}
+	}
+	if probed < 2 {
+		t.Errorf("probes touched %d shard(s); expected fan-out over several", probed)
+	}
+}
+
+// TestShardedCacheIsolation pins the cache-key widening: repeating a plan
+// hits the routinization cache even though probes span several shards, and
+// a publication on one shard leaves entries of other shards valid.
+func TestShardedCacheIsolation(t *testing.T) {
+	db, _ := fixture(t)
+	shardEng, sharded := shardedEngine(t)
+	opt := optimizer.New(db.Catalog, optimizer.DefaultOptions())
+	plan := opt.MustOptimize(tpcds.Fig8WideQuery(db))
+
+	if _, _, err := shardEng.MatchPlanStats(plan); err != nil {
+		t.Fatal(err)
+	}
+	_, warm, err := shardEng.MatchPlanStats(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != warm.Probes {
+		t.Fatalf("warm pass: %d/%d probes cached", warm.CacheHits, warm.Probes)
+	}
+
+	// Publish on a shard the plan's probes never touched.
+	probes := shardEng.ProbesByShard()
+	target := -1
+	for i, n := range probes {
+		if n == 0 {
+			target = i
+			break
+		}
+	}
+	if target == -1 {
+		t.Skip("plan probed every shard; no untouched shard to publish on")
+	}
+	tmpl := templateRoutedTo(t, sharded, target)
+	if _, err := sharded.Add(tmpl); err != nil {
+		t.Fatal(err)
+	}
+	_, after, err := shardEng.MatchPlanStats(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.CacheHits != after.Probes {
+		t.Errorf("publication on shard %d invalidated other shards' entries: %d/%d cached",
+			target, after.CacheHits, after.Probes)
+	}
+}
+
+// templateRoutedTo synthesizes a template whose shape routes to the wanted
+// shard, by varying the synthetic problem shape until the router agrees.
+func templateRoutedTo(t *testing.T, knowledge *kb.KB, want int) *kb.Template {
+	t.Helper()
+	for joins := 1; joins < 8; joins++ {
+		for variant := 0; variant < 64; variant++ {
+			tmpl := syntheticChainTemplate(joins, variant)
+			if knowledge.ShardOf(tmpl) == want {
+				return tmpl
+			}
+		}
+	}
+	t.Fatalf("no synthetic shape routes to shard %d", want)
+	return nil
+}
+
+// syntheticChainTemplate builds a left-deep join-chain template whose shape
+// varies with (joins, variant), for routing-targeted publications in tests.
+func syntheticChainTemplate(joins, variant int) *kb.Template {
+	ops := []qgm.OpType{qgm.OpHSJOIN, qgm.OpNLJOIN, qgm.OpMSJOIN}
+	cur := &qgm.Node{Op: qgm.OpTBSCAN, Table: fmt.Sprintf("SYN%d_T0", variant), TableInstance: fmt.Sprintf("SYN%d_T0", variant), EstCardinality: 1000}
+	for j := 0; j < joins; j++ {
+		name := fmt.Sprintf("SYN%d_T%d", variant, j+1)
+		inner := &qgm.Node{Op: qgm.OpIXSCAN, Table: name, TableInstance: name, Index: "IX", EstCardinality: 100}
+		cur = &qgm.Node{Op: ops[(variant+j)%len(ops)], Outer: cur, Inner: inner, EstCardinality: 500}
+	}
+	plan := qgm.NewPlan(cur)
+	problem := plan.Root.Outer
+	bounds := map[int]kb.Range{}
+	problem.Walk(func(n *qgm.Node) { bounds[n.ID] = kb.Range{Lo: n.EstCardinality / 10, Hi: n.EstCardinality * 10} })
+	guideline := "<OPTGUIDELINES><HSJOIN>"
+	for i := 0; i <= joins; i++ {
+		guideline += fmt.Sprintf("<TBSCAN TABID='TABLE_%d'/>", i+1)
+	}
+	guideline += "</HSJOIN></OPTGUIDELINES>"
+	return &kb.Template{Problem: problem, Bounds: bounds, GuidelineXML: guideline, Improvement: 0.2, Structural: true}
+}

@@ -1,26 +1,8 @@
-// Package rdf implements the in-memory RDF triple store GALO's knowledge base
-// is built on, replacing the Apache Jena RDF API / TDB store used by the
-// paper. It supports the subset GALO needs: IRIs and literals, triple
-// insertion, wildcard matching over SPO/POS/OSP indexes, and N-Triples
-// serialization for persistence and for the Fuseki-style HTTP endpoint.
-//
-// Terms are dictionary-encoded: every distinct term is interned once as a
-// dense uint32 ID, and the three indexes are nested maps over IDs whose
-// posting lists are kept sorted at insert time. Lookups therefore hash
-// machine words instead of strings, results need no re-sorting on read, and
-// per-probe cost depends on the size of the touched posting lists rather than
-// on the total store size — the property GALO's online matching engine relies
-// on (Figures 11-12 of the paper).
-//
-// The store has epoch-snapshot semantics: every mutation batch builds a fresh
-// immutable Snapshot by copying-on-write exactly what it touches and
-// publishes it with one atomic pointer swap. Readers pin a Snapshot and see
-// one consistent epoch for as long as they hold it — a SPARQL probe never
-// observes a half-written template — while writers never block readers.
 package rdf
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -224,6 +206,29 @@ func (s *Store) FirstObject(subject, predicate Term) (Term, bool) {
 // deterministic, lexicographically sorted line order (stable across
 // serialize/parse roundtrips regardless of internal dictionary IDs).
 func (s *Store) NTriples() string { return s.Snapshot().NTriples() }
+
+// MergeNTriples renders several stores (e.g. knowledge base shards) as one
+// lexicographically sorted N-Triples document, preserving the stable-dump
+// contract of a single store: the output depends only on the union of the
+// triples, not on how they are partitioned.
+func MergeNTriples(stores []*Store) string {
+	if len(stores) == 1 {
+		return stores[0].NTriples()
+	}
+	var lines []string
+	for _, st := range stores {
+		for _, line := range strings.Split(st.NTriples(), "\n") {
+			if line != "" {
+				lines = append(lines, line)
+			}
+		}
+	}
+	if len(lines) == 0 {
+		return ""
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
 
 // --- N-Triples parsing -------------------------------------------------------
 
