@@ -7,7 +7,7 @@
 //	galo learn   -workload tpcds|client [-scale 0.2] [-queries N] [-kb kb.nt]
 //	galo reopt   -workload tpcds|client -kb kb.nt [-query "SELECT ..."] [-name TPCDS.Q09]
 //	galo kb      -kb kb.nt
-//	galo serve   -kb kb.nt [-addr :3030] [-online] [-shards N]
+//	galo serve   -kb kb.nt [-addr :3030] [-online] [-shards N] [-data-dir DIR] [-sync always|interval|never]
 //	galo explain -workload tpcds|client [-query "SELECT ..."]
 //
 // serve exposes the re-optimization HTTP API (see `galo help` for example
@@ -18,14 +18,22 @@
 // epoch-snapshot shards (probes fan out only to the shards their fragment
 // signatures route to), and -probe-budget/-max-inflight turn on admission
 // control: /reopt answers 429 when a client's probe budget is spent or the
-// matcher is saturated.
+// matcher is saturated. -data-dir makes the knowledge base durable — every
+// epoch publication is written to a per-shard write-ahead log (fsync policy
+// -sync) and compacted into snapshots, and a restart over the same directory
+// recovers the exact pre-crash epochs with zero relearning. SIGINT/SIGTERM
+// drain gracefully: in-flight requests finish, the WAL takes a final fsync.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"galo"
 )
@@ -93,7 +101,15 @@ the serve API (default address :3030):
 
   with -probe-budget / -max-inflight, /reopt sheds load with 429 when a
   client's probe budget is exhausted or the matcher is saturated; the
-  backpressure counters appear under "admission" in /stats.`)
+  backpressure counters appear under "admission" in /stats.
+
+  with -data-dir, every knowledge base epoch is written to a per-shard
+  write-ahead log and compacted into snapshots; kill the process however you
+  like and restart it over the same directory — it recovers the exact
+  pre-crash templates and epochs (no relearning) and -kb is ignored. -sync
+  picks the fsync policy (always / interval / never); durability counters
+  and recovery details appear under "durability" in /stats, and /healthz
+  reports "degraded" if a disk error drops the server to in-memory mode.`)
 }
 
 type workloadFlags struct {
@@ -260,6 +276,9 @@ func runServe(args []string) error {
 	shards := fs.Int("shards", 1, "number of knowledge base shards (templates partition by problem-signature prefix)")
 	probeBudget := fs.Int("probe-budget", 0, "per-client KB-probe budget per second on /reopt; 0 disables admission control")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrent /reopt requests before load shedding; 0 = unlimited")
+	dataDir := fs.String("data-dir", "", "directory for the knowledge base WAL + snapshots; restart recovers the pre-crash epochs (empty = in-memory only)")
+	syncMode := fs.String("sync", "interval", "WAL durability: always (fsync per publication), interval (batched fsync), never")
+	snapshotEvery := fs.Uint64("snapshot-every", 0, "compact a shard's WAL into a snapshot every N epochs (0 = default 4096)")
 	wf := addWorkloadFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -272,21 +291,67 @@ func runServe(args []string) error {
 	cfg.Shards = *shards
 	cfg.Admission.ProbeBudget = *probeBudget
 	cfg.Admission.MaxConcurrent = *maxInflight
+	cfg.DataDir = *dataDir
+	cfg.SnapshotEvery = *snapshotEvery
+	if cfg.Sync, err = galo.ParseSyncPolicy(*syncMode); err != nil {
+		return err
+	}
 	if *online {
 		cfg.Online = galo.DefaultOnlineOptions()
 	}
 	sys := galo.NewSystem(db, cfg)
 	defer sys.Close()
-	if err := sys.LoadKB(*kbPath); err != nil {
+
+	recovered, err := sys.OpenDataDir()
+	if err != nil {
 		return err
 	}
+	switch {
+	case recovered != nil && recovered.Recovered:
+		// The data directory holds the durable knowledge base — it wins over
+		// -kb, whose file would either duplicate or roll back the recovered
+		// epochs.
+		detail := "same shard layout, epoch lineage continues"
+		if recovered.Rerouted {
+			detail = "shard layout changed, templates re-routed into a fresh lineage"
+		}
+		fmt.Printf("recovered %d templates from %s (%s)\n", recovered.Templates, *dataDir, detail)
+	default:
+		if err := sys.LoadKB(*kbPath); err != nil {
+			return err
+		}
+		if recovered != nil {
+			fmt.Printf("initialized data dir %s (sync=%s)\n", *dataDir, *syncMode)
+		}
+	}
+
 	mode := "offline KB"
 	if *online {
 		mode = "online learning enabled"
 	}
 	fmt.Printf("serving re-optimization API (%d templates, %d shard(s), %s) on %s — POST {\"sql\": ...} to /reopt, SPARQL to /query, stats at /stats\n",
 		sys.KB().Size(), sys.KB().Shards(), mode, *addr)
-	return sys.Serve(*addr)
+
+	// SIGINT/SIGTERM drain gracefully: in-flight requests finish, new ones
+	// get 503 + Retry-After, the online learner flushes, and the WAL takes a
+	// final fsync before exit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- sys.Serve(*addr) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		stop()
+		fmt.Println("shutting down: draining connections and flushing the knowledge base...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := sys.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("graceful shutdown: %w", err)
+		}
+		return <-serveErr
+	}
 }
 
 func runExplain(args []string) error {

@@ -33,6 +33,7 @@ import (
 	"galo/internal/qgm"
 	"galo/internal/sqlparser"
 	"galo/internal/storage"
+	"galo/internal/wal"
 	"galo/internal/workload/client"
 	"galo/internal/workload/tpcds"
 )
@@ -73,6 +74,14 @@ type ReoptResponse = core.ReoptResponse
 // AdmissionOptions configures serving-time admission control on /reopt:
 // per-client probe budgets and load shedding when the matcher saturates.
 type AdmissionOptions = core.AdmissionOptions
+
+// SyncPolicy selects when Config.DataDir's write-ahead log fsyncs: every
+// record, on a short interval, or never (the OS decides).
+type SyncPolicy = wal.SyncPolicy
+
+// RecoveryInfo summarizes what System.OpenDataDir found in the data
+// directory on boot.
+type RecoveryInfo = core.RecoveryInfo
 
 // MatchingOptions configures the online matching engine.
 type MatchingOptions = matching.Options
@@ -118,6 +127,10 @@ func DefaultMatchingOptions() MatchingOptions { return matching.DefaultOptions()
 // DefaultOnlineOptions returns the online-learning configuration used by
 // `galo serve -online`.
 func DefaultOnlineOptions() OnlineOptions { return learning.DefaultOnlineOptions() }
+
+// ParseSyncPolicy parses "always", "interval" or "never" into the matching
+// WAL sync policy for Config.Sync.
+func ParseSyncPolicy(s string) (SyncPolicy, error) { return wal.ParseSyncPolicy(s) }
 
 // ParseSQL parses a SQL statement in the supported subset.
 func ParseSQL(sql string) (*Query, error) { return sqlparser.Parse(sql) }

@@ -18,6 +18,7 @@ import (
 	"galo/internal/rdf"
 	"galo/internal/sqlparser"
 	"galo/internal/storage"
+	"galo/internal/wal"
 )
 
 // Config configures a GALO system. Zero-valued fields are filled with the
@@ -47,6 +48,23 @@ type Config struct {
 	// (per-client probe budgets and load shedding on /reopt); the zero
 	// value disables it.
 	Admission AdmissionOptions
+	// DataDir enables the durable knowledge base: every template publication
+	// is appended to a per-shard write-ahead log under this directory before
+	// it becomes visible, and snapshots compact the log in the background.
+	// OpenDataDir recovers the previous generation on boot. Empty disables
+	// persistence (the knowledge base is in-memory only). Requires the
+	// in-process KB (incompatible with RemoteKB).
+	DataDir string
+	// Sync is the WAL fsync policy (wal.SyncInterval by default: a
+	// background fsync every wal.Options.SyncEvery).
+	Sync wal.SyncPolicy
+	// SnapshotEvery overrides how many effective triple changes a shard
+	// accumulates past its last snapshot before compaction; 0 means the
+	// wal package default.
+	SnapshotEvery uint64
+	// WALFS overrides the durability layer's filesystem — the fault
+	// injection seam for tests; nil means the real disk.
+	WALFS wal.FS
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -111,13 +129,26 @@ type System struct {
 	DB     *storage.Database
 	Config Config
 
-	// mu guards the knowledge base pointer, the matching engine and the
-	// online learner; the heavy work happens outside it.
+	// mu guards the knowledge base pointer, the matching engine, the online
+	// learner and the persistence manager; the heavy work happens outside it.
 	mu      sync.Mutex
 	kb      *kb.KB
 	matcher *matching.Engine
 	online  *learning.Online
+	persist *wal.Manager
 	closed  bool
+
+	// recovered summarizes what OpenDataDir found, for /stats.
+	recovered RecoveryInfo
+
+	// draining flips when Shutdown begins: the HTTP surface answers 503
+	// (except /healthz) while in-flight requests finish.
+	draining atomic.Bool
+
+	// srvMu guards the http.Servers Serve/ServeKB started, so Shutdown can
+	// drain them.
+	srvMu   sync.Mutex
+	servers []*http.Server
 
 	// admission holds the HTTP API's admission-control state (server.go).
 	admission admissionState
@@ -216,17 +247,24 @@ func (s *System) FlushOnlineLearning() {
 	}
 }
 
-// Close stops the system's background work (the online learner) and keeps
-// it stopped: later Executes will not restart it. It is safe to call on a
-// system that never started any, and idempotent.
+// Close stops the system's background work and keeps it stopped: later
+// Executes will not restart it. The online learner closes FIRST — its final
+// template publications still reach the write-ahead log — and the
+// persistence manager closes last, ending with the final WAL fsync. It is
+// safe to call on a system that never started any, and idempotent.
 func (s *System) Close() {
 	s.mu.Lock()
 	online := s.online
 	s.online = nil
+	persist := s.persist
+	s.persist = nil
 	s.closed = true
 	s.mu.Unlock()
 	if online != nil {
 		online.Close()
+	}
+	if persist != nil {
+		_ = persist.Close()
 	}
 }
 
@@ -411,7 +449,10 @@ func (s *System) SaveKB(path string) error {
 
 // LoadKB loads a knowledge base previously written with SaveKB, replacing the
 // current one. In-flight matchers finish against the knowledge base (and
-// epoch snapshots) they already pinned; new work sees the fresh one.
+// epoch snapshots) they already pinned; new work sees the fresh one. When
+// persistence is open, the previous generation's log is closed and the data
+// directory is rebound to the replacement stores (a fresh lineage: old shard
+// state is wiped and new initial snapshots are written).
 func (s *System) LoadKB(path string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -422,9 +463,23 @@ func (s *System) LoadKB(path string) error {
 		return err
 	}
 	s.mu.Lock()
+	defer s.mu.Unlock()
+	old := s.persist
+	s.persist = nil
+	if old != nil {
+		// Detach the old stores' commit hooks and finish their log before
+		// the swap; the replacement stores get their own manager below.
+		_ = old.Close()
+	}
 	s.kb = fresh
 	s.matcher = nil // the engine (and its cache) points at the old store
-	s.mu.Unlock()
+	if old != nil {
+		mgr, err := wal.Start(s.walOptions(), fresh.Stores(), true, nil)
+		if err != nil {
+			return fmt.Errorf("core: rebinding data dir to the loaded KB: %w", err)
+		}
+		s.persist = mgr
+	}
 	return nil
 }
 
@@ -433,9 +488,10 @@ func (s *System) LoadKB(path string) error {
 func (s *System) ImportKB(other *kb.KB) error { return s.KB().Merge(other) }
 
 // ServeKB exposes the knowledge base as a Fuseki-style SPARQL endpoint on the
-// given address; it blocks until the server stops.
+// given address; it blocks until the server stops (nil after a graceful
+// Shutdown). The server carries the same read/write timeouts as Serve.
 func (s *System) ServeKB(addr string) error {
-	return http.ListenAndServe(addr, s.KBHandler())
+	return s.serveHTTP(addr, s.drainGate(s.KBHandler()))
 }
 
 // KBHandler returns the HTTP handler serving the knowledge base, for callers

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"galo/internal/wal"
+	"galo/internal/workload/tpcds"
+)
+
+// TestHelperCrashServe is NOT a test: it is the server half of the kill -9
+// e2e, run only when TestCrashRecoveryEndToEnd re-execs the test binary with
+// GALO_CRASH_HELPER=1. It brings up a durable system over GALO_CRASH_DIR,
+// prints "ADDR host:port" on stdout, and serves until killed.
+func TestHelperCrashServe(t *testing.T) {
+	if os.Getenv("GALO_CRASH_HELPER") != "1" {
+		t.Skip("helper process for TestCrashRecoveryEndToEnd")
+	}
+	// Same database as trainedSystem, so templates learned in the parent
+	// match and re-optimize here.
+	db, err := tpcds.Generate(tpcds.GenOptions{Seed: 31, Scale: 0.08, Hazards: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.DataDir = os.Getenv("GALO_CRASH_DIR")
+	cfg.Sync = wal.SyncAlways // every publication durable before it is visible
+	sys := NewSystem(db, cfg)
+	if _, err := sys.OpenDataDir(); err != nil {
+		t.Fatalf("OpenDataDir: %v", err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("ADDR %s\n", l.Addr())
+	if err := sys.ServeListener(l); err != nil {
+		t.Fatalf("ServeListener: %v", err)
+	}
+}
+
+// crashHelper spawns the test binary as a durable server over dir and waits
+// for its listen address. The returned stop function SIGKILLs it.
+func crashHelper(t *testing.T, dir string) (base string, stop func()) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run=^TestHelperCrashServe$", "-test.v")
+	cmd.Env = append(os.Environ(), "GALO_CRASH_HELPER=1", "GALO_CRASH_DIR="+dir)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	kill := func() {
+		_ = cmd.Process.Kill() // SIGKILL: no shutdown hooks, no final flush
+		_, _ = cmd.Process.Wait()
+	}
+	t.Cleanup(kill)
+
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			if a, ok := strings.CutPrefix(sc.Text(), "ADDR "); ok {
+				addrCh <- a
+				break
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok || addr == "" {
+			t.Fatalf("helper exited before listening; stderr:\n%s", stderr.String())
+		}
+		return "http://" + addr, kill
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("helper never printed its address; stderr:\n%s", stderr.String())
+	}
+	panic("unreachable")
+}
+
+func matchedIRIs(resp *ReoptResponse) []string {
+	iris := make([]string, 0, len(resp.Matches))
+	for _, m := range resp.Matches {
+		iris = append(iris, m.TemplateIRI)
+	}
+	sort.Strings(iris)
+	return iris
+}
+
+// TestCrashRecoveryEndToEnd is the acceptance test for the durability layer:
+// publish a trained knowledge base into a serving subprocess, SIGKILL it with
+// no warning, restart it over the same data directory, and require that the
+// same query routinizes against the same templates at an epoch no older than
+// the pre-crash one — recovery, not relearning.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess e2e skipped in -short mode")
+	}
+	trained := trainedSystem(t)
+	dir := t.TempDir()
+
+	base, kill := crashHelper(t, dir)
+
+	// Publish the trained templates over POST /data (additive N-Triples
+	// load); with sync=always each publication hits the WAL before the
+	// response is written.
+	resp, err := http.Post(base+"/data", "application/n-triples",
+		strings.NewReader(trained.KB().NTriples()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /data: %s", resp.Status)
+	}
+
+	before := reoptHTTP(t, base, coreMatchedQuery.SQL(), false)
+	if !before.Matched || len(before.Matches) == 0 {
+		t.Fatalf("learned query did not match pre-crash: %+v", before)
+	}
+
+	kill() // SIGKILL mid-serving: no Shutdown, no flush, no snapshot
+
+	base2, _ := crashHelper(t, dir)
+	after := reoptHTTP(t, base2, coreMatchedQuery.SQL(), false)
+	if !after.Matched {
+		t.Fatalf("learned query did not match after crash recovery: %+v", after)
+	}
+	if got, want := matchedIRIs(after), matchedIRIs(before); !reflect.DeepEqual(got, want) {
+		t.Errorf("matched templates changed across the crash:\n  before %v\n  after  %v", want, got)
+	}
+	if after.KBEpoch < before.KBEpoch {
+		t.Errorf("KB epoch went backwards across the crash: %d -> %d", before.KBEpoch, after.KBEpoch)
+	}
+
+	// The restarted process must have RECOVERED the templates, not relearned
+	// them: /stats reports the recovery, and the template count equals the
+	// trained knowledge base exactly.
+	stats, err := http.Get(base2 + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stats.Body.Close()
+	var doc struct {
+		Durability *struct {
+			SyncPolicy string `json:"sync_policy"`
+			Recovery   struct {
+				Recovered bool     `json:"recovered"`
+				Templates int      `json:"recovered_templates"`
+				Rerouted  bool     `json:"rerouted"`
+				Epochs    []uint64 `json:"epochs"`
+			} `json:"recovery"`
+		} `json:"durability"`
+	}
+	if err := json.NewDecoder(stats.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Durability == nil {
+		t.Fatal("restarted helper serves no durability stats")
+	}
+	rec := doc.Durability.Recovery
+	if !rec.Recovered || rec.Rerouted {
+		t.Fatalf("recovery = %+v, want clean adoption of the crashed generation", rec)
+	}
+	if rec.Templates != trained.KB().Size() {
+		t.Errorf("recovered %d templates, want the trained KB's %d (zero relearning)",
+			rec.Templates, trained.KB().Size())
+	}
+	var total uint64
+	for _, e := range rec.Epochs {
+		total += e
+	}
+	if total < before.KBEpoch {
+		t.Errorf("recovered epoch vector %v sums below the pre-crash epoch %d", rec.Epochs, before.KBEpoch)
+	}
+}

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -16,6 +17,7 @@ import (
 
 	"galo/internal/qgm"
 	"galo/internal/sqlparser"
+	"galo/internal/wal"
 )
 
 // AdmissionOptions configures serving-time admission control on the /reopt
@@ -187,8 +189,10 @@ type ReoptResponse struct {
 //	GET  /stats   — serving counters: KB epoch and size, per-shard epochs
 //	                and probe fan-out, cached and deduplicated probes,
 //	                admission-control backpressure, online-learning
-//	                progress.
-//	GET  /healthz — liveness.
+//	                progress, and (with a data dir) durability counters.
+//	GET  /healthz — serve lifecycle: {"status","persistence","draining"},
+//	                200 while serving (even persistence-degraded), 503 once
+//	                draining.
 //
 // POST /reopt is subject to admission control (Config.Admission): requests
 // beyond the concurrency cap, or from clients whose probe budget is spent,
@@ -206,16 +210,126 @@ func (s *System) APIHandler() http.Handler {
 	mux.Handle("/ping", kbh)
 	mux.HandleFunc("/reopt", s.handleReopt)
 	mux.HandleFunc("/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		fmt.Fprintln(w, "ok")
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return s.drainGate(mux)
+}
+
+// drainGate rejects new work with 503 + Retry-After once Shutdown has begun,
+// while requests already past the gate finish normally. /healthz stays open
+// so orchestrators can watch the drain.
+func (s *System) drainGate(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() && r.URL.Path != "/healthz" {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server draining", http.StatusServiceUnavailable)
+			return
+		}
+		next.ServeHTTP(w, r)
 	})
-	return mux
+}
+
+// handleHealthz answers GET /healthz with the serve lifecycle state:
+//
+//	{"status":"ok|degraded","persistence":"disabled|ok|degraded","draining":false}
+//
+// 200 while the system serves (including persistence-degraded in-memory
+// mode — status says "degraded" but traffic is still welcome); 503 once
+// draining, so load balancers stop routing here during shutdown.
+func (s *System) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	resp := struct {
+		Status      string `json:"status"`
+		Persistence string `json:"persistence"`
+		Draining    bool   `json:"draining"`
+	}{Status: "ok", Persistence: "disabled"}
+	if st := s.PersistStats(); st != nil {
+		if st.Degraded {
+			resp.Status = "degraded"
+			resp.Persistence = "degraded"
+		} else {
+			resp.Persistence = "ok"
+		}
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		resp.Draining = true
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// newServer builds the http.Server Serve/ServeKB run: explicit header, read,
+// write and idle timeouts, so a stalled client cannot hold a connection (and
+// a graceful drain) open forever.
+func (s *System) newServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      5 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// serveHTTP listens on addr and serves h until the server stops; a graceful
+// Shutdown returns nil.
+func (s *System) serveHTTP(addr string, h http.Handler) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.serveOn(l, h)
+}
+
+func (s *System) serveOn(l net.Listener, h http.Handler) error {
+	srv := s.newServer(h)
+	s.srvMu.Lock()
+	s.servers = append(s.servers, srv)
+	s.srvMu.Unlock()
+	err := srv.Serve(l)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
 }
 
 // Serve exposes the re-optimization API (and the knowledge base endpoint) on
-// the given address; it blocks until the server stops.
+// the given address; it blocks until the server stops (nil after a graceful
+// Shutdown).
 func (s *System) Serve(addr string) error {
-	return http.ListenAndServe(addr, s.APIHandler())
+	return s.serveHTTP(addr, s.APIHandler())
+}
+
+// ServeListener is Serve over an already-bound listener — callers that bind
+// ":0" learn the real address before serving starts. It blocks; a graceful
+// Shutdown returns nil.
+func (s *System) ServeListener(l net.Listener) error {
+	return s.serveOn(l, s.APIHandler())
+}
+
+// Shutdown drains the system gracefully: new requests get 503 (the drain
+// gate), in-flight requests finish within ctx's deadline, the online
+// learner's backlog is flushed and published, and the write-ahead log gets
+// its final fsync. Serve/ServeKB return nil once their server is drained.
+func (s *System) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.srvMu.Lock()
+	servers := s.servers
+	s.servers = nil
+	s.srvMu.Unlock()
+	var err error
+	for _, srv := range servers {
+		if e := srv.Shutdown(ctx); e != nil && err == nil {
+			err = e
+		}
+	}
+	// Backlogged observations become templates (and WAL records) now rather
+	// than dying with the process; Close then detaches the hooks and ends
+	// with the final fsync.
+	s.FlushOnlineLearning()
+	s.Close()
+	return err
 }
 
 func (s *System) handleReopt(w http.ResponseWriter, r *http.Request) {
@@ -374,6 +488,18 @@ type statsResponse struct {
 		Analyzed          int64 `json:"analyzed"`
 		TemplatesPromoted int64 `json:"templates_promoted"`
 	} `json:"online"`
+	// Durability reports the write-ahead log's counters (wal appends and
+	// bytes, fsyncs, snapshots, disk errors, degraded flag, boot-time replay
+	// stats); omitted when no data directory is open. Recovery summarizes
+	// what OpenDataDir found at boot.
+	Durability *durabilityStats `json:"durability,omitempty"`
+}
+
+// durabilityStats is the /stats durability section: the wal layer's live
+// counters plus the boot-time recovery summary.
+type durabilityStats struct {
+	wal.Stats
+	Recovery RecoveryInfo `json:"recovery"`
 }
 
 func (s *System) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -409,6 +535,12 @@ func (s *System) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp.Online.Dropped = st.Dropped
 	resp.Online.Analyzed = st.Analyzed
 	resp.Online.TemplatesPromoted = st.TemplatesPromoted
+	if ps := s.PersistStats(); ps != nil {
+		s.mu.Lock()
+		recovery := s.recovered
+		s.mu.Unlock()
+		resp.Durability = &durabilityStats{Stats: *ps, Recovery: recovery}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
 }

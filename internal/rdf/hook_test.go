@@ -1,0 +1,122 @@
+package rdf
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCommitHookObservesEffectiveChanges pins the write-ahead seam contract:
+// the hook sees exactly the triples a batch actually removed and actually
+// inserted (duplicates and absent removals filtered), with the version of
+// the epoch about to be published, and a no-op batch never fires it.
+func TestCommitHookObservesEffectiveChanges(t *testing.T) {
+	s := NewStore()
+	type commit struct {
+		removed, added []Triple
+		version        uint64
+	}
+	var commits []commit
+	s.SetCommitHook(func(removed, added []Triple, version uint64) {
+		commits = append(commits, commit{
+			removed: append([]Triple(nil), removed...),
+			added:   append([]Triple(nil), added...),
+			version: version,
+		})
+	})
+
+	a := Triple{popIRI("a"), propIRI("p"), NewLiteral("1")}
+	b := Triple{popIRI("b"), propIRI("p"), NewLiteral("2")}
+	s.AddAll([]Triple{a, b, a}) // duplicate a in one batch: one effective add
+	if len(commits) != 1 {
+		t.Fatalf("commits = %d, want 1", len(commits))
+	}
+	if got := commits[0]; len(got.removed) != 0 || !reflect.DeepEqual(got.added, []Triple{a, b}) {
+		t.Errorf("first commit = %+v, want adds [a b]", got)
+	}
+	if commits[0].version != s.Version() {
+		t.Errorf("hook version %d != published version %d", commits[0].version, s.Version())
+	}
+
+	// Re-adding an existing triple changes nothing: no publication, no hook.
+	s.Add(a)
+	if len(commits) != 1 {
+		t.Fatalf("no-op batch fired the hook: %d commits", len(commits))
+	}
+
+	// A rewrite batch (remove + re-add) reports both sides; the absent
+	// removal pattern contributes nothing.
+	missing := popIRI("missing")
+	n := s.Apply([]Pattern{{S: &a.S}, {S: &missing}}, []Triple{a})
+	if n != 1 {
+		t.Fatalf("Apply removed %d, want 1", n)
+	}
+	last := commits[len(commits)-1]
+	if !reflect.DeepEqual(last.removed, []Triple{a}) || !reflect.DeepEqual(last.added, []Triple{a}) {
+		t.Errorf("rewrite commit = %+v, want removed [a] added [a]", last)
+	}
+	if last.version != s.Version() {
+		t.Errorf("hook version %d != store version %d", last.version, s.Version())
+	}
+
+	// The hook leads the publication: replaying the commit log against a
+	// fresh store reproduces the exact content and version.
+	replay := NewStore()
+	for _, c := range commits {
+		patterns := make([]Pattern, len(c.removed))
+		for i := range c.removed {
+			patterns[i] = Pattern{S: &c.removed[i].S, P: &c.removed[i].P, O: &c.removed[i].O}
+		}
+		replay.Apply(patterns, c.added)
+		if replay.Version() != c.version {
+			t.Fatalf("replay version %d, want %d", replay.Version(), c.version)
+		}
+	}
+	if replay.NTriples() != s.NTriples() {
+		t.Errorf("replaying the commit log diverged:\n%s\nvs\n%s", replay.NTriples(), s.NTriples())
+	}
+
+	// SetCommitHook(nil) detaches.
+	s.SetCommitHook(nil)
+	s.Add(Triple{popIRI("c"), propIRI("p"), NewLiteral("3")})
+	if len(commits) != 2 {
+		t.Errorf("detached hook still fired (%d commits)", len(commits))
+	}
+}
+
+// TestRestoreStore pins the boot-time inverse of snapshot serialization: the
+// restored store holds exactly the triples at exactly the given version, and
+// later mutations continue the version lineage.
+func TestRestoreStore(t *testing.T) {
+	orig := NewStore()
+	orig.AddAll([]Triple{
+		{popIRI("a"), propIRI("p"), NewLiteral("1")},
+		{popIRI("b"), propIRI("q"), NewNumericLiteral(7)},
+	})
+	orig.Remove(&[]Term{popIRI("b")}[0], nil, nil)
+	version := orig.Version()
+
+	ts, err := ParseNTriples(orig.NTriples())
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := RestoreStore(ts, version)
+	if restored.Version() != version {
+		t.Fatalf("restored version %d, want %d", restored.Version(), version)
+	}
+	if restored.NTriples() != orig.NTriples() {
+		t.Errorf("restored content diverged:\n%q\nvs\n%q", restored.NTriples(), orig.NTriples())
+	}
+	// The lineage continues: one more add bumps the version by its change
+	// count, exactly as it would have on the original store.
+	restored.Add(Triple{popIRI("c"), propIRI("p"), NewLiteral("2")})
+	if restored.Version() != version+1 {
+		t.Errorf("post-restore version %d, want %d", restored.Version(), version+1)
+	}
+
+	// Restoring zero triples at a non-zero version works (a shard that only
+	// ever saw removals can legitimately be empty at a high epoch).
+	empty := RestoreStore(nil, 42)
+	if empty.Len() != 0 || empty.Version() != 42 {
+		t.Errorf("empty restore: len %d version %d, want 0/42", empty.Len(), empty.Version())
+	}
+}

@@ -96,13 +96,14 @@ func (m *mutation) intern(t Term) uint32 {
 	return m.dict.intern(t)
 }
 
-// add inserts a triple; duplicates are ignored.
-func (m *mutation) add(t Triple) {
+// add inserts a triple; it reports false when the triple was already present
+// (duplicates are ignored).
+func (m *mutation) add(t Triple) bool {
 	sid := m.intern(t.S)
 	pid := m.intern(t.P)
 	oid := m.intern(t.O)
 	if !m.insert(0, m.spo, sid, pid, oid) {
-		return
+		return false
 	}
 	m.insert(1, m.pos, pid, oid, sid)
 	m.insert(2, m.osp, oid, sid, pid)
@@ -113,6 +114,7 @@ func (m *mutation) add(t Triple) {
 	m.objN[oid]++
 	m.n++
 	m.changes++
+	return true
 }
 
 // remove deletes one triple; it reports false when the triple is absent.

@@ -83,6 +83,28 @@ type Pattern struct {
 type Store struct {
 	mu   sync.Mutex // serializes writers; readers never take it
 	snap atomic.Pointer[Snapshot]
+	hook CommitHook
+}
+
+// CommitHook observes every publishable mutation batch. It is invoked with
+// the batch's effective changes — the triples actually removed and actually
+// inserted, duplicates and absent removals already filtered out — and the
+// version the new epoch will carry. The hook runs under the writer mutex
+// BEFORE the snapshot pointer swap, which makes it a write-ahead seam: a
+// hook that persists the batch has always logged a publication before any
+// reader can observe it. Hooks must not call back into the store's mutation
+// methods (the writer mutex is held) and must not block indefinitely; they
+// cannot veto the publication — durability failures are the hook's own to
+// absorb (see internal/wal's degraded mode).
+type CommitHook func(removed, added []Triple, version uint64)
+
+// SetCommitHook installs (or, with nil, removes) the store's commit hook.
+// The swap synchronizes with writers: once SetCommitHook(nil) returns, no
+// further invocations of the previous hook are in flight.
+func (s *Store) SetCommitHook(h CommitHook) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hook = h
 }
 
 // NewStore returns an empty store.
@@ -120,21 +142,48 @@ func (s *Store) Apply(removals []Pattern, additions []Triple) int {
 	defer s.mu.Unlock()
 	base := s.snap.Load()
 	m := newMutation(base)
-	removed := 0
+	var removed []Triple
 	for _, p := range removals {
 		for _, victim := range base.Match(p.S, p.P, p.O) {
 			if m.remove(victim) {
-				removed++
+				removed = append(removed, victim)
 			}
 		}
 	}
+	var added []Triple
 	for _, t := range additions {
-		m.add(t)
+		if m.add(t) {
+			added = append(added, t)
+		}
 	}
 	if next := m.publishable(base); next != nil {
+		if s.hook != nil {
+			s.hook(removed, added, next.version)
+		}
 		s.snap.Store(next)
 	}
-	return removed
+	return len(removed)
+}
+
+// RestoreStore builds a store whose initial snapshot holds exactly ts at the
+// given version — the boot-time inverse of serializing a pinned snapshot
+// together with its epoch. Restored stores continue the original version
+// lineage, so version-keyed caches built before a restart stay honest after
+// it (an epoch number never refers to two different triple sets).
+func RestoreStore(ts []Triple, version uint64) *Store {
+	s := NewStore()
+	base := s.snap.Load()
+	m := newMutation(base)
+	for _, t := range ts {
+		m.add(t)
+	}
+	next := m.publishable(base)
+	if next == nil {
+		next = emptySnapshot()
+	}
+	next.version = version
+	s.snap.Store(next)
+	return s
 }
 
 // --- Store read methods (delegate to the current snapshot) -------------------

@@ -1,0 +1,242 @@
+package wal
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"galo/internal/rdf"
+)
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+)
+
+// segName names a segment after the lowest version a record inside it can
+// carry. Fixed-width hex keeps lexicographic order equal to numeric order,
+// so a plain string sort of the directory listing is replay order.
+func segName(epoch uint64) string { return fmt.Sprintf("%s%016x%s", segPrefix, epoch, segSuffix) }
+
+// parseSegName extracts the starting epoch from a segment file name.
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(name[len(segPrefix):len(name)-len(segSuffix)], 16, 64)
+	return v, err == nil
+}
+
+// segLog is one shard's append-only segmented record log. Appends serialize on
+// an internal mutex (the caller already serializes per shard — the commit
+// hook runs under the store's writer lock — but compaction trims segments
+// concurrently).
+type segLog struct {
+	fs           FS
+	dir          string
+	policy       SyncPolicy
+	segmentBytes int64
+
+	mu     sync.Mutex
+	f      File
+	name   string // active segment's base name
+	size   int64
+	dirty  bool
+	broken bool // a failed write poisons the active segment
+}
+
+// openLog creates a fresh active segment for appends starting at nextEpoch.
+// Recovered segments are never appended to: a truncated tail would otherwise
+// put new records behind unreadable bytes.
+func openLog(fsys FS, dir string, nextEpoch uint64, policy SyncPolicy, segmentBytes int64) (*segLog, error) {
+	l := &segLog{fs: fsys, dir: dir, policy: policy, segmentBytes: segmentBytes}
+	if err := l.openSegment(nextEpoch); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// openSegment opens (creating) the segment named after epoch as the active
+// file. Callers hold l.mu or have exclusive access.
+func (l *segLog) openSegment(epoch uint64) error {
+	name := segName(epoch)
+	f, err := l.fs.OpenAppend(join(l.dir, name))
+	if err != nil {
+		return err
+	}
+	l.f, l.name, l.size, l.dirty, l.broken = f, name, 0, false, false
+	return nil
+}
+
+// append writes one framed record, rotating to a new segment (named after
+// the record's version) when the active one is full. It reports whether the
+// write was fsynced (policy always) and the frame size.
+func (l *segLog) append(rec Record) (n int, synced bool, err error) {
+	frame := rec.Encode()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken {
+		return 0, false, fmt.Errorf("wal: log poisoned by earlier write error")
+	}
+	if l.size > 0 && l.size+int64(len(frame)) > l.segmentBytes {
+		if err := l.syncLocked(); err != nil {
+			l.broken = true
+			return 0, false, err
+		}
+		_ = l.f.Close()
+		if err := l.openSegment(rec.Version); err != nil {
+			l.broken = true
+			return 0, false, err
+		}
+	}
+	wrote, err := l.f.Write(frame)
+	l.size += int64(wrote)
+	if err != nil || wrote != len(frame) {
+		l.broken = true
+		if err == nil {
+			err = fmt.Errorf("wal: short write (%d of %d bytes)", wrote, len(frame))
+		}
+		return wrote, false, err
+	}
+	l.dirty = true
+	if l.policy == SyncAlways {
+		if err := l.syncLocked(); err != nil {
+			l.broken = true
+			return len(frame), false, err
+		}
+		synced = true
+	}
+	return len(frame), synced, nil
+}
+
+func (l *segLog) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	return nil
+}
+
+// flush fsyncs buffered appends; it reports whether a sync actually ran.
+func (l *segLog) flush() (bool, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.broken || !l.dirty {
+		return false, nil
+	}
+	if err := l.f.Sync(); err != nil {
+		l.broken = true
+		return false, err
+	}
+	l.dirty = false
+	return true, nil
+}
+
+// trimTo removes every non-active segment whose records all carry versions
+// <= epoch (covered by a snapshot at that epoch). Segment i's records are
+// all below segment i+1's starting epoch, so i is removable when
+// start(i+1) <= epoch+1.
+func (l *segLog) trimTo(epoch uint64) error {
+	l.mu.Lock()
+	active := l.name
+	l.mu.Unlock()
+	names, err := l.fs.List(l.dir)
+	if err != nil {
+		return err
+	}
+	var segs []string
+	for _, name := range names {
+		if _, ok := parseSegName(name); ok {
+			segs = append(segs, name)
+		}
+	}
+	for i := 0; i+1 < len(segs); i++ {
+		next, _ := parseSegName(segs[i+1])
+		if segs[i] == active || next > epoch+1 {
+			continue
+		}
+		if err := l.fs.Remove(join(l.dir, segs[i])); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// close fsyncs and closes the active segment (the final WAL fsync of a
+// graceful shutdown).
+func (l *segLog) close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	var err error
+	if !l.broken {
+		err = l.syncLocked()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}
+
+// replaySegments re-applies the shard's logged records with versions above
+// fromEpoch to the store, in segment order. It stops — keeping the longest
+// valid prefix — at the first torn or corrupt record, at a version
+// discontinuity, or at a record whose replay does not reproduce its logged
+// version; the tail past that point is unrecoverable by construction and is
+// reported in stats rather than failing the boot.
+func replaySegments(fsys FS, dir string, fromEpoch uint64, store *rdf.Store, stats *RecoveryStats, warnf func(string, ...any)) {
+	names, err := fsys.List(dir)
+	if err != nil {
+		stats.Truncated = true
+		warnf("wal: %s: listing segments: %v", dir, err)
+		return
+	}
+	for _, name := range names {
+		if _, ok := parseSegName(name); !ok {
+			continue
+		}
+		data, err := fsys.ReadFile(join(dir, name))
+		if err != nil {
+			stats.Truncated = true
+			warnf("wal: %s: reading segment: %v", name, err)
+			return
+		}
+		for off := 0; off < len(data); {
+			rec, n, err := decodeRecord(data[off:])
+			if err != nil {
+				stats.Truncated = true
+				warnf("wal: %s: offset %d: %v — replay stops here, keeping the valid prefix", name, off, err)
+				return
+			}
+			off += n
+			if rec.Version <= fromEpoch {
+				continue // already covered by the snapshot
+			}
+			want := store.Version() + uint64(len(rec.Removed)+len(rec.Added))
+			if want != rec.Version {
+				stats.Truncated = true
+				warnf("wal: %s: record version %d does not continue epoch %d — replay stops here", name, rec.Version, store.Version())
+				return
+			}
+			patterns := make([]rdf.Pattern, len(rec.Removed))
+			for i := range rec.Removed {
+				patterns[i] = rdf.Pattern{S: &rec.Removed[i].S, P: &rec.Removed[i].P, O: &rec.Removed[i].O}
+			}
+			store.Apply(patterns, rec.Added)
+			if store.Version() != rec.Version {
+				stats.Truncated = true
+				warnf("wal: %s: replaying record for epoch %d produced epoch %d — replay stops here", name, rec.Version, store.Version())
+				return
+			}
+			stats.RecordsReplayed++
+			stats.BytesReplayed += int64(n)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"strconv"
+	"strings"
+
+	"galo/internal/rdf"
+)
+
+const (
+	snapPrefix = "snap-"
+	snapSuffix = ".nt"
+	// snapMagic versions the snapshot file format; bump it if the header or
+	// payload encoding ever changes.
+	snapMagic = "GALOSNAP1"
+	// snapshotsKept is how many snapshot generations retention preserves: the
+	// newest plus one fallback. The WAL is only trimmed below the OLDER
+	// retained snapshot, so if the newest snapshot fails its checksum at boot
+	// the fallback can still replay the gap from the log.
+	snapshotsKept = 2
+)
+
+// snapName names a snapshot file after the epoch it captures; fixed-width hex
+// keeps lexicographic order equal to numeric order.
+func snapName(epoch uint64) string { return fmt.Sprintf("%s%016x%s", snapPrefix, epoch, snapSuffix) }
+
+// parseSnapName extracts the epoch from a snapshot file name.
+func parseSnapName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(name[len(snapPrefix):len(name)-len(snapSuffix)], 16, 64)
+	return v, err == nil
+}
+
+// writeSnapshot durably writes one shard's full content at the given epoch:
+// a checksummed header line plus the N-Triples payload, written to a temp
+// file, fsynced, and renamed into place so a crash mid-write never leaves a
+// half-visible snapshot.
+func writeSnapshot(fsys FS, dir string, epoch uint64, ntriples string) error {
+	payload := []byte(ntriples)
+	header := fmt.Sprintf("%s %d %08x %d\n", snapMagic, epoch, crc32.Checksum(payload, castagnoli), len(payload))
+	final := join(dir, snapName(epoch))
+	tmp := final + ".tmp"
+	f, err := fsys.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append([]byte(header), payload...)); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.Rename(tmp, final)
+}
+
+// parseSnapshot validates a snapshot file and returns its epoch and triples.
+// Any defect — bad magic, malformed header, length or checksum mismatch,
+// unparseable payload — is an error; the caller falls back to an older file.
+func parseSnapshot(data []byte) (uint64, []rdf.Triple, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return 0, nil, fmt.Errorf("wal: snapshot missing header line")
+	}
+	fields := strings.Fields(string(data[:nl]))
+	if len(fields) != 4 || fields[0] != snapMagic {
+		return 0, nil, fmt.Errorf("wal: bad snapshot header %q", string(data[:nl]))
+	}
+	epoch, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: bad snapshot epoch: %v", err)
+	}
+	sum, err := strconv.ParseUint(fields[2], 16, 32)
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: bad snapshot checksum: %v", err)
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil || n < 0 {
+		return 0, nil, fmt.Errorf("wal: bad snapshot length %q", fields[3])
+	}
+	payload := data[nl+1:]
+	if len(payload) != n {
+		return 0, nil, fmt.Errorf("wal: snapshot payload is %d bytes, header says %d", len(payload), n)
+	}
+	if crc32.Checksum(payload, castagnoli) != uint32(sum) {
+		return 0, nil, fmt.Errorf("wal: snapshot checksum mismatch")
+	}
+	ts, err := rdf.ParseNTriples(string(payload))
+	if err != nil {
+		return 0, nil, fmt.Errorf("wal: snapshot payload: %v", err)
+	}
+	return epoch, ts, nil
+}
+
+// listSnapshots returns the shard directory's snapshot file names in epoch
+// order (oldest first).
+func listSnapshots(fsys FS, dir string) ([]string, error) {
+	names, err := fsys.List(dir)
+	if err != nil {
+		return nil, err
+	}
+	var snaps []string
+	for _, name := range names {
+		if _, ok := parseSnapName(name); ok {
+			snaps = append(snaps, name)
+		}
+	}
+	return snaps, nil
+}
+
+// loadNewestSnapshot reads the newest snapshot that passes validation,
+// falling back to older generations on any defect. It returns epoch 0 and no
+// triples when no valid snapshot exists (the shard then rebuilds purely from
+// the log, or starts empty).
+func loadNewestSnapshot(fsys FS, dir string, stats *RecoveryStats, warnf func(string, ...any)) (uint64, []rdf.Triple) {
+	snaps, err := listSnapshots(fsys, dir)
+	if err != nil {
+		warnf("wal: %s: listing snapshots: %v", dir, err)
+		return 0, nil
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		name := snaps[i]
+		data, err := fsys.ReadFile(join(dir, name))
+		var epoch uint64
+		var ts []rdf.Triple
+		if err == nil {
+			epoch, ts, err = parseSnapshot(data)
+		}
+		if err == nil {
+			if want, _ := parseSnapName(name); want != epoch {
+				err = fmt.Errorf("wal: snapshot %s claims epoch %d", name, epoch)
+			}
+		}
+		if err != nil {
+			stats.SnapshotFallbacks++
+			warnf("wal: %s: %v — falling back to an older snapshot", name, err)
+			continue
+		}
+		stats.SnapshotsLoaded++
+		return epoch, ts
+	}
+	return 0, nil
+}
+
+// trimSnapshots deletes all but the newest keep snapshot files and returns
+// the epoch of the oldest file retained (0 when none exist). That epoch is
+// the safe WAL trim bound: records at or below it are covered by every
+// snapshot a future boot could fall back to.
+func trimSnapshots(fsys FS, dir string, keep int) (uint64, error) {
+	snaps, err := listSnapshots(fsys, dir)
+	if err != nil {
+		return 0, err
+	}
+	for len(snaps) > keep {
+		if err := fsys.Remove(join(dir, snaps[0])); err != nil {
+			return 0, err
+		}
+		snaps = snaps[1:]
+	}
+	if len(snaps) == 0 {
+		return 0, nil
+	}
+	oldest, _ := parseSnapName(snaps[0])
+	return oldest, nil
+}
