@@ -1,0 +1,156 @@
+// Memory and wall-time profile of the streaming executor versus the
+// materializing Volcano baseline it replaced: TestEmitBenchExecutorJSON runs
+// deep pipelines (multi-join plus sort / group-by) both ways and records
+// wall time and peak-resident intermediate rows in BENCH_executor.json, so
+// future PRs can track the executor's memory behavior. The emit FAILS if the
+// streaming path's peak residency regresses past half the materializing
+// baseline — that 2x bound is the refactor's reason to exist.
+package galo_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"galo/internal/executor"
+	"galo/internal/optimizer"
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+	"galo/internal/workload/tpcds"
+)
+
+// benchPipeline is one deep-pipeline measurement: the same plan executed on
+// the streaming and on the materializing path.
+type benchPipeline struct {
+	name string
+	sql  string
+	spec *optimizer.Spec
+}
+
+// execModeRow measures one executor mode over a pipeline: best wall time of
+// several runs plus the (deterministic) simulated cost and peak residency.
+type execModeRow struct {
+	WallMS    float64 `json:"wall_ms"`
+	SimMillis float64 `json:"sim_millis"`
+	PeakRows  int64   `json:"peak_rows"`
+	PeakBytes int64   `json:"peak_bytes"`
+	Rows      int     `json:"rows"`
+}
+
+func runExecMode(t *testing.T, ex *executor.Executor, plan *qgm.Plan, q *sqlparser.Query) execModeRow {
+	t.Helper()
+	var row execModeRow
+	const runs = 5
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		res, err := ex.Execute(plan, q)
+		wall := float64(time.Since(start).Microseconds()) / 1000
+		if err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+		if i == 0 || wall < row.WallMS {
+			row.WallMS = wall
+		}
+		row.SimMillis = res.Stats.ElapsedMillis
+		row.PeakRows = res.Stats.PeakIntermediateRows
+		row.PeakBytes = res.Stats.PeakIntermediateBytes
+		row.Rows = res.Stats.Rows
+	}
+	row.WallMS = round3(row.WallMS)
+	row.SimMillis = round3(row.SimMillis)
+	return row
+}
+
+// TestEmitBenchExecutorJSON writes BENCH_executor.json. Only runs when
+// GALO_BENCH_JSON=1 (CI's bench-emit step sets it).
+func TestEmitBenchExecutorJSON(t *testing.T) {
+	if os.Getenv("GALO_BENCH_JSON") == "" {
+		t.Skip("set GALO_BENCH_JSON=1 to (re)write BENCH_executor.json")
+	}
+	// Full laptop scale — the data volume the streaming refactor unlocked.
+	db, err := tpcds.Generate(tpcds.GenOptions{Seed: 20190122, Scale: 1.0, Hazards: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := optimizer.New(db.Catalog, optimizer.DefaultOptions())
+
+	pipelines := []benchPipeline{
+		{
+			name: "three_way_join_sort",
+			sql: `SELECT i_item_desc, ws_quantity FROM web_sales, item, date_dim
+				WHERE ws_item_sk = i_item_sk AND ws_sold_date_sk = d_date_sk AND ws_quantity > 10
+				ORDER BY i_item_desc`,
+			spec: optimizer.Join(qgm.OpHSJOIN,
+				optimizer.Join(qgm.OpHSJOIN,
+					optimizer.Leaf("WEB_SALES"), optimizer.Leaf("DATE_DIM")),
+				optimizer.Leaf("ITEM")),
+		},
+		{
+			name: "three_way_join_groupby",
+			sql: `SELECT i_category FROM store_sales, item, date_dim
+				WHERE ss_item_sk = i_item_sk AND ss_sold_date_sk = d_date_sk AND ss_quantity > 10
+				GROUP BY i_category`,
+			spec: optimizer.Join(qgm.OpHSJOIN,
+				optimizer.Join(qgm.OpHSJOIN,
+					optimizer.Leaf("STORE_SALES"), optimizer.Leaf("DATE_DIM")),
+				optimizer.Leaf("ITEM")),
+		},
+	}
+
+	results := map[string]any{}
+	for _, p := range pipelines {
+		q := sqlparser.MustParse(p.sql)
+		buildPlan := func() *qgm.Plan {
+			plan, err := opt.BuildPlan(q, p.spec)
+			if err != nil {
+				t.Fatalf("BuildPlan %s: %v", p.name, err)
+			}
+			return plan
+		}
+		stream := runExecMode(t, executor.New(db), buildPlan(), q)
+		matEx := executor.New(db)
+		matEx.Materialize = true
+		mat := runExecMode(t, matEx, buildPlan(), q)
+
+		if stream.Rows == 0 {
+			t.Fatalf("%s: pipeline produced no rows — not a meaningful benchmark", p.name)
+		}
+		if stream.Rows != mat.Rows {
+			t.Fatalf("%s: row counts diverge: streaming=%d materializing=%d", p.name, stream.Rows, mat.Rows)
+		}
+		if stream.SimMillis <= 0 || mat.SimMillis <= 0 {
+			t.Fatalf("%s: simulated cost missing", p.name)
+		}
+		// The refactor's gate: streaming peak residency must stay at or below
+		// half the materializing baseline, or the emit fails the build.
+		if stream.PeakRows*2 > mat.PeakRows {
+			t.Errorf("%s: streaming peak %d rows exceeds 50%% of materializing peak %d rows",
+				p.name, stream.PeakRows, mat.PeakRows)
+		}
+		reduction := 0.0
+		if stream.PeakRows > 0 {
+			reduction = float64(mat.PeakRows) / float64(stream.PeakRows)
+		}
+		results[p.name] = map[string]any{
+			"streaming":          stream,
+			"materializing":      mat,
+			"peak_row_reduction": fmt.Sprintf("%.1fx", reduction),
+		}
+	}
+
+	doc := map[string]any{
+		"benchmark": "streaming executor vs materializing Volcano baseline on deep pipelines (3-way join + sort / group-by), TPC-DS-like data at scale 1.0 with hazards",
+		"note":      "wall_ms is the best of 5 runs; sim_millis is the deterministic simulated cost (identical across modes by the cost-parity invariant); peak_rows/peak_bytes is the high-water mark of rows resident in operator state (sort buffers, hash build sides, group sets — plus every intermediate rowset on the materializing path). The emit test fails if streaming peak_rows exceeds 50% of the materializing baseline.",
+		"pipelines": results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_executor.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_executor.json:\n%s", data)
+}

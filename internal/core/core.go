@@ -152,6 +152,14 @@ type System struct {
 
 	// admission holds the HTTP API's admission-control state (server.go).
 	admission admissionState
+
+	// peakIntermediateRows / peakIntermediateBytes are the worst
+	// intermediate-row residency any single execution on this system has
+	// reported (executor.RunStats.PeakIntermediateRows) — the number /stats
+	// exposes so operators can see the memory headroom concurrent plan
+	// execution needs under the streaming executor.
+	peakIntermediateRows  atomic.Int64
+	peakIntermediateBytes atomic.Int64
 }
 
 // NewSystem creates a GALO system over the database with an empty knowledge
@@ -295,11 +303,29 @@ func (s *System) Reoptimize(q *sqlparser.Query) (*matching.Result, error) {
 func (s *System) Execute(plan *qgm.Plan, q *sqlparser.Query) (*executor.Result, error) {
 	res, err := executor.New(s.DB).Execute(plan, q)
 	if err == nil {
+		raiseMax(&s.peakIntermediateRows, res.Stats.PeakIntermediateRows)
+		raiseMax(&s.peakIntermediateBytes, res.Stats.PeakIntermediateBytes)
 		if online := s.onlineLearner(); online != nil {
 			online.Observe(q, plan)
 		}
 	}
 	return res, err
+}
+
+// raiseMax lifts an atomic high-water mark to at least v.
+func raiseMax(m *atomic.Int64, v int64) {
+	for {
+		cur := m.Load()
+		if v <= cur || m.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// PeakIntermediate returns the worst single-execution intermediate-row
+// residency observed so far (rows, approximate bytes).
+func (s *System) PeakIntermediate() (rows, bytes int64) {
+	return s.peakIntermediateRows.Load(), s.peakIntermediateBytes.Load()
 }
 
 // QueryOutcome is the before/after record of one workload query, the unit of

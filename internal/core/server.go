@@ -171,11 +171,17 @@ type ReoptResponse struct {
 	ProbeMillis float64 `json:"probe_millis"`
 	Probes      int     `json:"probes"`
 	CacheHits   int     `json:"cache_hits"`
-	// Execution results (only when the request asked to execute).
-	Executed       bool    `json:"executed,omitempty"`
-	Applied        bool    `json:"applied,omitempty"`
-	OriginalMillis float64 `json:"original_millis,omitempty"`
-	GaloMillis     float64 `json:"galo_millis,omitempty"`
+	// Execution results (only when the request asked to execute). The peak
+	// fields report each validated run's high-water intermediate-row residency
+	// (executor.RunStats.PeakIntermediateRows / Bytes).
+	Executed          bool    `json:"executed,omitempty"`
+	Applied           bool    `json:"applied,omitempty"`
+	OriginalMillis    float64 `json:"original_millis,omitempty"`
+	GaloMillis        float64 `json:"galo_millis,omitempty"`
+	OriginalPeakRows  int64   `json:"original_peak_rows,omitempty"`
+	OriginalPeakBytes int64   `json:"original_peak_bytes,omitempty"`
+	GaloPeakRows      int64   `json:"galo_peak_rows,omitempty"`
+	GaloPeakBytes     int64   `json:"galo_peak_bytes,omitempty"`
 }
 
 // APIHandler returns the system's full HTTP surface:
@@ -430,6 +436,10 @@ func (s *System) reoptResponse(q *sqlparser.Query, execute bool) (*ReoptResponse
 	resp.Executed = true
 	resp.OriginalMillis = origRun.Stats.ElapsedMillis
 	resp.GaloMillis = origRun.Stats.ElapsedMillis
+	resp.OriginalPeakRows = origRun.Stats.PeakIntermediateRows
+	resp.OriginalPeakBytes = origRun.Stats.PeakIntermediateBytes
+	resp.GaloPeakRows = origRun.Stats.PeakIntermediateRows
+	resp.GaloPeakBytes = origRun.Stats.PeakIntermediateBytes
 	if res.ReoptimizedPlan != nil && res.Rewritten() {
 		galoRun, err := s.Execute(res.ReoptimizedPlan, q)
 		if err != nil {
@@ -438,6 +448,8 @@ func (s *System) reoptResponse(q *sqlparser.Query, execute bool) (*ReoptResponse
 		if galoRun.Stats.ElapsedMillis <= origRun.Stats.ElapsedMillis {
 			resp.Applied = true
 			resp.GaloMillis = galoRun.Stats.ElapsedMillis
+			resp.GaloPeakRows = galoRun.Stats.PeakIntermediateRows
+			resp.GaloPeakBytes = galoRun.Stats.PeakIntermediateBytes
 		}
 	}
 	return resp, nil
@@ -480,6 +492,12 @@ type statsResponse struct {
 		ThrottledTotal int64 `json:"throttled_total"`
 		ShedTotal      int64 `json:"shed_total"`
 	} `json:"admission"`
+	// Executor reports the streaming executor's memory profile: the worst
+	// single-execution intermediate-row residency seen on this system.
+	Executor struct {
+		PeakIntermediateRows  int64 `json:"peak_intermediate_rows"`
+		PeakIntermediateBytes int64 `json:"peak_intermediate_bytes"`
+	} `json:"executor"`
 	Online struct {
 		Enabled           bool  `json:"enabled"`
 		Observed          int64 `json:"observed"`
@@ -528,6 +546,7 @@ func (s *System) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp.Admission.InFlight = s.admission.inFlight.Load()
 	resp.Admission.ThrottledTotal = s.admission.throttled.Load()
 	resp.Admission.ShedTotal = s.admission.shed.Load()
+	resp.Executor.PeakIntermediateRows, resp.Executor.PeakIntermediateBytes = s.PeakIntermediate()
 	resp.Online.Enabled = s.Config.Online.Enabled
 	st := s.OnlineStats()
 	resp.Online.Observed = st.Observed

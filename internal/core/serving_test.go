@@ -164,6 +164,9 @@ func TestReoptHTTPAPI(t *testing.T) {
 	if out.Applied && out.GaloMillis > out.OriginalMillis {
 		t.Errorf("applied rewrite regressed: %f -> %f", out.OriginalMillis, out.GaloMillis)
 	}
+	if out.OriginalPeakRows <= 0 || out.GaloPeakRows <= 0 {
+		t.Errorf("validated execution did not report peak intermediate rows: %+v", out)
+	}
 	if out.Probes == 0 {
 		t.Errorf("no probes reported")
 	}
@@ -216,6 +219,13 @@ func TestReoptHTTPAPI(t *testing.T) {
 	}
 	if doc["kb_templates"].(float64) <= 0 {
 		t.Errorf("/stats reports no templates: %v", doc)
+	}
+	execStats, ok := doc["executor"].(map[string]any)
+	if !ok {
+		t.Fatalf("/stats has no executor section: %v", doc)
+	}
+	if execStats["peak_intermediate_rows"].(float64) <= 0 {
+		t.Errorf("/stats executor section reports no peak residency after executions: %v", execStats)
 	}
 }
 

@@ -10,13 +10,24 @@
 // and the *runtime* system configuration — so a nested-loop join over an
 // unclustered index really does "run" orders of magnitude slower than a hash
 // join, which is exactly the signal GALO's learning engine ranks plans by.
+//
+// Execution is streaming: operators compose as pull iterators (Open / Next /
+// Close) and only pipeline breakers — SORT buffers, hash-join build sides,
+// GRPBY's group set — ever hold rows. Single-table predicates are pushed
+// into the scans (applied per row, before any candidate-list or output
+// materialization), so deep pipelines keep a bounded intermediate footprint.
+// The pre-streaming materializing path is retained behind
+// Executor.Materialize as the golden baseline: both paths must return
+// byte-identical rows and charge identical per-operator actuals, because the
+// cost formulas are evaluated over the same processed-row counts (the
+// plan/actual cost-formula parity invariant the estimation-gap learner
+// depends on).
 package executor
 
 import (
 	"fmt"
 	"math"
 	"regexp"
-	"sort"
 	"strings"
 
 	"galo/internal/catalog"
@@ -37,6 +48,14 @@ type RunStats struct {
 	CPURows        int64
 	SortSpillPages int64
 	SortHeapPages  int64
+	// PeakIntermediateRows / PeakIntermediateBytes record the high-water mark
+	// of rows (and their approximate bytes) held in operator state at any one
+	// moment during execution: sort buffers, hash-join build sides, group-by
+	// group sets — and, on the materializing baseline, every intermediate
+	// rowset. Base-table storage and the final result do not count; this is
+	// the memory the plan's shape itself demands.
+	PeakIntermediateRows  int64
+	PeakIntermediateBytes int64
 }
 
 // Result is the outcome of executing a plan.
@@ -52,6 +71,12 @@ type Result struct {
 // Executor runs plans against one database.
 type Executor struct {
 	DB *storage.Database
+	// Materialize selects the pre-streaming Volcano behavior: every operator
+	// drains its input into a full rowset before producing output. It exists
+	// as the golden baseline for the streaming path (identical results and
+	// per-operator actuals, much larger PeakIntermediateRows) and for the
+	// BENCH_executor comparison; serving paths leave it false.
+	Materialize bool
 }
 
 // New returns an executor over the database.
@@ -61,6 +86,45 @@ func New(db *storage.Database) *Executor { return &Executor{DB: db} }
 // actual cardinalities and per-operator simulated milliseconds as a side
 // effect (ActCardinality, ActMillis), and the plan's ActualMillis is set.
 func (e *Executor) Execute(plan *qgm.Plan, q *sqlparser.Query) (*Result, error) {
+	cur, err := e.Open(plan, q)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Columns: cur.Columns}
+	out.Rows = make([]storage.Row, 0, presizeHint(plan.Root.EstCardinality))
+	for {
+		row, ok := cur.Next()
+		if !ok {
+			break
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	cur.Close()
+	out.Stats = cur.Stats()
+	return out, nil
+}
+
+// Cursor streams a plan's projected output row by row. Closing the cursor
+// before exhaustion stops every upstream operator — scans included — and
+// charges each operator only for the rows it actually processed; a bounded
+// consumer therefore pays a bounded cost. Stats (and the plan's actuals) are
+// final once Next has returned false or Close has been called.
+type Cursor struct {
+	// Columns names the projected output columns.
+	Columns []string
+
+	ctx      *execContext
+	plan     *qgm.Plan
+	root     rowIter
+	projIdx  []int // nil means project everything in root order
+	rows     int
+	finished bool
+}
+
+// Open validates the plan against the query and returns a streaming cursor
+// over its projected output. The caller must Close the cursor (Next returning
+// false closes it implicitly).
+func (e *Executor) Open(plan *qgm.Plan, q *sqlparser.Query) (*Cursor, error) {
 	if plan == nil || plan.Root == nil {
 		return nil, fmt.Errorf("executor: empty plan")
 	}
@@ -80,38 +144,84 @@ func (e *Executor) Execute(plan *qgm.Plan, q *sqlparser.Query) (*Result, error) 
 		ctx.instToRef[inst] = strings.ToUpper(ref.Name())
 		ctx.refToInst[strings.ToUpper(ref.Name())] = inst
 	}
-	rs, err := ctx.run(plan.Root)
-	if err != nil {
-		return nil, err
-	}
-	out := &Result{Stats: ctx.stats}
-	out.Stats.Rows = len(rs.rows)
-	// Project the SELECT list.
-	if work.Star || len(work.Select) == 0 {
-		out.Columns = rs.cols
-		out.Rows = rs.rows
+	// A plan can be executed many times (and a cursor may stop early, leaving
+	// deep operators unvisited); stale actuals from a previous run must never
+	// survive into this one's estimation-gap reading.
+	plan.ResetActuals()
+	var root rowIter
+	var cols []string
+	if e.Materialize {
+		rs, err := ctx.matRun(plan.Root)
+		if err != nil {
+			return nil, err
+		}
+		root, cols = &rowsetIter{ctx: ctx, rs: rs}, rs.cols
 	} else {
-		idx := make([]int, 0, len(work.Select))
+		var err error
+		root, cols, err = ctx.open(plan.Root)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cur := &Cursor{ctx: ctx, plan: plan, root: root}
+	if work.Star || len(work.Select) == 0 {
+		cur.Columns = cols
+	} else {
+		cur.projIdx = make([]int, 0, len(work.Select))
 		for _, c := range work.Select {
 			inst := ctx.refToInst[strings.ToUpper(c.Table)]
-			pos := rs.colIndex(inst + "." + c.Column)
+			pos := colPos(cols, inst+"."+c.Column)
 			if pos < 0 {
+				root.Close()
 				return nil, fmt.Errorf("executor: projected column %s not in plan output", c)
 			}
-			idx = append(idx, pos)
-			out.Columns = append(out.Columns, c.String())
-		}
-		out.Rows = make([]storage.Row, len(rs.rows))
-		for i, r := range rs.rows {
-			row := make(storage.Row, len(idx))
-			for j, p := range idx {
-				row[j] = r[p]
-			}
-			out.Rows[i] = row
+			cur.projIdx = append(cur.projIdx, pos)
+			cur.Columns = append(cur.Columns, c.String())
 		}
 	}
-	plan.ActualMillis = ctx.stats.ElapsedMillis
-	return out, nil
+	return cur, nil
+}
+
+// Next returns the next projected row, or false when the plan is exhausted
+// (which finalizes stats and closes the pipeline).
+func (c *Cursor) Next() (storage.Row, bool) {
+	if c.finished {
+		return nil, false
+	}
+	row, ok := c.root.Next()
+	if !ok {
+		c.finish()
+		return nil, false
+	}
+	c.rows++
+	if c.projIdx == nil {
+		return row, true
+	}
+	out := make(storage.Row, len(c.projIdx))
+	for j, p := range c.projIdx {
+		out[j] = row[p]
+	}
+	return out, true
+}
+
+// Close stops the pipeline. Operators that were cut short charge only the
+// work they actually did. Close is idempotent.
+func (c *Cursor) Close() { c.finish() }
+
+// Stats returns the execution counters; final after Next returned false or
+// Close.
+func (c *Cursor) Stats() RunStats { return c.ctx.stats }
+
+func (c *Cursor) finish() {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	c.root.Close()
+	c.ctx.stats.Rows = c.rows
+	c.ctx.stats.PeakIntermediateRows = c.ctx.peakRows
+	c.ctx.stats.PeakIntermediateBytes = c.ctx.peakBytes
+	c.plan.ActualMillis = c.ctx.stats.ElapsedMillis
 }
 
 // execContext carries the per-execution state.
@@ -122,9 +232,42 @@ type execContext struct {
 	stats     RunStats
 	instToRef map[string]string
 	refToInst map[string]string
+
+	// likeRE caches compiled LIKE patterns for this execution: LIKE-heavy
+	// scans would otherwise recompile the same regexp once per row.
+	likeRE map[string]*regexp.Regexp
+
+	// Live intermediate-row accounting (see RunStats.PeakIntermediateRows).
+	curRows, peakRows   int64
+	curBytes, peakBytes int64
 }
 
-// rowset is the intermediate result flowing between operators.
+func (c *execContext) hold(rows int, bytes int64) {
+	c.curRows += int64(rows)
+	c.curBytes += bytes
+	if c.curRows > c.peakRows {
+		c.peakRows = c.curRows
+	}
+	if c.curBytes > c.peakBytes {
+		c.peakBytes = c.curBytes
+	}
+}
+
+func (c *execContext) release(rows int, bytes int64) {
+	c.curRows -= int64(rows)
+	c.curBytes -= bytes
+}
+
+func (c *execContext) charge(node *qgm.Node, millis float64, rows int) {
+	c.stats.ElapsedMillis += millis
+	node.ActMillis = millis
+	node.ActCardinality = float64(rows)
+}
+
+func (c *execContext) rt() float64 { return c.cfg.EffectiveRuntimeTransferRate() }
+
+// rowset is the intermediate result flowing between operators on the
+// materializing baseline.
 type rowset struct {
 	cols  []string // "Qi.COLUMN"
 	rows  []storage.Row
@@ -144,163 +287,66 @@ func (r *rowset) colIndex(name string) int {
 	return -1
 }
 
-func (c *execContext) charge(node *qgm.Node, millis float64, rows int) {
-	c.stats.ElapsedMillis += millis
-	node.ActMillis = millis
-	node.ActCardinality = float64(rows)
+// colPos finds an instance-qualified column in an operator's output layout.
+// Resolution happens once per operator at Open time, so a linear scan beats
+// building a map.
+func colPos(cols []string, name string) int {
+	name = strings.ToUpper(name)
+	for i, c := range cols {
+		if c == name {
+			return i
+		}
+	}
+	return -1
 }
 
-func (c *execContext) rt() float64 { return c.cfg.EffectiveRuntimeTransferRate() }
-
-// run executes the subtree rooted at node and returns its output rows.
-func (c *execContext) run(node *qgm.Node) (*rowset, error) {
-	switch {
-	case node.Op == qgm.OpRETURN:
-		rs, err := c.run(node.Outer)
-		if err != nil {
-			return nil, err
-		}
-		c.charge(node, float64(len(rs.rows))*c.cfg.CPUSpeed*0.1, len(rs.rows))
-		return rs, nil
-	case node.Op.IsScan():
-		return c.runScan(node)
-	case node.Op.IsJoin():
-		return c.runJoin(node)
-	case node.Op == qgm.OpSORT:
-		return c.runSort(node)
-	case node.Op == qgm.OpFILTER:
-		rs, err := c.run(node.Outer)
-		if err != nil {
-			return nil, err
-		}
-		c.charge(node, float64(len(rs.rows))*c.cfg.CPUSpeed*0.2, len(rs.rows))
-		return rs, nil
-	case node.Op == qgm.OpGRPBY:
-		return c.runGroupBy(node)
-	default:
-		return nil, fmt.Errorf("executor: unsupported operator %s", node.Op)
+// scanColumns returns the output layout of a base-table access.
+func scanColumns(inst string, def *catalog.Table) []string {
+	cols := make([]string, len(def.Columns))
+	for i, col := range def.Columns {
+		cols[i] = inst + "." + col.Name
 	}
+	return cols
 }
 
-// --- scans -------------------------------------------------------------------
-
-func (c *execContext) runScan(node *qgm.Node) (*rowset, error) {
-	refName := c.instToRef[node.TableInstance]
-	if refName == "" {
-		return nil, fmt.Errorf("executor: plan instance %s not present in query", node.TableInstance)
-	}
-	table := c.exec.DB.Table(node.Table)
-	if table == nil {
-		return nil, fmt.Errorf("executor: unknown table %s", node.Table)
-	}
-	preds := sqlparser.PredicatesFor(c.query, refName)
-	cols := make([]string, len(table.Def.Columns))
-	for i, col := range table.Def.Columns {
-		cols[i] = node.TableInstance + "." + col.Name
-	}
-	tablePages := float64(c.exec.DB.Pages(node.Table))
-	tableRows := float64(len(table.Rows))
-	rowsPerPage := float64(c.exec.DB.RowsPerPage(node.Table))
-
-	switch node.Op {
-	case qgm.OpTBSCAN:
-		var out []storage.Row
-		for _, row := range table.Rows {
-			if c.rowMatches(table.Def, row, preds) {
-				out = append(out, row)
-			}
-		}
-		c.stats.LogicalReads += int64(tablePages)
-		c.stats.PhysicalReads += int64(tablePages)
-		c.stats.CPURows += int64(tableRows)
-		c.charge(node, tablePages*c.rt()+tableRows*c.cfg.CPUSpeed, len(out))
-		return &rowset{cols: cols, rows: out}, nil
-
-	case qgm.OpIXSCAN, qgm.OpFETCH:
-		idxDef := table.Def.IndexByName(node.Index)
-		if idxDef == nil {
-			return nil, fmt.Errorf("executor: table %s has no index %s", node.Table, node.Index)
-		}
-		lead := idxDef.Columns[0]
-		matched := c.indexMatches(node.Table, idxDef, lead, table, preds)
-		var out []storage.Row
-		for _, rid := range matched {
-			row := table.Rows[rid]
-			if c.rowMatches(table.Def, row, preds) {
-				out = append(out, row)
-			}
-		}
-		matchRows := float64(len(matched))
-		leafPages := math.Max(tableRows/300, 1)
-		frac := matchRows / math.Max(tableRows, 1)
-		// Mirrors ixscanCost: the B-tree dive only pays a full random I/O when
-		// the table exceeds the buffer pool.
-		dive := c.cfg.Overhead
-		if tablePages <= float64(c.cfg.BufferPoolPages) {
-			dive = c.cfg.Overhead * 0.1
-		}
-		millis := dive + leafPages*frac*c.rt() + matchRows*c.cfg.CPUSpeed*0.5
-		c.stats.LogicalReads += int64(leafPages * frac)
-		c.stats.CPURows += int64(matchRows)
-		if node.Op == qgm.OpFETCH {
-			clustered := matchRows * idxDef.ClusterRatio
-			unclustered := matchRows * (1 - idxDef.ClusterRatio)
-			randomIO := c.cfg.Overhead
-			if tablePages <= float64(c.cfg.BufferPoolPages) {
-				randomIO = c.rt() * 0.25
-			}
-			millis += (clustered/math.Max(rowsPerPage, 1))*c.rt() + unclustered*randomIO + matchRows*c.cfg.CPUSpeed
-			c.stats.PhysicalReads += int64(unclustered) + int64(clustered/math.Max(rowsPerPage, 1))
-			c.stats.LogicalReads += int64(matchRows)
-		}
-		c.charge(node, millis, len(out))
-		return &rowset{cols: cols, rows: out}, nil
-	}
-	return nil, fmt.Errorf("executor: unsupported scan %s", node.Op)
-}
-
-// indexMatches returns the row IDs the index access touches, using the local
-// predicates on the index's leading column to narrow the range when possible.
-func (c *execContext) indexMatches(tableName string, idxDef *catalog.Index, lead string, table *storage.Table, preds []sqlparser.Predicate) []int {
-	idx := c.exec.DB.Index(tableName, idxDef.Name)
-	if idx == nil {
-		return nil
-	}
-	for _, p := range preds {
-		if !strings.EqualFold(p.Left.Column, lead) {
-			continue
-		}
-		switch {
-		case p.Kind == sqlparser.PredCompare && p.Op == "=":
-			return idx.LookupEqual(p.Value)
-		case p.Kind == sqlparser.PredCompare && (p.Op == ">" || p.Op == ">="):
-			v := p.Value
-			return idx.LookupRange(&v, nil)
-		case p.Kind == sqlparser.PredCompare && (p.Op == "<" || p.Op == "<="):
-			v := p.Value
-			return idx.LookupRange(nil, &v)
-		case p.Kind == sqlparser.PredBetween && !p.Not:
-			lo, hi := p.Lo, p.Hi
-			return idx.LookupRange(&lo, &hi)
-		}
-	}
-	// No sargable predicate: the access touches every entry (in index order).
-	all := make([]int, 0, idx.Len())
-	for _, e := range idx.Entries {
-		all = append(all, e.RowID)
-	}
-	return all
-}
-
-// rowMatches applies the local predicates to a base-table row.
+// rowMatches applies the local predicates to a base-table row. LIKE patterns
+// go through the per-execution regexp cache.
 func (c *execContext) rowMatches(def *catalog.Table, row storage.Row, preds []sqlparser.Predicate) bool {
 	for _, p := range preds {
 		v := storage.Value(def, row, p.Left.Column)
+		if p.Kind == sqlparser.PredLike {
+			if !c.evalLike(p, v) {
+				return false
+			}
+			continue
+		}
 		if !evalPredicate(p, v) {
 			return false
 		}
 	}
 	return true
+}
+
+// evalLike evaluates a LIKE predicate using the execution's compiled-pattern
+// cache.
+func (c *execContext) evalLike(p sqlparser.Predicate, v catalog.Value) bool {
+	if v.IsNull() {
+		return false
+	}
+	pattern := p.Value.AsString()
+	re, ok := c.likeRE[pattern]
+	if !ok {
+		re = compileLike(pattern)
+		if c.likeRE == nil {
+			c.likeRE = make(map[string]*regexp.Regexp)
+		}
+		c.likeRE[pattern] = re
+	}
+	ok = re != nil && re.MatchString(v.AsString())
+	if p.Not {
+		return !ok
+	}
+	return ok
 }
 
 // evalPredicate evaluates a local predicate against a value.
@@ -369,8 +415,9 @@ func evalPredicate(p sqlparser.Predicate, v catalog.Value) bool {
 	}
 }
 
-// likeMatch implements SQL LIKE with % and _ wildcards.
-func likeMatch(pattern, s string) bool {
+// compileLike translates a SQL LIKE pattern (% and _ wildcards) into a
+// case-insensitive regexp; nil when the pattern cannot compile.
+func compileLike(pattern string) *regexp.Regexp {
 	var b strings.Builder
 	b.WriteString("^")
 	for _, r := range pattern {
@@ -386,106 +433,27 @@ func likeMatch(pattern, s string) bool {
 	b.WriteString("$")
 	re, err := regexp.Compile("(?i)" + b.String())
 	if err != nil {
-		return false
+		return nil
 	}
-	return re.MatchString(s)
+	return re
 }
 
-// --- sorts and grouping ------------------------------------------------------
-
-func (c *execContext) runSort(node *qgm.Node) (*rowset, error) {
-	rs, err := c.run(node.Outer)
-	if err != nil {
-		return nil, err
-	}
-	// A SORT carrying an order property (one feeding a merge join, or a final
-	// ORDER BY sort) physically establishes that order, so downstream
-	// operators — the merge join's early-out in particular — see honestly
-	// sorted rows. When the property names the query's leading ORDER BY
-	// column, the full ORDER BY key list is used (the property only records
-	// the primary order); SORTs without a property fall back to the query's
-	// ORDER BY columns.
-	orderByIdx := make([]int, 0, len(c.query.OrderBy))
-	for _, k := range c.query.OrderBy {
-		inst := c.refToInst[strings.ToUpper(k.Table)]
-		if p := rs.colIndex(inst + "." + k.Column); p >= 0 {
-			orderByIdx = append(orderByIdx, p)
-		}
-	}
-	idx := orderByIdx
-	if node.OrderedOn != "" {
-		if p := rs.colIndex(node.OrderedOn); p >= 0 && (len(orderByIdx) == 0 || orderByIdx[0] != p) {
-			idx = []int{p}
-		}
-	}
-	if len(idx) > 0 {
-		sort.SliceStable(rs.rows, func(i, j int) bool {
-			for _, p := range idx {
-				if cmp := catalog.Compare(rs.rows[i][p], rs.rows[j][p]); cmp != 0 {
-					return cmp < 0
-				}
-			}
-			return false
-		})
-	}
-	rows := float64(len(rs.rows))
-	millis := c.sortMillis(rows, rowWidth(rs))
-	c.charge(node, millis, len(rs.rows))
-	return rs, nil
+// likeMatch implements SQL LIKE with % and _ wildcards (uncached; execution
+// paths use execContext.evalLike).
+func likeMatch(pattern, s string) bool {
+	re := compileLike(pattern)
+	return re != nil && re.MatchString(s)
 }
 
-func (c *execContext) sortMillis(rows float64, width int) float64 {
-	if rows < 2 {
-		return c.cfg.CPUSpeed
-	}
-	millis := rows * math.Log2(rows) * c.cfg.CPUSpeed
-	pages := pagesOf(c.cfg, rows, width)
-	if pages > float64(c.cfg.SortHeapPages) {
-		millis += 2 * pages * c.rt() * 1.5
-		c.stats.SortSpillPages += int64(pages)
-	}
-	if int64(pages) > c.stats.SortHeapPages {
-		c.stats.SortHeapPages = int64(pages)
-	}
-	return millis
-}
-
-func (c *execContext) runGroupBy(node *qgm.Node) (*rowset, error) {
-	rs, err := c.run(node.Outer)
-	if err != nil {
-		return nil, err
-	}
-	idx := make([]int, 0, len(c.query.GroupBy))
-	for _, k := range c.query.GroupBy {
-		inst := c.refToInst[strings.ToUpper(k.Table)]
-		if p := rs.colIndex(inst + "." + k.Column); p >= 0 {
-			idx = append(idx, p)
-		}
-	}
-	seen := map[string]bool{}
-	var out []storage.Row
-	var key strings.Builder
-	for _, row := range rs.rows {
-		key.Reset()
-		for _, p := range idx {
-			key.WriteString(row[p].Key())
-			key.WriteByte('|')
-		}
-		if !seen[key.String()] {
-			seen[key.String()] = true
-			out = append(out, row)
-		}
-	}
-	c.charge(node, float64(len(rs.rows))*c.cfg.CPUSpeed, len(out))
-	return &rowset{cols: rs.cols, rows: out}, nil
-}
-
-func rowWidth(rs *rowset) int {
-	if len(rs.rows) == 0 {
-		return 8 * len(rs.cols)
+// rowWidthOf estimates a row's width in bytes from a sample row, falling back
+// to 8 bytes per column when no row has been seen — the same estimate the
+// plan-time cost model uses, which keeps spill decisions formula-identical.
+func rowWidthOf(sample storage.Row, ncols int) int {
+	if sample == nil {
+		return 8 * ncols
 	}
 	w := 0
-	for _, v := range rs.rows[0] {
+	for _, v := range sample {
 		if v.K == catalog.KindString {
 			w += len(v.S) + 4
 		} else {
@@ -493,6 +461,13 @@ func rowWidth(rs *rowset) int {
 		}
 	}
 	return w
+}
+
+func rowWidth(rs *rowset) int {
+	if len(rs.rows) == 0 {
+		return rowWidthOf(nil, len(rs.cols))
+	}
+	return rowWidthOf(rs.rows[0], len(rs.cols))
 }
 
 func pagesOf(cfg catalog.SystemConfig, rows float64, width int) float64 {
@@ -508,4 +483,36 @@ func pagesOf(cfg catalog.SystemConfig, rows float64, width int) float64 {
 		p = 1
 	}
 	return p
+}
+
+// presizeHint converts an estimated cardinality into a slice/map capacity,
+// capped so a wild overestimate cannot allocate unbounded memory up front.
+const presizeCap = 1 << 20
+
+func presizeHint(est float64) int {
+	if est <= 0 {
+		return 0
+	}
+	if est > presizeCap {
+		return presizeCap
+	}
+	return int(est)
+}
+
+// sortMillis charges a sort of the given size, tracking spill pages and the
+// sort-heap high-water mark exactly like the plan-time sortCost formula.
+func (c *execContext) sortMillis(rows float64, width int) float64 {
+	if rows < 2 {
+		return c.cfg.CPUSpeed
+	}
+	millis := rows * math.Log2(rows) * c.cfg.CPUSpeed
+	pages := pagesOf(c.cfg, rows, width)
+	if pages > float64(c.cfg.SortHeapPages) {
+		millis += 2 * pages * c.rt() * 1.5
+		c.stats.SortSpillPages += int64(pages)
+	}
+	if int64(pages) > c.stats.SortHeapPages {
+		c.stats.SortHeapPages = int64(pages)
+	}
+	return millis
 }

@@ -1,0 +1,497 @@
+package executor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"galo/internal/catalog"
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+	"galo/internal/storage"
+)
+
+// rowIter is the pull iterator every streaming operator implements.
+//
+// The contract: Next returns the next output row, or false once the operator
+// is exhausted — at which point the operator has charged its simulated cost
+// (from the row counts it actually processed, through the same formulas the
+// optimizer used at plan time) and released any buffered state. Close stops
+// the operator early: it closes the children, charges the partial work done
+// so far, and is idempotent. Rows handed out must not be mutated by callers;
+// they may alias base-table storage.
+type rowIter interface {
+	Next() (storage.Row, bool)
+	Close()
+}
+
+// open builds the iterator pipeline for the subtree rooted at node and
+// returns it with its output column layout. All plan validation (unknown
+// tables, missing indexes) happens here, before the first row flows.
+func (c *execContext) open(node *qgm.Node) (rowIter, []string, error) {
+	switch {
+	case node.Op == qgm.OpRETURN:
+		child, cols, err := c.open(node.Outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &passIter{ctx: c, node: node, child: child, cpuFactor: 0.1}, cols, nil
+	case node.Op == qgm.OpFILTER:
+		child, cols, err := c.open(node.Outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &passIter{ctx: c, node: node, child: child, cpuFactor: 0.2}, cols, nil
+	case node.Op.IsScan():
+		return c.openScan(node)
+	case node.Op.IsJoin():
+		return c.openJoin(node)
+	case node.Op == qgm.OpSORT:
+		child, cols, err := c.open(node.Outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		return &sortIter{ctx: c, node: node, child: child, cols: cols, keyIdx: c.sortKey(node, cols)}, cols, nil
+	case node.Op == qgm.OpGRPBY:
+		child, cols, err := c.open(node.Outer)
+		if err != nil {
+			return nil, nil, err
+		}
+		keyIdx := make([]int, 0, len(c.query.GroupBy))
+		for _, k := range c.query.GroupBy {
+			inst := c.refToInst[strings.ToUpper(k.Table)]
+			if p := colPos(cols, inst+"."+k.Column); p >= 0 {
+				keyIdx = append(keyIdx, p)
+			}
+		}
+		return &groupByIter{ctx: c, node: node, child: child, keyIdx: keyIdx, seen: map[string]struct{}{}}, cols, nil
+	default:
+		return nil, nil, fmt.Errorf("executor: unsupported operator %s", node.Op)
+	}
+}
+
+// sortKey resolves the column positions a SORT orders by: the query's ORDER
+// BY columns present in the input, overridden by the node's single-column
+// order property when it names a different leading column (a SORT feeding a
+// merge join establishes the merge column's order).
+func (c *execContext) sortKey(node *qgm.Node, cols []string) []int {
+	orderByIdx := make([]int, 0, len(c.query.OrderBy))
+	for _, k := range c.query.OrderBy {
+		inst := c.refToInst[strings.ToUpper(k.Table)]
+		if p := colPos(cols, inst+"."+k.Column); p >= 0 {
+			orderByIdx = append(orderByIdx, p)
+		}
+	}
+	idx := orderByIdx
+	if node.OrderedOn != "" {
+		if p := colPos(cols, node.OrderedOn); p >= 0 && (len(orderByIdx) == 0 || orderByIdx[0] != p) {
+			idx = []int{p}
+		}
+	}
+	return idx
+}
+
+// --- pass-through operators (RETURN, FILTER) ---------------------------------
+
+// passIter counts rows through and charges rows*CPUSpeed*cpuFactor at the
+// end, matching the materializing path's RETURN/FILTER charges.
+type passIter struct {
+	ctx       *execContext
+	node      *qgm.Node
+	child     rowIter
+	cpuFactor float64
+	n         int
+	charged   bool
+	closed    bool
+}
+
+func (p *passIter) Next() (storage.Row, bool) {
+	row, ok := p.child.Next()
+	if !ok {
+		p.finalize()
+		return nil, false
+	}
+	p.n++
+	return row, true
+}
+
+func (p *passIter) finalize() {
+	if p.charged {
+		return
+	}
+	p.charged = true
+	p.ctx.charge(p.node, float64(p.n)*p.ctx.cfg.CPUSpeed*p.cpuFactor, p.n)
+}
+
+func (p *passIter) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.child.Close()
+	p.finalize()
+}
+
+// --- scans -------------------------------------------------------------------
+
+func (c *execContext) openScan(node *qgm.Node) (rowIter, []string, error) {
+	refName := c.instToRef[node.TableInstance]
+	if refName == "" {
+		return nil, nil, fmt.Errorf("executor: plan instance %s not present in query", node.TableInstance)
+	}
+	table := c.exec.DB.Table(node.Table)
+	if table == nil {
+		return nil, nil, fmt.Errorf("executor: unknown table %s", node.Table)
+	}
+	preds := sqlparser.PredicatesFor(c.query, refName)
+	cols := scanColumns(node.TableInstance, table.Def)
+	tablePages := float64(c.exec.DB.Pages(node.Table))
+	tableRows := float64(len(table.Rows))
+
+	switch node.Op {
+	case qgm.OpTBSCAN:
+		return &tbscanIter{
+			ctx: c, node: node, table: table, preds: preds,
+			tablePages: tablePages, tableRows: tableRows,
+		}, cols, nil
+	case qgm.OpIXSCAN, qgm.OpFETCH:
+		idxDef := table.Def.IndexByName(node.Index)
+		if idxDef == nil {
+			return nil, nil, fmt.Errorf("executor: table %s has no index %s", node.Table, node.Index)
+		}
+		idx := c.exec.DB.Index(node.Table, idxDef.Name)
+		it := &ixscanIter{
+			ctx: c, node: node, table: table, preds: preds, idxDef: idxDef,
+			tablePages: tablePages, tableRows: tableRows,
+			rowsPerPage: float64(c.exec.DB.RowsPerPage(node.Table)),
+		}
+		if idx != nil {
+			it.entries = idx.Entries
+			it.pos, it.end = indexBounds(idx, idxDef.Columns[0], preds)
+		}
+		return it, cols, nil
+	}
+	return nil, nil, fmt.Errorf("executor: unsupported scan %s", node.Op)
+}
+
+// indexBounds resolves the entry range an index access touches, pushing the
+// first sargable predicate on the index's leading column into the B-tree
+// positioning instead of materializing a candidate row-ID list.
+func indexBounds(idx *storage.IndexData, lead string, preds []sqlparser.Predicate) (start, end int) {
+	for _, p := range preds {
+		if !strings.EqualFold(p.Left.Column, lead) {
+			continue
+		}
+		switch {
+		case p.Kind == sqlparser.PredCompare && p.Op == "=":
+			return idx.PositionsEqual(p.Value)
+		case p.Kind == sqlparser.PredCompare && (p.Op == ">" || p.Op == ">="):
+			v := p.Value
+			return idx.PositionsRange(&v, nil)
+		case p.Kind == sqlparser.PredCompare && (p.Op == "<" || p.Op == "<="):
+			v := p.Value
+			return idx.PositionsRange(nil, &v)
+		case p.Kind == sqlparser.PredBetween && !p.Not:
+			lo, hi := p.Lo, p.Hi
+			return idx.PositionsRange(&lo, &hi)
+		}
+	}
+	// No sargable predicate: the access touches every entry (in index order).
+	return 0, idx.Len()
+}
+
+// tbscanIter streams a full table scan, filtering each row before it leaves
+// the operator (predicate pushdown: non-matching rows never enter the
+// pipeline).
+type tbscanIter struct {
+	ctx   *execContext
+	node  *qgm.Node
+	table *storage.Table
+	preds []sqlparser.Predicate
+
+	pos, nScan, nOut      int
+	tablePages, tableRows float64
+	charged, closed       bool
+}
+
+func (s *tbscanIter) Next() (storage.Row, bool) {
+	rows := s.table.Rows
+	for s.pos < len(rows) {
+		row := rows[s.pos]
+		s.pos++
+		s.nScan++
+		if s.ctx.rowMatches(s.table.Def, row, s.preds) {
+			s.nOut++
+			return row, true
+		}
+	}
+	s.finalize()
+	return nil, false
+}
+
+// finalize charges the scan for the fraction of the table actually read —
+// the full tbscanCost formula when the scan was drained, a proportional
+// slice when a bounded consumer stopped it early.
+func (s *tbscanIter) finalize() {
+	if s.charged {
+		return
+	}
+	s.charged = true
+	frac := 1.0
+	if s.tableRows > 0 {
+		frac = float64(s.nScan) / s.tableRows
+	}
+	pages := s.tablePages * frac
+	s.ctx.stats.LogicalReads += int64(pages)
+	s.ctx.stats.PhysicalReads += int64(pages)
+	s.ctx.stats.CPURows += int64(s.nScan)
+	s.ctx.charge(s.node, pages*s.ctx.rt()+float64(s.nScan)*s.ctx.cfg.CPUSpeed, s.nOut)
+}
+
+func (s *tbscanIter) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.finalize()
+}
+
+// ixscanIter streams an index (or fetch-through-index) access: candidates
+// come straight from the index's entry range — no row-ID list is ever
+// materialized — and residual predicates filter each row before it leaves.
+type ixscanIter struct {
+	ctx    *execContext
+	node   *qgm.Node
+	table  *storage.Table
+	preds  []sqlparser.Predicate
+	idxDef *catalog.Index
+
+	entries                            []storage.IndexEntry
+	pos, end                           int
+	nCand, nOut                        int
+	tablePages, tableRows, rowsPerPage float64
+	charged, closed                    bool
+}
+
+func (s *ixscanIter) Next() (storage.Row, bool) {
+	for s.pos < s.end {
+		e := s.entries[s.pos]
+		s.pos++
+		s.nCand++
+		row := s.table.Rows[e.RowID]
+		if s.ctx.rowMatches(s.table.Def, row, s.preds) {
+			s.nOut++
+			return row, true
+		}
+	}
+	s.finalize()
+	return nil, false
+}
+
+// finalize mirrors ixscanCost over the candidate entries actually touched.
+func (s *ixscanIter) finalize() {
+	if s.charged {
+		return
+	}
+	s.charged = true
+	c := s.ctx
+	matchRows := float64(s.nCand)
+	leafPages := math.Max(s.tableRows/300, 1)
+	frac := matchRows / math.Max(s.tableRows, 1)
+	// Mirrors ixscanCost: the B-tree dive only pays a full random I/O when
+	// the table exceeds the buffer pool.
+	dive := c.cfg.Overhead
+	if s.tablePages <= float64(c.cfg.BufferPoolPages) {
+		dive = c.cfg.Overhead * 0.1
+	}
+	millis := dive + leafPages*frac*c.rt() + matchRows*c.cfg.CPUSpeed*0.5
+	c.stats.LogicalReads += int64(leafPages * frac)
+	c.stats.CPURows += int64(matchRows)
+	if s.node.Op == qgm.OpFETCH {
+		clustered := matchRows * s.idxDef.ClusterRatio
+		unclustered := matchRows * (1 - s.idxDef.ClusterRatio)
+		randomIO := c.cfg.Overhead
+		if s.tablePages <= float64(c.cfg.BufferPoolPages) {
+			randomIO = c.rt() * 0.25
+		}
+		millis += (clustered/math.Max(s.rowsPerPage, 1))*c.rt() + unclustered*randomIO + matchRows*c.cfg.CPUSpeed
+		c.stats.PhysicalReads += int64(unclustered) + int64(clustered/math.Max(s.rowsPerPage, 1))
+		c.stats.LogicalReads += int64(matchRows)
+	}
+	c.charge(s.node, millis, s.nOut)
+}
+
+func (s *ixscanIter) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.finalize()
+}
+
+// --- sort --------------------------------------------------------------------
+
+// sortIter is a pipeline breaker: the first Next drains the child into a
+// buffer (held in the intermediate accounting), sorts it, and charges the
+// sort; rows then stream out of the buffer.
+type sortIter struct {
+	ctx    *execContext
+	node   *qgm.Node
+	child  rowIter
+	cols   []string
+	keyIdx []int
+
+	rows      []storage.Row
+	pos       int
+	heldBytes int64
+	sorted    bool
+	closed    bool
+}
+
+func (s *sortIter) Next() (storage.Row, bool) {
+	if !s.sorted {
+		s.buffer()
+	}
+	if s.pos < len(s.rows) {
+		row := s.rows[s.pos]
+		s.pos++
+		return row, true
+	}
+	return nil, false
+}
+
+func (s *sortIter) buffer() {
+	s.sorted = true
+	s.rows = make([]storage.Row, 0, presizeHint(s.node.Outer.EstCardinality))
+	for {
+		row, ok := s.child.Next()
+		if !ok {
+			break
+		}
+		s.rows = append(s.rows, row)
+	}
+	s.child.Close()
+	if len(s.keyIdx) > 0 {
+		idx := s.keyIdx
+		sort.SliceStable(s.rows, func(i, j int) bool {
+			for _, p := range idx {
+				if cmp := catalog.Compare(s.rows[i][p], s.rows[j][p]); cmp != 0 {
+					return cmp < 0
+				}
+			}
+			return false
+		})
+	}
+	var sample storage.Row
+	if len(s.rows) > 0 {
+		sample = s.rows[0]
+	}
+	width := rowWidthOf(sample, len(s.cols))
+	s.heldBytes = int64(width) * int64(len(s.rows))
+	s.ctx.hold(len(s.rows), s.heldBytes)
+	rows := float64(len(s.rows))
+	s.ctx.charge(s.node, s.ctx.sortMillis(rows, width), len(s.rows))
+}
+
+func (s *sortIter) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.child.Close()
+	if s.sorted {
+		s.ctx.release(len(s.rows), s.heldBytes)
+		s.rows = nil
+	}
+}
+
+// --- group-by ----------------------------------------------------------------
+
+// groupByIter streams distinct group keys in first-seen order. Only the key
+// set is retained (held in the intermediate accounting) — group rows
+// themselves flow straight through.
+type groupByIter struct {
+	ctx    *execContext
+	node   *qgm.Node
+	child  rowIter
+	keyIdx []int
+	seen   map[string]struct{}
+
+	nIn, nOut       int
+	heldBytes       int64
+	key             strings.Builder
+	charged, closed bool
+}
+
+func (g *groupByIter) Next() (storage.Row, bool) {
+	for {
+		row, ok := g.child.Next()
+		if !ok {
+			g.finalize()
+			return nil, false
+		}
+		g.nIn++
+		g.key.Reset()
+		for _, p := range g.keyIdx {
+			g.key.WriteString(row[p].Key())
+			g.key.WriteByte('|')
+		}
+		k := g.key.String()
+		if _, dup := g.seen[k]; dup {
+			continue
+		}
+		g.seen[k] = struct{}{}
+		g.ctx.hold(1, int64(len(k)))
+		g.heldBytes += int64(len(k))
+		g.nOut++
+		return row, true
+	}
+}
+
+func (g *groupByIter) finalize() {
+	if g.charged {
+		return
+	}
+	g.charged = true
+	g.ctx.charge(g.node, float64(g.nIn)*g.ctx.cfg.CPUSpeed, g.nOut)
+}
+
+func (g *groupByIter) Close() {
+	if g.closed {
+		return
+	}
+	g.closed = true
+	g.child.Close()
+	g.finalize()
+	g.ctx.release(g.nOut, g.heldBytes)
+	g.seen = nil
+}
+
+// --- materialized-rowset adapter ---------------------------------------------
+
+// rowsetIter serves an already-materialized rowset (the Materialize baseline
+// path behind the Cursor API).
+type rowsetIter struct {
+	ctx    *execContext
+	rs     *rowset
+	pos    int
+	closed bool
+}
+
+func (r *rowsetIter) Next() (storage.Row, bool) {
+	if r.pos < len(r.rs.rows) {
+		row := r.rs.rows[r.pos]
+		r.pos++
+		return row, true
+	}
+	return nil, false
+}
+
+func (r *rowsetIter) Close() {
+	if r.closed {
+		return
+	}
+	r.closed = true
+	r.ctx.releaseRowset(r.rs)
+}

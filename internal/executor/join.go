@@ -13,46 +13,236 @@ import (
 )
 
 // joinKey describes the equi-join columns between the outer and inner inputs
-// of a join, as positions into the respective rowsets.
+// of a join, as positions into the respective row layouts.
 type joinKey struct {
 	outerPos []int
 	innerPos []int
 }
 
-// runJoin executes one join operator. Result rows are always computed with a
-// hash-based algorithm for speed; the simulated time is charged according to
-// the operator's own execution characteristics over the actual row counts.
-func (c *execContext) runJoin(node *qgm.Node) (*rowset, error) {
-	outer, err := c.run(node.Outer)
-	if err != nil {
-		return nil, err
+// openJoin builds the streaming join iterator. All join operators compute
+// result rows with a hash-based algorithm for speed; the simulated time is
+// charged according to the operator's own execution characteristics over the
+// row counts actually processed. The inner (build) side is the only buffered
+// input — the outer streams through.
+func (c *execContext) openJoin(node *qgm.Node) (rowIter, []string, error) {
+	switch node.Op {
+	case qgm.OpHSJOIN, qgm.OpNLJOIN, qgm.OpMSJOIN:
+	default:
+		return nil, nil, fmt.Errorf("executor: unsupported join %s", node.Op)
 	}
-	inner, err := c.run(node.Inner)
+	outer, outerCols, err := c.open(node.Outer)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	key, preds := c.joinKeys(node, outer, inner)
-	joined := hashJoinRows(outer, inner, key)
-	cols := append(append([]string{}, outer.cols...), inner.cols...)
-	out := &rowset{cols: cols, rows: joined}
+	inner, innerCols, err := c.open(node.Inner)
+	if err != nil {
+		outer.Close()
+		return nil, nil, err
+	}
+	key, _ := c.joinKeys(node, outerCols, innerCols)
+	cols := append(append([]string{}, outerCols...), innerCols...)
+	return &joinIter{
+		ctx: c, node: node, outer: outer, inner: inner, key: key,
+		nOuterCols: len(outerCols), nInnerCols: len(innerCols),
+	}, cols, nil
+}
 
-	outerRows := float64(len(outer.rows))
-	innerRows := float64(len(inner.rows))
-	outRows := float64(len(joined))
+// joinIter is a half pipeline breaker: the first Next drains the inner child
+// into the build side (held in the intermediate accounting), then streams the
+// outer, emitting matches in build-insertion order — the same emission order
+// the materializing hashJoinRows produced.
+type joinIter struct {
+	ctx   *execContext
+	node  *qgm.Node
+	outer rowIter
+	inner rowIter
+	key   joinKey
+
+	nOuterCols, nInnerCols int
+
+	built     bool
+	buildRows []storage.Row
+	build     map[string][]storage.Row
+	// buildFast replaces build for single-column join keys (the common case):
+	// hashing a comparable struct skips the per-row key-string allocation.
+	buildFast map[fastKey][]storage.Row
+	heldBytes int64
+
+	// MSJOIN early-out bookkeeping (the Figure 8 rescue): count how many
+	// outer rows a merge join would have read before passing the largest
+	// inner key.
+	trackEarlyOut bool
+	maxInner      catalog.Value
+	nProcessed    int
+
+	kb      strings.Builder
+	cur     storage.Row
+	matches []storage.Row
+	mi      int
+
+	outerSample     storage.Row
+	nOuterRows      int
+	nOut            int
+	charged, closed bool
+}
+
+func (j *joinIter) Next() (storage.Row, bool) {
+	if !j.built {
+		j.buildInner()
+	}
+	for {
+		if j.mi < len(j.matches) {
+			irow := j.matches[j.mi]
+			j.mi++
+			j.nOut++
+			return concatRows(j.cur, irow), true
+		}
+		orow, ok := j.outer.Next()
+		if !ok {
+			j.finalize()
+			return nil, false
+		}
+		j.nOuterRows++
+		if j.outerSample == nil {
+			j.outerSample = orow
+		}
+		if j.trackEarlyOut && catalog.Compare(orow[j.key.outerPos[0]], j.maxInner) <= 0 {
+			j.nProcessed++
+		}
+		j.cur = orow
+		j.matches = j.matchesFor(orow)
+		j.mi = 0
+	}
+}
+
+// buildInner drains the inner child into the build side and indexes it by
+// join key. The buffer is charged to the intermediate accounting until Close.
+func (j *joinIter) buildInner() {
+	j.built = true
+	j.buildRows = make([]storage.Row, 0, presizeHint(j.node.Inner.EstCardinality))
+	for {
+		row, ok := j.inner.Next()
+		if !ok {
+			break
+		}
+		j.buildRows = append(j.buildRows, row)
+	}
+	j.inner.Close()
+
+	var sample storage.Row
+	if len(j.buildRows) > 0 {
+		sample = j.buildRows[0]
+	}
+	j.heldBytes = int64(rowWidthOf(sample, j.nInnerCols)) * int64(len(j.buildRows))
+	j.ctx.hold(len(j.buildRows), j.heldBytes)
+
+	switch {
+	case len(j.key.outerPos) == 1:
+		j.buildFast = make(map[fastKey][]storage.Row, len(j.buildRows))
+		p := j.key.innerPos[0]
+		for _, irow := range j.buildRows {
+			if irow[p].IsNull() {
+				continue
+			}
+			k := fastKeyOf(irow[p])
+			j.buildFast[k] = append(j.buildFast[k], irow)
+		}
+	case len(j.key.outerPos) > 1:
+		j.build = make(map[string][]storage.Row, len(j.buildRows))
+		for _, irow := range j.buildRows {
+			k, ok := j.keyOf(irow, j.key.innerPos)
+			if !ok {
+				continue
+			}
+			j.build[k] = append(j.build[k], irow)
+		}
+	}
+	if j.node.Op == qgm.OpMSJOIN && j.node.EarlyOut && len(j.key.outerPos) > 0 && len(j.buildRows) > 0 {
+		j.trackEarlyOut = true
+		j.maxInner = maxKey(j.buildRows, j.key.innerPos[0])
+	}
+}
+
+// fastKey is a comparable, allocation-free stand-in for a single join-key
+// value's Key() string: two non-null values produce equal fastKeys exactly
+// when their Key() strings are equal (strings compare as strings, every
+// numeric kind through its float value — the same normalization Key uses).
+type fastKey struct {
+	s     string
+	f     float64
+	isStr bool
+}
+
+func fastKeyOf(v catalog.Value) fastKey {
+	if v.K == catalog.KindString {
+		return fastKey{s: v.S, isStr: true}
+	}
+	return fastKey{f: v.AsFloat()}
+}
+
+// keyOf serializes the (multi-column) join-key columns of a row; ok is false
+// when any key column is null (null keys never match).
+func (j *joinIter) keyOf(row storage.Row, pos []int) (string, bool) {
+	j.kb.Reset()
+	for _, p := range pos {
+		if row[p].IsNull() {
+			return "", false
+		}
+		j.kb.WriteString(row[p].Key())
+		j.kb.WriteByte('|')
+	}
+	return j.kb.String(), true
+}
+
+// matchesFor returns the inner rows joining with one outer row. With no
+// equi-join key the join degrades to a cartesian product.
+func (j *joinIter) matchesFor(orow storage.Row) []storage.Row {
+	switch {
+	case len(j.key.outerPos) == 0:
+		return j.buildRows
+	case len(j.key.outerPos) == 1:
+		v := orow[j.key.outerPos[0]]
+		if v.IsNull() {
+			return nil
+		}
+		return j.buildFast[fastKeyOf(v)]
+	}
+	k, ok := j.keyOf(orow, j.key.outerPos)
+	if !ok {
+		return nil
+	}
+	return j.build[k]
+}
+
+// finalize charges the join's simulated cost from the row counts actually
+// processed, through the same formulas the optimizer used at plan time.
+func (j *joinIter) finalize() {
+	if j.charged {
+		return
+	}
+	j.charged = true
+	c := j.ctx
+	outerRows := float64(j.nOuterRows)
+	innerRows := float64(len(j.buildRows))
+	outRows := float64(j.nOut)
 	cpu := c.cfg.CPUSpeed
 
-	switch node.Op {
+	switch j.node.Op {
 	case qgm.OpHSJOIN:
 		probeFactor := 1.0
-		if node.BloomFilter {
+		if j.node.BloomFilter {
 			probeFactor = 0.6
 		}
 		millis := innerRows*cpu*2 + outerRows*cpu*probeFactor + outRows*cpu*0.1
-		buildPages := pagesOf(c.cfg, innerRows, rowWidth(inner))
+		var innerSample storage.Row
+		if len(j.buildRows) > 0 {
+			innerSample = j.buildRows[0]
+		}
+		buildPages := pagesOf(c.cfg, innerRows, rowWidthOf(innerSample, j.nInnerCols))
 		if buildPages > float64(c.cfg.SortHeapPages) {
 			spill := buildPages
-			outerPages := pagesOf(c.cfg, outerRows, rowWidth(outer))
-			if node.BloomFilter {
+			outerPages := pagesOf(c.cfg, outerRows, rowWidthOf(j.outerSample, j.nOuterCols))
+			if j.node.BloomFilter {
 				outerPages *= 0.5
 			}
 			spill += outerPages
@@ -61,31 +251,24 @@ func (c *execContext) runJoin(node *qgm.Node) (*rowset, error) {
 			c.stats.PhysicalReads += int64(spill)
 		}
 		c.stats.CPURows += int64(innerRows + outerRows)
-		c.charge(node, millis, len(joined))
+		c.charge(j.node, millis, j.nOut)
 
 	case qgm.OpNLJOIN:
 		matchedPerProbe := 0.0
 		if outerRows > 0 {
 			matchedPerProbe = outRows / outerRows
 		}
-		perProbe := c.nlProbeMillis(node.Inner, matchedPerProbe, innerRows)
+		perProbe := c.nlProbeMillis(j.node.Inner, matchedPerProbe, innerRows)
 		millis := outerRows*perProbe + outRows*cpu
 		c.stats.CPURows += int64(outerRows)
-		c.charge(node, millis, len(joined))
+		c.charge(j.node, millis, j.nOut)
 
 	case qgm.OpMSJOIN:
 		// A merge join over sorted inputs can stop reading the outer as soon
 		// as its key exceeds the largest inner key (the Figure 8 early-out).
 		outerProcessed := outerRows
-		if node.EarlyOut && len(key.outerPos) > 0 && innerRows > 0 {
-			maxInner := maxKey(inner, key.innerPos[0])
-			processed := 0
-			for _, r := range outer.rows {
-				if catalog.Compare(r[key.outerPos[0]], maxInner) <= 0 {
-					processed++
-				}
-			}
-			outerProcessed = float64(processed) + 1
+		if j.trackEarlyOut {
+			outerProcessed = float64(j.nProcessed) + 1
 			if outerProcessed > outerRows {
 				outerProcessed = outerRows
 			}
@@ -97,12 +280,26 @@ func (c *execContext) runJoin(node *qgm.Node) (*rowset, error) {
 		// a single interleaved pass over pre-sorted inputs.
 		millis := (outerProcessed+innerRows)*cpu*0.5 + outRows*cpu*0.1
 		c.stats.CPURows += int64(outerProcessed + innerRows)
-		c.charge(node, millis, len(joined))
-	default:
-		return nil, fmt.Errorf("executor: unsupported join %s", node.Op)
+		c.charge(j.node, millis, j.nOut)
 	}
-	_ = preds
-	return out, nil
+}
+
+func (j *joinIter) Close() {
+	if j.closed {
+		return
+	}
+	j.closed = true
+	j.outer.Close()
+	if !j.built {
+		j.inner.Close()
+	}
+	j.finalize()
+	if j.built {
+		j.ctx.release(len(j.buildRows), j.heldBytes)
+		j.buildRows = nil
+		j.build = nil
+		j.buildFast = nil
+	}
 }
 
 // nlProbeMillis is the per-outer-row cost of probing the inner input of a
@@ -142,7 +339,7 @@ func (c *execContext) nlProbeMillis(innerNode *qgm.Node, matchedPerProbe, innerR
 }
 
 // joinKeys finds the equi-join column positions between the two inputs.
-func (c *execContext) joinKeys(node *qgm.Node, outer, inner *rowset) (joinKey, []sqlparser.Predicate) {
+func (c *execContext) joinKeys(node *qgm.Node, outerCols, innerCols []string) (joinKey, []sqlparser.Predicate) {
 	outerInst := instanceSet(node.Outer)
 	innerInst := instanceSet(node.Inner)
 	var key joinKey
@@ -153,11 +350,11 @@ func (c *execContext) joinKeys(node *qgm.Node, outer, inner *rowset) (joinKey, [
 		var op, ip int
 		switch {
 		case outerInst[li] && innerInst[ri]:
-			op = outer.colIndex(li + "." + p.Left.Column)
-			ip = inner.colIndex(ri + "." + p.Right.Column)
+			op = colPos(outerCols, li+"."+p.Left.Column)
+			ip = colPos(innerCols, ri+"."+p.Right.Column)
 		case outerInst[ri] && innerInst[li]:
-			op = outer.colIndex(ri + "." + p.Right.Column)
-			ip = inner.colIndex(li + "." + p.Left.Column)
+			op = colPos(outerCols, ri+"."+p.Right.Column)
+			ip = colPos(innerCols, li+"."+p.Left.Column)
 		default:
 			continue
 		}
@@ -180,10 +377,12 @@ func instanceSet(n *qgm.Node) map[string]bool {
 	return set
 }
 
-// hashJoinRows computes the equi-join of two rowsets. With no key it degrades
-// to a cartesian product.
-func hashJoinRows(outer, inner *rowset, key joinKey) []storage.Row {
-	var out []storage.Row
+// hashJoinRows computes the equi-join of two rowsets (the materializing
+// baseline path). With no key it degrades to a cartesian product. The build
+// map is pre-sized from the inner's actual row count and the output slice
+// from the plan's estimated output cardinality.
+func hashJoinRows(outer, inner *rowset, key joinKey, estOut int) []storage.Row {
+	out := make([]storage.Row, 0, estOut)
 	if len(key.outerPos) == 0 {
 		for _, orow := range outer.rows {
 			for _, irow := range inner.rows {
@@ -237,9 +436,9 @@ func concatRows(a, b storage.Row) storage.Row {
 	return append(out, b...)
 }
 
-func maxKey(rs *rowset, pos int) catalog.Value {
+func maxKey(rows []storage.Row, pos int) catalog.Value {
 	var max catalog.Value
-	for _, r := range rs.rows {
+	for _, r := range rows {
 		if max.IsNull() || catalog.Compare(r[pos], max) > 0 {
 			max = r[pos]
 		}

@@ -1,0 +1,297 @@
+package executor
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"galo/internal/catalog"
+	"galo/internal/optimizer"
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+	"galo/internal/storage"
+)
+
+// assertParity executes the same plan shape on the streaming path and on the
+// materializing baseline and requires byte-identical rows, identical
+// per-operator actuals, and identical aggregate stats — the golden
+// equivalence the cost-parity invariant promises. It returns both stat sets
+// so callers can additionally compare the peak-intermediate accounting (the
+// one field the two paths are allowed — required, even — to disagree on).
+func assertParity(t *testing.T, db *storage.Database, opt *optimizer.Optimizer, q *sqlparser.Query, spec *optimizer.Spec) (stream, mat RunStats) {
+	t.Helper()
+	buildPlan := func() *qgm.Plan {
+		if spec == nil {
+			return opt.MustOptimize(q)
+		}
+		plan, err := opt.BuildPlan(q, spec)
+		if err != nil {
+			t.Fatalf("BuildPlan: %v", err)
+		}
+		return plan
+	}
+	sPlan, mPlan := buildPlan(), buildPlan()
+
+	sEx := New(db)
+	mEx := New(db)
+	mEx.Materialize = true
+	sRes, err := sEx.Execute(sPlan, q)
+	if err != nil {
+		t.Fatalf("streaming Execute: %v", err)
+	}
+	mRes, err := mEx.Execute(mPlan, q)
+	if err != nil {
+		t.Fatalf("materializing Execute: %v", err)
+	}
+
+	if !reflect.DeepEqual(sRes.Columns, mRes.Columns) {
+		t.Fatalf("columns differ: streaming=%v materializing=%v", sRes.Columns, mRes.Columns)
+	}
+	if len(sRes.Rows) != len(mRes.Rows) {
+		t.Fatalf("row counts differ: streaming=%d materializing=%d", len(sRes.Rows), len(mRes.Rows))
+	}
+	for i := range sRes.Rows {
+		if len(sRes.Rows[i]) != len(mRes.Rows[i]) {
+			t.Fatalf("row %d widths differ", i)
+		}
+		for j := range sRes.Rows[i] {
+			if sRes.Rows[i][j].Key() != mRes.Rows[i][j].Key() {
+				t.Fatalf("row %d col %d differs: streaming=%v materializing=%v",
+					i, j, sRes.Rows[i][j], mRes.Rows[i][j])
+			}
+		}
+	}
+
+	sOps, mOps := sPlan.Operators(), mPlan.Operators()
+	if len(sOps) != len(mOps) {
+		t.Fatalf("operator counts differ: %d vs %d", len(sOps), len(mOps))
+	}
+	for i := range sOps {
+		if sOps[i].Op != mOps[i].Op {
+			t.Fatalf("operator %d differs: %s vs %s", i, sOps[i].Op, mOps[i].Op)
+		}
+		if sOps[i].ActMillis != mOps[i].ActMillis {
+			t.Errorf("%s#%d ActMillis: streaming=%v materializing=%v",
+				sOps[i].Op, sOps[i].ID, sOps[i].ActMillis, mOps[i].ActMillis)
+		}
+		if sOps[i].ActCardinality != mOps[i].ActCardinality {
+			t.Errorf("%s#%d ActCardinality: streaming=%v materializing=%v",
+				sOps[i].Op, sOps[i].ID, sOps[i].ActCardinality, mOps[i].ActCardinality)
+		}
+	}
+
+	// Per-operator millis are compared exactly above; the aggregate is the sum
+	// of those charges, and the two paths sum them in different orders (the
+	// streaming path drains a join's inner side before its outer), so allow
+	// float-addition reordering noise and nothing more.
+	sSt, mSt := sRes.Stats, mRes.Stats
+	if sSt.Rows != mSt.Rows ||
+		sSt.LogicalReads != mSt.LogicalReads || sSt.PhysicalReads != mSt.PhysicalReads ||
+		sSt.CPURows != mSt.CPURows || sSt.SortSpillPages != mSt.SortSpillPages ||
+		sSt.SortHeapPages != mSt.SortHeapPages {
+		t.Errorf("aggregate stats differ:\n  streaming:     %+v\n  materializing: %+v", sSt, mSt)
+	}
+	if !withinULPs(sSt.ElapsedMillis, mSt.ElapsedMillis) {
+		t.Errorf("aggregate ElapsedMillis: streaming=%v materializing=%v", sSt.ElapsedMillis, mSt.ElapsedMillis)
+	}
+	if !withinULPs(sPlan.ActualMillis, mPlan.ActualMillis) {
+		t.Errorf("plan ActualMillis: streaming=%v materializing=%v", sPlan.ActualMillis, mPlan.ActualMillis)
+	}
+	if sSt.PeakIntermediateRows > mSt.PeakIntermediateRows {
+		t.Errorf("streaming peak rows %d exceeds materializing %d",
+			sSt.PeakIntermediateRows, mSt.PeakIntermediateRows)
+	}
+	return sSt, mSt
+}
+
+// withinULPs reports whether two float sums agree up to addition-reordering
+// noise (a relative error of 1e-12 — a handful of ULPs — or exact equality).
+func withinULPs(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	mag := a
+	if mag < 0 {
+		mag = -mag
+	}
+	if b > mag {
+		mag = b
+	} else if -b > mag {
+		mag = -b
+	}
+	return diff <= mag*1e-12
+}
+
+// TestStreamingMatchesMaterializingMatrix is the golden equivalence suite
+// over the operator matrix named in the roadmap: scan/ixscan access × the
+// three join methods × a sort-terminated and a group-by-terminated query.
+func TestStreamingMatchesMaterializingMatrix(t *testing.T) {
+	db, opt, _ := setup(t)
+
+	queries := []struct {
+		name string
+		sql  string
+	}{
+		{"sort", `SELECT i_item_desc, ws_quantity FROM web_sales, item
+			WHERE ws_item_sk = i_item_sk AND i_category = 'Books' ORDER BY i_item_desc`},
+		{"groupby", `SELECT i_category FROM web_sales, item
+			WHERE ws_item_sk = i_item_sk AND ws_quantity > 40 GROUP BY i_category`},
+	}
+	accesses := []struct {
+		name  string
+		outer *optimizer.Spec
+		inner *optimizer.Spec
+	}{
+		{"scan", optimizer.Leaf("WEB_SALES"), optimizer.Leaf("ITEM")},
+		{"ixscan",
+			optimizer.LeafAccess("WEB_SALES", qgm.OpIXSCAN, "WS_ITEM_IDX"),
+			optimizer.LeafAccess("ITEM", qgm.OpFETCH, "I_ITEM_SK_IDX")},
+	}
+
+	ran := 0
+	for _, method := range []qgm.OpType{qgm.OpHSJOIN, qgm.OpMSJOIN, qgm.OpNLJOIN} {
+		for _, acc := range accesses {
+			for _, qc := range queries {
+				name := fmt.Sprintf("%s/%s/%s", method, acc.name, qc.name)
+				t.Run(name, func(t *testing.T) {
+					q := sqlparser.MustParse(qc.sql)
+					spec := optimizer.Join(method, acc.outer, acc.inner)
+					if _, err := opt.BuildPlan(q, spec); err != nil {
+						t.Skipf("combination not plannable: %v", err)
+					}
+					assertParity(t, db, opt, q, spec)
+					ran++
+				})
+			}
+		}
+	}
+	if ran < 8 {
+		t.Errorf("only %d matrix combinations ran; the suite lost coverage", ran)
+	}
+}
+
+// TestStreamingMatchesMaterializingSingleTable covers the scan-only shapes:
+// pushdown through index bounds (equality, range, BETWEEN), LIKE through the
+// per-execution regexp cache, and the optimizer's own plan choice.
+func TestStreamingMatchesMaterializingSingleTable(t *testing.T) {
+	db, opt, _ := setup(t)
+	cases := []struct {
+		name string
+		sql  string
+		spec *optimizer.Spec
+	}{
+		{"optimizer-choice", `SELECT i_item_desc FROM item WHERE i_category = 'Music' ORDER BY i_item_desc`, nil},
+		{"tbscan-like", `SELECT i_item_desc FROM item WHERE i_item_desc LIKE '%er%'`,
+			optimizer.LeafAccess("ITEM", qgm.OpTBSCAN, "")},
+		{"ixscan-eq", `SELECT i_item_id FROM item WHERE i_category = 'Music'`,
+			optimizer.LeafAccess("ITEM", qgm.OpFETCH, "I_CATEGORY_IDX")},
+		{"ixscan-range", `SELECT d_year FROM date_dim WHERE d_date_sk < 2451000`,
+			optimizer.LeafAccess("DATE_DIM", qgm.OpIXSCAN, "D_DATE_SK")},
+		{"ixscan-between", `SELECT ws_quantity FROM web_sales WHERE ws_sold_date_sk BETWEEN 2450900 AND 2451200`,
+			optimizer.LeafAccess("WEB_SALES", qgm.OpIXSCAN, "WS_SOLD_DATE_IDX")},
+		{"groupby-orderby", `SELECT i_category FROM item WHERE i_current_price > 0 GROUP BY i_category ORDER BY i_category`, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := sqlparser.MustParse(tc.sql)
+			assertParity(t, db, opt, q, tc.spec)
+		})
+	}
+}
+
+// TestStreamingBoundsIntermediateRows pins the point of the refactor: on a
+// join pipeline the streaming path's peak resident intermediate rows stay
+// well under the materializing baseline's.
+func TestStreamingBoundsIntermediateRows(t *testing.T) {
+	db, opt, _ := setup(t)
+	q := sqlparser.MustParse(`SELECT i_item_desc, ws_quantity FROM web_sales, item
+		WHERE ws_item_sk = i_item_sk ORDER BY i_item_desc`)
+	spec := optimizer.Join(qgm.OpHSJOIN, optimizer.Leaf("WEB_SALES"), optimizer.Leaf("ITEM"))
+	stream, mat := assertParity(t, db, opt, q, spec)
+	if stream.PeakIntermediateRows <= 0 || mat.PeakIntermediateRows <= 0 {
+		t.Fatalf("peak accounting missing: streaming=%d materializing=%d",
+			stream.PeakIntermediateRows, mat.PeakIntermediateRows)
+	}
+	if stream.PeakIntermediateRows*2 > mat.PeakIntermediateRows {
+		t.Errorf("streaming peak %d rows is not ≤ half the materializing peak %d rows",
+			stream.PeakIntermediateRows, mat.PeakIntermediateRows)
+	}
+}
+
+// TestEarlyTerminationStopsUpstreamScans proves a bounded consumer stops the
+// pipeline: closing the cursor after a few rows must leave the scan charged
+// for only the rows it actually produced, not the whole table.
+func TestEarlyTerminationStopsUpstreamScans(t *testing.T) {
+	db, opt, ex := setup(t)
+	q := sqlparser.MustParse(`SELECT ss_quantity FROM store_sales WHERE ss_quantity >= 0`)
+	plan := opt.MustOptimize(q)
+
+	full, err := ex.Execute(plan, q)
+	if err != nil {
+		t.Fatalf("full Execute: %v", err)
+	}
+	if full.Stats.Rows < 100 {
+		t.Fatalf("table too small for the test: %d rows", full.Stats.Rows)
+	}
+
+	cur, err := ex.Open(plan, q)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const want = 3
+	for i := 0; i < want; i++ {
+		if _, ok := cur.Next(); !ok {
+			t.Fatalf("cursor exhausted after %d rows", i)
+		}
+	}
+	cur.Close()
+	st := cur.Stats()
+	if st.Rows != want {
+		t.Errorf("partial Rows = %d, want %d", st.Rows, want)
+	}
+	if st.CPURows >= full.Stats.CPURows {
+		t.Errorf("partial CPURows %d not below full-run %d — upstream scan did not stop", st.CPURows, full.Stats.CPURows)
+	}
+	if st.ElapsedMillis >= full.Stats.ElapsedMillis {
+		t.Errorf("partial elapsed %v not below full-run %v", st.ElapsedMillis, full.Stats.ElapsedMillis)
+	}
+	// ResetActuals at Open must have cleared the full run's annotations, and
+	// the partial run re-annotates with partial truth only.
+	for _, scan := range plan.Root.Scans() {
+		if scan.ActCardinality > want {
+			t.Errorf("scan %s ActCardinality = %v after pulling %d rows — stale or unstopped",
+				scan.Op, scan.ActCardinality, want)
+		}
+	}
+	_ = db
+}
+
+// BenchmarkHashJoin pins the pre-sizing satellite: build map and output slice
+// are allocated from (actual build count, estimated output) instead of
+// growing from zero. Run with -benchmem to watch allocs/op.
+func BenchmarkHashJoin(b *testing.B) {
+	const nOuter, nInner = 4096, 512
+	outer := &rowset{cols: []string{"Q1.A", "Q1.B"}}
+	inner := &rowset{cols: []string{"Q2.A", "Q2.C"}}
+	outer.rows = make([]storage.Row, nOuter)
+	inner.rows = make([]storage.Row, nInner)
+	for i := range outer.rows {
+		outer.rows[i] = storage.Row{catalog.Int(int64(i % nInner)), catalog.Int(int64(i))}
+	}
+	for i := range inner.rows {
+		inner.rows[i] = storage.Row{catalog.Int(int64(i)), catalog.Int(int64(-i))}
+	}
+	key := joinKey{outerPos: []int{0}, innerPos: []int{0}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := hashJoinRows(outer, inner, key, nOuter)
+		if len(out) != nOuter {
+			b.Fatalf("join produced %d rows, want %d", len(out), nOuter)
+		}
+	}
+}

@@ -110,6 +110,24 @@ func (p *Plan) Signature() string {
 	return p.Root.Signature()
 }
 
+// ResetActuals clears the execution annotations (per-operator ActMillis and
+// ActCardinality, and the plan's ActualMillis) so a re-execution — or one a
+// bounded consumer stopped early, leaving deep operators unvisited — never
+// reads a previous run's actuals into MaxEstimationGap.
+func (p *Plan) ResetActuals() {
+	if p == nil {
+		return
+	}
+	p.ActualMillis = 0
+	if p.Root == nil {
+		return
+	}
+	p.Root.Walk(func(n *Node) {
+		n.ActMillis = 0
+		n.ActCardinality = 0
+	})
+}
+
 // MaxEstimationGap returns the largest per-operator ratio between actual and
 // estimated cardinality over the operators the executor ran (ActMillis set),
 // in whichever direction the estimate erred; 1 means every estimate was

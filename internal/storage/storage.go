@@ -262,16 +262,48 @@ func compareKeys(a, b []catalog.Value) int {
 	return len(a) - len(b)
 }
 
-// LookupEqual returns the row IDs whose leading index key equals v.
-func (idx *IndexData) LookupEqual(v catalog.Value) []int {
-	lo := sort.Search(len(idx.Entries), func(i int) bool {
+// PositionsEqual returns the half-open entry range [start, end) whose leading
+// index key equals v. Iterating positions avoids materializing a row-ID list,
+// which is what lets the streaming executor pull index candidates lazily.
+func (idx *IndexData) PositionsEqual(v catalog.Value) (start, end int) {
+	if v.IsNull() {
+		return 0, 0
+	}
+	start = sort.Search(len(idx.Entries), func(i int) bool {
 		return catalog.Compare(idx.Entries[i].Key[0], v) >= 0
 	})
+	end = start
+	for end < len(idx.Entries) && catalog.Equal(idx.Entries[end].Key[0], v) {
+		end++
+	}
+	return start, end
+}
+
+// PositionsRange returns the half-open entry range [start, end) whose leading
+// key lies in [lo, hi]; a nil bound is unbounded on that side.
+func (idx *IndexData) PositionsRange(lo, hi *catalog.Value) (start, end int) {
+	if lo != nil {
+		start = sort.Search(len(idx.Entries), func(i int) bool {
+			return catalog.Compare(idx.Entries[i].Key[0], *lo) >= 0
+		})
+	}
+	end = len(idx.Entries)
+	if hi != nil {
+		end = start + sort.Search(len(idx.Entries)-start, func(i int) bool {
+			return catalog.Compare(idx.Entries[start+i].Key[0], *hi) > 0
+		})
+	}
+	if end < start {
+		end = start
+	}
+	return start, end
+}
+
+// LookupEqual returns the row IDs whose leading index key equals v.
+func (idx *IndexData) LookupEqual(v catalog.Value) []int {
+	start, end := idx.PositionsEqual(v)
 	var out []int
-	for i := lo; i < len(idx.Entries); i++ {
-		if !catalog.Equal(idx.Entries[i].Key[0], v) {
-			break
-		}
+	for i := start; i < end; i++ {
 		out = append(out, idx.Entries[i].RowID)
 	}
 	return out
@@ -280,17 +312,9 @@ func (idx *IndexData) LookupEqual(v catalog.Value) []int {
 // LookupRange returns row IDs whose leading key lies in [lo, hi]; a nil bound
 // is unbounded on that side.
 func (idx *IndexData) LookupRange(lo, hi *catalog.Value) []int {
-	start := 0
-	if lo != nil {
-		start = sort.Search(len(idx.Entries), func(i int) bool {
-			return catalog.Compare(idx.Entries[i].Key[0], *lo) >= 0
-		})
-	}
+	start, end := idx.PositionsRange(lo, hi)
 	var out []int
-	for i := start; i < len(idx.Entries); i++ {
-		if hi != nil && catalog.Compare(idx.Entries[i].Key[0], *hi) > 0 {
-			break
-		}
+	for i := start; i < end; i++ {
 		out = append(out, idx.Entries[i].RowID)
 	}
 	return out

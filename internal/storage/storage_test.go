@@ -88,6 +88,56 @@ func TestIndexLookupRange(t *testing.T) {
 	}
 }
 
+func TestIndexPositions(t *testing.T) {
+	db := testDB(t)
+	idx := db.IndexOnColumn("item", "i_item_sk")
+
+	// PositionsEqual covers exactly the entries LookupEqual returns, as a
+	// contiguous range — the contract the streaming executor iterates on.
+	start, end := idx.PositionsEqual(catalog.Int(42))
+	if end-start != 1 || idx.Entries[start].Key[0].AsInt() != 42 {
+		t.Errorf("PositionsEqual(42) = [%d,%d)", start, end)
+	}
+	if s, e := idx.PositionsEqual(catalog.Int(9999)); e != s {
+		t.Errorf("PositionsEqual(miss) = [%d,%d)", s, e)
+	}
+	if s, e := idx.PositionsEqual(catalog.Null()); e != s {
+		t.Errorf("PositionsEqual(null) = [%d,%d)", s, e)
+	}
+
+	lo, hi := catalog.Int(10), catalog.Int(20)
+	for _, tc := range []struct {
+		name   string
+		lo, hi *catalog.Value
+		want   int
+	}{
+		{"both", &lo, &hi, 11},
+		{"hi-only", nil, &hi, 20},
+		{"lo-only", &lo, nil, 91},
+		{"unbounded", nil, nil, 100},
+	} {
+		s, e := idx.PositionsRange(tc.lo, tc.hi)
+		if e-s != tc.want {
+			t.Errorf("PositionsRange(%s) covers %d entries, want %d", tc.name, e-s, tc.want)
+		}
+		ids := idx.LookupRange(tc.lo, tc.hi)
+		if len(ids) != e-s {
+			t.Errorf("PositionsRange(%s) and LookupRange disagree: %d vs %d", tc.name, e-s, len(ids))
+		}
+		for i := s; i < e; i++ {
+			if ids[i-s] != idx.Entries[i].RowID {
+				t.Fatalf("PositionsRange(%s) entry %d: RowID %d, LookupRange has %d",
+					tc.name, i, idx.Entries[i].RowID, ids[i-s])
+			}
+		}
+	}
+
+	// Inverted bounds yield an empty, non-negative range.
+	if s, e := idx.PositionsRange(&hi, &lo); e != s {
+		t.Errorf("PositionsRange(inverted) = [%d,%d)", s, e)
+	}
+}
+
 func TestIndexRebuiltAfterInsert(t *testing.T) {
 	db := testDB(t)
 	idx := db.IndexOnColumn("item", "i_item_sk")
