@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"galo/internal/optimizer"
 	"galo/internal/qgm"
 	"galo/internal/sqlparser"
+	"galo/internal/storage"
 	"galo/internal/workload/tpcds"
 )
 
@@ -61,6 +63,15 @@ func runExecMode(t *testing.T, ex *executor.Executor, plan *qgm.Plan, q *sqlpars
 	row.WallMS = round3(row.WallMS)
 	row.SimMillis = round3(row.SimMillis)
 	return row
+}
+
+// runParallelMode measures the streaming path at a given exchange worker
+// count over the same pipeline.
+func runParallelMode(t *testing.T, db *storage.Database, plan *qgm.Plan, q *sqlparser.Query, workers int) execModeRow {
+	t.Helper()
+	ex := executor.New(db)
+	ex.Workers = workers
+	return runExecMode(t, ex, plan, q)
 }
 
 // TestEmitBenchExecutorJSON writes BENCH_executor.json. Only runs when
@@ -133,16 +144,43 @@ func TestEmitBenchExecutorJSON(t *testing.T) {
 		if stream.PeakRows > 0 {
 			reduction = float64(mat.PeakRows) / float64(stream.PeakRows)
 		}
+		// Parallel section: the same plan on the exchange at 1/2/4 workers.
+		// Gates: simulated cost must stay bit-identical to serial streaming at
+		// every worker count (the cost-parity invariant), and 4 workers must
+		// halve the serial wall time on capable hardware.
+		parallel := map[string]any{}
+		var speedup4 float64
+		for _, w := range []int{1, 2, 4} {
+			pr := runParallelMode(t, db, buildPlan(), q, w)
+			if pr.Rows != stream.Rows {
+				t.Errorf("%s: workers=%d row count diverges: %d vs serial %d", p.name, w, pr.Rows, stream.Rows)
+			}
+			if pr.SimMillis != stream.SimMillis {
+				t.Errorf("%s: workers=%d simulated cost %v diverges from serial %v — cost parity broken",
+					p.name, w, pr.SimMillis, stream.SimMillis)
+			}
+			if w == 4 && pr.WallMS > 0 {
+				speedup4 = stream.WallMS / pr.WallMS
+			}
+			parallel[fmt.Sprintf("workers_%d", w)] = pr
+		}
+		if runtime.NumCPU() >= 4 && speedup4 < 2 {
+			t.Errorf("%s: 4-worker speedup %.2fx over serial streaming is below the 2x gate", p.name, speedup4)
+		}
+		parallel["speedup_at_4_workers"] = fmt.Sprintf("%.1fx", speedup4)
+
 		results[p.name] = map[string]any{
 			"streaming":          stream,
 			"materializing":      mat,
 			"peak_row_reduction": fmt.Sprintf("%.1fx", reduction),
+			"parallel":           parallel,
 		}
 	}
 
 	doc := map[string]any{
 		"benchmark": "streaming executor vs materializing Volcano baseline on deep pipelines (3-way join + sort / group-by), TPC-DS-like data at scale 1.0 with hazards",
-		"note":      "wall_ms is the best of 5 runs; sim_millis is the deterministic simulated cost (identical across modes by the cost-parity invariant); peak_rows/peak_bytes is the high-water mark of rows resident in operator state (sort buffers, hash build sides, group sets — plus every intermediate rowset on the materializing path). The emit test fails if streaming peak_rows exceeds 50% of the materializing baseline.",
+		"cpus":      runtime.NumCPU(),
+		"note":      "wall_ms is the best of 5 runs; sim_millis is the deterministic simulated cost (identical across modes by the cost-parity invariant); peak_rows/peak_bytes is the high-water mark of rows resident in operator state (sort buffers, hash build sides, group sets — plus every intermediate rowset on the materializing path). The emit test fails if streaming peak_rows exceeds 50% of the materializing baseline. The parallel section runs the same plans on the exchange operator at 1/2/4 workers: sim_millis must stay bit-identical to serial streaming at every worker count, and the emit fails if 4 workers don't at least halve the serial wall time. That speedup gate only arms when the emitting machine has >= 4 CPUs (see the cpus field): exchange workers are real goroutines, so on fewer cores the parallel rows measure scheduling overhead, not speedup.",
 		"pipelines": results,
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")

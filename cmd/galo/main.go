@@ -5,9 +5,10 @@
 // Usage:
 //
 //	galo learn   -workload tpcds|client [-scale 0.2] [-queries N] [-kb kb.nt]
-//	galo reopt   -workload tpcds|client -kb kb.nt [-query "SELECT ..."] [-name TPCDS.Q09]
+//	galo reopt   -workload tpcds|client -kb kb.nt [-query "SELECT ..."] [-name TPCDS.Q09] [-exec-workers N]
 //	galo kb      -kb kb.nt
 //	galo serve   -kb kb.nt [-addr :3030] [-online] [-shards N] [-data-dir DIR] [-sync always|interval|never]
+//	             [-exec-workers N] [-exec-mem-budget 256MB]
 //	galo explain -workload tpcds|client [-query "SELECT ..."]
 //
 // serve exposes the re-optimization HTTP API (see `galo help` for example
@@ -23,6 +24,10 @@
 // -sync) and compacted into snapshots, and a restart over the same directory
 // recovers the exact pre-crash epochs with zero relearning. SIGINT/SIGTERM
 // drain gracefully: in-flight requests finish, the WAL takes a final fsync.
+// -exec-workers N runs validated executions on N exchange workers (large
+// scans partition across the pool; simulated costs are unchanged), and
+// -exec-mem-budget caps the estimated peak intermediate residency of
+// concurrent executions — over-budget plans queue or degrade to serial.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -103,6 +109,18 @@ the serve API (default address :3030):
   client's probe budget is exhausted or the matcher is saturated; the
   backpressure counters appear under "admission" in /stats.
 
+  with -exec-workers N, validated executions ("execute": true) run each
+  eligible plan segment on N exchange workers — large scans split into
+  contiguous partitions, hash-join builds partition across the pool — with
+  byte-identical simulated costs and results; -exec-mem-budget SIZE (e.g.
+  256MB) admission-controls concurrent executions against their estimated
+  peak intermediate residency: executions past the budget queue, and a plan
+  bigger than the whole budget runs alone and serially. Worker, shared-scan
+  and governor counters appear under "executor" in /stats.
+
+  # serve with 4 exchange workers under a 256MB residency budget
+  galo serve -kb kb.nt -exec-workers 4 -exec-mem-budget 256MB
+
   with -data-dir, every knowledge base epoch is written to a per-shard
   write-ahead log and compacted into snapshots; kill the process however you
   like and restart it over the same directory — it recovers the exact
@@ -158,6 +176,56 @@ func limit(qs []*galo.Query, n int) []*galo.Query {
 	return qs
 }
 
+// execFlags holds the parallel-executor knobs shared by reopt and serve.
+type execFlags struct {
+	workers   int
+	memBudget string
+}
+
+func addExecFlags(fs *flag.FlagSet) *execFlags {
+	ef := &execFlags{}
+	fs.IntVar(&ef.workers, "exec-workers", 0, "exchange workers per query execution; 0 or 1 = serial")
+	fs.StringVar(&ef.memBudget, "exec-mem-budget", "", "peak-residency budget for concurrent executions, e.g. 256MB or 1GB; empty = ungoverned")
+	return ef
+}
+
+// options translates the flags into the Config.Exec value.
+func (ef *execFlags) options() (galo.ExecOptions, error) {
+	opts := galo.ExecOptions{Workers: ef.workers}
+	if ef.memBudget != "" {
+		b, err := parseByteSize(ef.memBudget)
+		if err != nil {
+			return opts, fmt.Errorf("-exec-mem-budget: %w", err)
+		}
+		opts.MemBudgetBytes = b
+	}
+	return opts, nil
+}
+
+// parseByteSize parses a human-readable byte size: a plain integer is bytes,
+// and KB/MB/GB (or K/M/G) suffixes scale by 1024.
+func parseByteSize(s string) (int64, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	shift := 0
+	switch {
+	case strings.HasSuffix(t, "GB"), strings.HasSuffix(t, "G"):
+		shift = 30
+	case strings.HasSuffix(t, "MB"), strings.HasSuffix(t, "M"):
+		shift = 20
+	case strings.HasSuffix(t, "KB"), strings.HasSuffix(t, "K"):
+		shift = 10
+	}
+	t = strings.TrimRight(t, "KMGB")
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid size %q (want e.g. 512, 64KB, 256MB, 1GB)", s)
+	}
+	if shift > 0 && n > (1<<62)>>shift {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return n << shift, nil
+}
+
 func runLearn(args []string) error {
 	fs := flag.NewFlagSet("learn", flag.ExitOnError)
 	wf := addWorkloadFlags(fs)
@@ -193,6 +261,7 @@ func runReopt(args []string) error {
 	queryText := fs.String("query", "", "SQL text of a single query to re-optimize")
 	queryName := fs.String("name", "", "name of a workload query to re-optimize (e.g. TPCDS.Q09)")
 	shards := fs.Int("shards", 1, "number of knowledge base shards to load into")
+	ef := addExecFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -202,6 +271,9 @@ func runReopt(args []string) error {
 	}
 	cfg := galo.DefaultConfig()
 	cfg.Shards = *shards
+	if cfg.Exec, err = ef.options(); err != nil {
+		return err
+	}
 	sys := galo.NewSystem(db, cfg)
 	if err := sys.LoadKB(*kbPath); err != nil {
 		return err
@@ -279,6 +351,7 @@ func runServe(args []string) error {
 	dataDir := fs.String("data-dir", "", "directory for the knowledge base WAL + snapshots; restart recovers the pre-crash epochs (empty = in-memory only)")
 	syncMode := fs.String("sync", "interval", "WAL durability: always (fsync per publication), interval (batched fsync), never")
 	snapshotEvery := fs.Uint64("snapshot-every", 0, "compact a shard's WAL into a snapshot every N epochs (0 = default 4096)")
+	ef := addExecFlags(fs)
 	wf := addWorkloadFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -293,6 +366,9 @@ func runServe(args []string) error {
 	cfg.Admission.MaxConcurrent = *maxInflight
 	cfg.DataDir = *dataDir
 	cfg.SnapshotEvery = *snapshotEvery
+	if cfg.Exec, err = ef.options(); err != nil {
+		return err
+	}
 	if cfg.Sync, err = galo.ParseSyncPolicy(*syncMode); err != nil {
 		return err
 	}

@@ -65,6 +65,10 @@ type Config struct {
 	// WALFS overrides the durability layer's filesystem — the fault
 	// injection seam for tests; nil means the real disk.
 	WALFS wal.FS
+	// Exec configures the system executor: exchange parallelism per execution
+	// and the peak-residency memory budget the governor admits concurrent
+	// executions against. The zero value is serial, ungoverned execution.
+	Exec ExecOptions
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -153,6 +157,14 @@ type System struct {
 	// admission holds the HTTP API's admission-control state (server.go).
 	admission admissionState
 
+	// exec is the persistent system executor: one shared-scan registry for
+	// the whole system, so concurrent executions of large scans can share a
+	// snapshot pass; gov admits executions against Config.Exec.MemBudgetBytes
+	// (nil budget semantics handled inside — acquire is passthrough when the
+	// budget is zero).
+	exec *executor.Executor
+	gov  *execGovernor
+
 	// peakIntermediateRows / peakIntermediateBytes are the worst
 	// intermediate-row residency any single execution on this system has
 	// reported (executor.RunStats.PeakIntermediateRows) — the number /stats
@@ -167,7 +179,16 @@ type System struct {
 // with defaults; explicitly set fields are preserved.
 func NewSystem(db *storage.Database, cfg Config) *System {
 	cfg = fillConfig(cfg)
-	return &System{DB: db, kb: kb.NewSharded(cfg.Shards), Config: cfg}
+	exec := executor.New(db)
+	exec.Workers = cfg.Exec.Workers
+	exec.ShareScans = true
+	return &System{
+		DB:     db,
+		kb:     kb.NewSharded(cfg.Shards),
+		Config: cfg,
+		exec:   exec,
+		gov:    newExecGovernor(cfg.Exec.MemBudgetBytes),
+	}
 }
 
 // KB returns the current knowledge base. The pointer is replaced wholesale
@@ -297,11 +318,16 @@ func (s *System) Reoptimize(q *sqlparser.Query) (*matching.Result, error) {
 	return s.matchingEngine().Reoptimize(q)
 }
 
-// Execute runs a plan and returns its result and runtime statistics. When
-// online learning is enabled, the executed plan's actual-vs-estimated
-// cardinality gap is offered to the incremental learner.
+// Execute runs a plan and returns its result and runtime statistics. The
+// execution is admitted by the memory governor against the plan's estimated
+// peak residency (Config.Exec.MemBudgetBytes): it may wait for headroom, and
+// a plan too big for the whole budget runs alone and serially. When online
+// learning is enabled, the executed plan's actual-vs-estimated cardinality
+// gap is offered to the incremental learner.
 func (s *System) Execute(plan *qgm.Plan, q *sqlparser.Query) (*executor.Result, error) {
-	res, err := executor.New(s.DB).Execute(plan, q)
+	grant := s.gov.acquire(plan.EstPeakResidencyBytes(), s.exec.Workers)
+	res, err := s.exec.WithWorkers(grant.workers).Execute(plan, q)
+	grant.release()
 	if err == nil {
 		raiseMax(&s.peakIntermediateRows, res.Stats.PeakIntermediateRows)
 		raiseMax(&s.peakIntermediateBytes, res.Stats.PeakIntermediateBytes)
@@ -326,6 +352,39 @@ func raiseMax(m *atomic.Int64, v int64) {
 // residency observed so far (rows, approximate bytes).
 func (s *System) PeakIntermediate() (rows, bytes int64) {
 	return s.peakIntermediateRows.Load(), s.peakIntermediateBytes.Load()
+}
+
+// ExecStats is the /stats snapshot of the parallel executor: configured
+// parallelism, shared-scan counters and the memory governor's admission state.
+type ExecStats struct {
+	// Workers is the configured exchange worker count (Config.Exec.Workers).
+	Workers int `json:"workers"`
+	// SharedScanPasses / SharedScanAttached / SharedScanOverflows count
+	// shared base-table passes spawned, consumers that joined one, and
+	// consumers detached because they fell too far behind.
+	SharedScanPasses    int64 `json:"shared_scan_passes"`
+	SharedScanAttached  int64 `json:"shared_scan_attached"`
+	SharedScanOverflows int64 `json:"shared_scan_overflows"`
+	// ExchangeSegments counts parallel segments started over the system's
+	// lifetime; ExchangeWorkers is the number of worker goroutines live now.
+	ExchangeSegments int64 `json:"exchange_segments"`
+	ExchangeWorkers  int64 `json:"exchange_workers"`
+	// Governor is the admission state of the residency budget.
+	Governor GovernorStats `json:"governor"`
+}
+
+// ExecutorStats snapshots the system executor's parallelism counters.
+func (s *System) ExecutorStats() ExecStats {
+	passes, attached, overflows := s.exec.SharedScanStats()
+	return ExecStats{
+		Workers:             s.exec.Workers,
+		SharedScanPasses:    passes,
+		SharedScanAttached:  attached,
+		SharedScanOverflows: overflows,
+		ExchangeSegments:    executor.ExchangeSegmentCount(),
+		ExchangeWorkers:     executor.ExchangeWorkerCount(),
+		Governor:            s.gov.stats(),
+	}
 }
 
 // QueryOutcome is the before/after record of one workload query, the unit of

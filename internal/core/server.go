@@ -492,11 +492,15 @@ type statsResponse struct {
 		ThrottledTotal int64 `json:"throttled_total"`
 		ShedTotal      int64 `json:"shed_total"`
 	} `json:"admission"`
-	// Executor reports the streaming executor's memory profile: the worst
-	// single-execution intermediate-row residency seen on this system.
+	// Executor reports the streaming executor's memory profile — the worst
+	// single-execution intermediate-row residency seen on this system — plus
+	// the parallel-execution counters: configured exchange workers, shared
+	// base-table scan passes, live exchange state, and the memory governor's
+	// admission counters (ExecStats).
 	Executor struct {
 		PeakIntermediateRows  int64 `json:"peak_intermediate_rows"`
 		PeakIntermediateBytes int64 `json:"peak_intermediate_bytes"`
+		ExecStats
 	} `json:"executor"`
 	Online struct {
 		Enabled           bool  `json:"enabled"`
@@ -547,6 +551,7 @@ func (s *System) handleStats(w http.ResponseWriter, _ *http.Request) {
 	resp.Admission.ThrottledTotal = s.admission.throttled.Load()
 	resp.Admission.ShedTotal = s.admission.shed.Load()
 	resp.Executor.PeakIntermediateRows, resp.Executor.PeakIntermediateBytes = s.PeakIntermediate()
+	resp.Executor.ExecStats = s.ExecutorStats()
 	resp.Online.Enabled = s.Config.Online.Enabled
 	st := s.OnlineStats()
 	resp.Online.Observed = st.Observed

@@ -1,0 +1,813 @@
+package executor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"galo/internal/catalog"
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+	"galo/internal/storage"
+)
+
+// The exchange operator: intra-query parallelism on the rowIter contract.
+//
+// A qualifying pipeline segment — a TBSCAN/IXSCAN/FETCH leaf, the
+// FILTER/HSJOIN spine above it, and an optional terminal SORT or GRPBY — runs
+// as one exchange: the scan's row (or index-entry) range is split into
+// contiguous partitions, one worker goroutine drives each partition through a
+// replica of the spine (probing shared hash builds drained once on the
+// consumer thread), and the consumer merges. Merging preserves the serial row
+// order when it matters: partition-order concatenation reproduces an ordered
+// scan exactly, worker-local sorts plus a stable lowest-partition-first merge
+// reproduce the terminal SORT's sort.SliceStable output exactly, and
+// partition-order global deduplication reproduces the terminal GRPBY's
+// first-seen rows exactly. Segments with neither an order property nor a
+// terminal breaker use unordered fan-in: the row multiset is deterministic,
+// the interleaving is not.
+//
+// The cost-parity invariant survives at any worker count because workers only
+// accumulate integer row counters; at exhaustion the consumer sums them and
+// feeds the totals through the shared charge formulas (charges.go) in the
+// exact order the serial pipeline fires them — build subtrees topmost-first,
+// then the scan, then the spine bottom-up, then the terminal. One float
+// evaluation per operator over identical integers ⇒ bit-identical ActMillis.
+//
+// Early Close propagates cancellation: workers observe a done channel on
+// every send and a cancel flag every 1024 scan rows, the consumer waits for
+// them to exit, then charges the partial counts — the same proportional
+// charging a serial pipeline does when cut short.
+
+const (
+	// exchangeMinRows is the smallest partition source worth parallelizing.
+	exchangeMinRows = 2048
+	// exchangeBatchRows is the fan-in granularity; row-at-a-time channel
+	// sends would drown the speedup in synchronization.
+	exchangeBatchRows = 256
+	// exchangeChanDepth bounds the batches buffered per partition stream, so
+	// a fast worker cannot run unboundedly ahead of the consumer.
+	exchangeChanDepth = 8
+)
+
+// exchangeWorkers counts live exchange worker goroutines process-wide; tests
+// assert it returns to zero after early Close. exchangeSegments counts
+// segments that actually started (parallelism engaged, not just requested).
+var (
+	exchangeWorkers  atomic.Int64
+	exchangeSegments atomic.Int64
+)
+
+// ExchangeWorkerCount reports the number of currently running exchange
+// worker goroutines (test and /stats instrumentation).
+func ExchangeWorkerCount() int64 { return exchangeWorkers.Load() }
+
+// ExchangeSegmentCount reports the cumulative number of exchange segments
+// started process-wide (test and /stats instrumentation).
+func ExchangeSegmentCount() int64 { return exchangeSegments.Load() }
+
+type termKind int
+
+const (
+	termNone termKind = iota
+	termSort
+	termGrpBy
+)
+
+type segLevelKind int
+
+const (
+	levelFilter segLevelKind = iota
+	levelJoin
+)
+
+// segLevel is one spine operator every worker replicates.
+type segLevel struct {
+	kind segLevelKind
+	node *qgm.Node
+
+	// join levels only:
+	key        joinKey
+	innerIter  rowIter // opened at plan time, drained in start()
+	build      *hashBuild
+	nOuterCols int // width of this level's input layout
+	nInnerCols int
+}
+
+// segScan is the partitioned leaf access.
+type segScan struct {
+	node  *qgm.Node
+	table *storage.Table
+	preds []sqlparser.Predicate
+
+	rows    []storage.Row       // TBSCAN source
+	entries []storage.IndexEntry // IXSCAN/FETCH source
+	idxDef  *catalog.Index
+	lo, hi  int // candidate range (row or entry positions)
+
+	tablePages, tableRows, rowsPerPage float64
+}
+
+type segment struct {
+	scan     *segScan
+	levels   []*segLevel // bottom-up
+	term     termKind
+	termNode *qgm.Node
+	sortKey  []int
+	grpKey   []int
+	cols     []string
+}
+
+// openParallel tries to open node as an exchange segment. ok=false means the
+// shape does not qualify and the caller should build serial operators.
+func (c *execContext) openParallel(node *qgm.Node) (rowIter, []string, bool, error) {
+	term, termNode, cur := termNone, (*qgm.Node)(nil), node
+	switch node.Op {
+	case qgm.OpSORT:
+		term, termNode, cur = termSort, node, node.Outer
+	case qgm.OpGRPBY:
+		term, termNode, cur = termGrpBy, node, node.Outer
+	}
+	var chain []*qgm.Node // top-down spine
+	nJoins := 0
+walk:
+	for {
+		if cur == nil {
+			return nil, nil, false, nil
+		}
+		switch cur.Op {
+		case qgm.OpFILTER:
+			chain = append(chain, cur)
+			cur = cur.Outer
+		case qgm.OpHSJOIN:
+			chain = append(chain, cur)
+			nJoins++
+			cur = cur.Outer
+		case qgm.OpTBSCAN, qgm.OpIXSCAN, qgm.OpFETCH:
+			break walk
+		default:
+			// NLJOIN/MSJOIN (and anything else) break the segment; their
+			// subtrees get their own qualification attempts.
+			return nil, nil, false, nil
+		}
+	}
+	// A bare unordered scan gains nothing from fan-in (and would make plain
+	// result order nondeterministic for free): require a join, a terminal
+	// breaker, or an ordered scan worth preserving in parallel.
+	if nJoins == 0 && term == termNone && cur.OrderedOn == "" {
+		return nil, nil, false, nil
+	}
+	sc, cols, err := c.resolveSegScan(cur)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if sc.hi-sc.lo < exchangeMinRows {
+		return nil, nil, false, nil
+	}
+
+	seg := &segment{scan: sc, term: term, termNode: termNode}
+	closeOpened := func() {
+		for _, lv := range seg.levels {
+			if lv.kind == levelJoin {
+				lv.innerIter.Close()
+			}
+		}
+	}
+	for i := len(chain) - 1; i >= 0; i-- { // bottom-up
+		n := chain[i]
+		if n.Op == qgm.OpFILTER {
+			seg.levels = append(seg.levels, &segLevel{kind: levelFilter, node: n})
+			continue
+		}
+		// Build sides are drained serially on the consumer thread (start(),
+		// topmost first — the serial nested-build order), so exchange never
+		// nests into a build subtree and build insertion order stays
+		// deterministic.
+		innerIter, innerCols, err := c.openSerial(n.Inner)
+		if err != nil {
+			closeOpened()
+			return nil, nil, false, err
+		}
+		key, _ := c.joinKeys(n, cols, innerCols)
+		seg.levels = append(seg.levels, &segLevel{
+			kind: levelJoin, node: n, key: key, innerIter: innerIter,
+			nOuterCols: len(cols), nInnerCols: len(innerCols),
+		})
+		cols = append(append([]string{}, cols...), innerCols...)
+	}
+	seg.cols = cols
+	switch term {
+	case termSort:
+		seg.sortKey = c.sortKey(termNode, cols)
+	case termGrpBy:
+		for _, k := range c.query.GroupBy {
+			inst := c.refToInst[strings.ToUpper(k.Table)]
+			if p := colPos(cols, inst+"."+k.Column); p >= 0 {
+				seg.grpKey = append(seg.grpKey, p)
+			}
+		}
+	}
+	ex := &exchangeIter{
+		ctx: c, seg: seg,
+		// Partition-order delivery when the serial row order is observable:
+		// an ordered scan, or a terminal breaker whose exact output we
+		// reproduce. Everything else is unordered fan-in.
+		ordered: sc.node.OrderedOn != "" || term != termNone,
+	}
+	return ex, cols, true, nil
+}
+
+// openSerial opens a subtree with the exchange disabled (build sides must
+// drain deterministically).
+func (c *execContext) openSerial(n *qgm.Node) (rowIter, []string, error) {
+	saved := c.workers
+	c.workers = 1
+	defer func() { c.workers = saved }()
+	return c.open(n)
+}
+
+func (c *execContext) resolveSegScan(node *qgm.Node) (*segScan, []string, error) {
+	refName := c.instToRef[node.TableInstance]
+	if refName == "" {
+		return nil, nil, fmt.Errorf("executor: plan instance %s not present in query", node.TableInstance)
+	}
+	table := c.exec.DB.Table(node.Table)
+	if table == nil {
+		return nil, nil, fmt.Errorf("executor: unknown table %s", node.Table)
+	}
+	preds := sqlparser.PredicatesFor(c.query, refName)
+	cols := scanColumns(node.TableInstance, table.Def)
+	sc := &segScan{
+		node: node, table: table, preds: preds,
+		tablePages: float64(c.exec.DB.Pages(node.Table)),
+		tableRows:  float64(len(table.Rows)),
+	}
+	if node.Op == qgm.OpTBSCAN {
+		sc.rows = table.Rows
+		sc.hi = len(table.Rows)
+		return sc, cols, nil
+	}
+	idxDef := table.Def.IndexByName(node.Index)
+	if idxDef == nil {
+		return nil, nil, fmt.Errorf("executor: table %s has no index %s", node.Table, node.Index)
+	}
+	sc.idxDef = idxDef
+	sc.rowsPerPage = float64(c.exec.DB.RowsPerPage(node.Table))
+	if idx := c.exec.DB.Index(node.Table, idxDef.Name); idx != nil {
+		sc.entries = idx.Entries
+		sc.lo, sc.hi = indexBounds(idx, idxDef.Columns[0], preds)
+	}
+	return sc, cols, nil
+}
+
+// levelTotals is one spine level's counters summed across workers.
+type levelTotals struct {
+	nIn, nOut int
+	sample    storage.Row
+}
+
+// exchangeIter is the consumer side of the exchange.
+type exchangeIter struct {
+	ctx     *execContext
+	seg     *segment
+	ordered bool
+
+	started   bool
+	cancelled atomic.Bool
+	done      chan struct{}
+	wg        sync.WaitGroup
+	workers   []*segWorker
+	fanin     chan []storage.Row // unordered mode
+
+	batch []storage.Row
+	bi    int
+	part  int // next partition stream to drain (ordered mode)
+
+	// terminal SORT merge state
+	merged        bool
+	bufs          [][]storage.Row
+	heads         []int
+	sortHeldRows  int
+	sortHeldBytes int64
+
+	// terminal GRPBY state
+	seen         map[string]struct{}
+	keyB         strings.Builder
+	grpOut       int
+	grpHeldBytes int64
+
+	harvested  bool
+	scanNScan  int
+	scanNOut   int
+	grpNIn     int
+	lvTotals   []levelTotals
+	upCharged  bool
+	grpCharged bool
+
+	finished, closed bool
+}
+
+// segWorker drives one contiguous partition through the spine.
+type segWorker struct {
+	ex     *exchangeIter
+	id     int
+	lo, hi int
+	ch     chan []storage.Row
+
+	batch     []storage.Row
+	kb        strings.Builder
+	sortBuf   []storage.Row
+	localSeen map[string]struct{}
+
+	// Counters; read by the consumer only after wg.Wait (happens-before).
+	scanNScan, scanNOut int
+	grpNIn              int
+	lv                  []workerLevelCounters
+}
+
+// workerLevelCounters is one worker's per-level bookkeeping.
+type workerLevelCounters struct {
+	nIn, nOut int
+	sample    storage.Row
+}
+
+func (e *exchangeIter) start() {
+	e.started = true
+	exchangeSegments.Add(1)
+	e.done = make(chan struct{})
+	// Drain build sides on the consumer thread, topmost level first — the
+	// exact order serial nested buildInner calls fire — so build-subtree
+	// charges, insertion order and samples are identical to serial.
+	for i := len(e.seg.levels) - 1; i >= 0; i-- {
+		lv := e.seg.levels[i]
+		if lv.kind != levelJoin {
+			continue
+		}
+		lv.build = e.ctx.drainBuild(lv.innerIter, lv.node.Inner, lv.key, lv.nInnerCols)
+	}
+	parts := storage.SplitRange(e.seg.scan.lo, e.seg.scan.hi, e.ctx.workers)
+	e.workers = make([]*segWorker, len(parts))
+	if !e.ordered {
+		e.fanin = make(chan []storage.Row, exchangeChanDepth*len(parts))
+	}
+	if e.seg.term == termGrpBy {
+		e.seen = make(map[string]struct{})
+	}
+	for i, p := range parts {
+		w := &segWorker{ex: e, id: i, lo: p[0], hi: p[1]}
+		w.lv = make([]workerLevelCounters, len(e.seg.levels))
+		if e.ordered {
+			w.ch = make(chan []storage.Row, exchangeChanDepth)
+		}
+		if e.seg.term == termGrpBy {
+			w.localSeen = make(map[string]struct{})
+		}
+		e.workers[i] = w
+	}
+	for _, w := range e.workers {
+		e.wg.Add(1)
+		go w.main()
+	}
+	if !e.ordered {
+		go func() {
+			e.wg.Wait()
+			close(e.fanin)
+		}()
+	}
+}
+
+func (e *exchangeIter) Next() (storage.Row, bool) {
+	if e.finished {
+		return nil, false
+	}
+	if !e.started {
+		e.start()
+	}
+	switch e.seg.term {
+	case termSort:
+		if !e.merged {
+			e.collectSorted()
+		}
+		row, ok := e.mergeNext()
+		if !ok {
+			e.finished = true
+		}
+		return row, ok
+	case termGrpBy:
+		for {
+			row, ok := e.nextRaw()
+			if !ok {
+				e.finished = true
+				e.finalizeCharges()
+				return nil, false
+			}
+			k := groupKeyOf(row, e.seg.grpKey, &e.keyB)
+			if _, dup := e.seen[k]; dup {
+				continue
+			}
+			e.seen[k] = struct{}{}
+			e.ctx.hold(1, int64(len(k)))
+			e.grpHeldBytes += int64(len(k))
+			e.grpOut++
+			return row, true
+		}
+	default:
+		row, ok := e.nextRaw()
+		if !ok {
+			e.finished = true
+			e.finalizeCharges()
+		}
+		return row, ok
+	}
+}
+
+// nextRaw serves the next merged spine-output row: partition streams drained
+// in order (ordered mode) or the shared fan-in channel (unordered).
+func (e *exchangeIter) nextRaw() (storage.Row, bool) {
+	for {
+		if e.bi < len(e.batch) {
+			row := e.batch[e.bi]
+			e.bi++
+			return row, true
+		}
+		if e.ordered {
+			if e.part >= len(e.workers) {
+				return nil, false
+			}
+			batch, ok := <-e.workers[e.part].ch
+			if !ok {
+				e.part++
+				continue
+			}
+			e.batch, e.bi = batch, 0
+		} else {
+			batch, ok := <-e.fanin
+			if !ok {
+				return nil, false
+			}
+			e.batch, e.bi = batch, 0
+		}
+	}
+}
+
+// collectSorted gathers every worker's locally sorted buffer, charges the
+// whole segment (the serial sortIter charges at buffer time, before any row
+// streams out), and arms the merge.
+func (e *exchangeIter) collectSorted() {
+	e.merged = true
+	e.bufs = make([][]storage.Row, len(e.workers))
+	for i, w := range e.workers {
+		if buf, ok := <-w.ch; ok {
+			e.bufs[i] = buf
+		}
+	}
+	e.wg.Wait()
+	e.harvest()
+	e.chargeUpstream()
+	// The serial pipeline releases its build sides when the sort closes its
+	// drained child — before the sort buffer is held. Matching that chronology
+	// keeps the peak-residency accounting identical to serial.
+	for _, lv := range e.seg.levels {
+		if lv.kind == levelJoin && lv.build != nil {
+			lv.build.release(e.ctx)
+			lv.build = nil
+		}
+	}
+	e.heads = make([]int, len(e.bufs))
+	total := 0
+	for _, b := range e.bufs {
+		total += len(b)
+	}
+	// The serial sort samples its first post-sort row for the width — the
+	// global minimum, which the merge's first pick reproduces exactly.
+	var sample storage.Row
+	if row, ok := e.peekMin(); ok {
+		sample = row
+	}
+	width := rowWidthOf(sample, len(e.seg.cols))
+	e.sortHeldRows = total
+	e.sortHeldBytes = int64(width) * int64(total)
+	e.ctx.hold(total, e.sortHeldBytes)
+	e.ctx.charge(e.seg.termNode, e.ctx.sortMillis(float64(total), width), total)
+}
+
+// peekMin returns the smallest head row across partitions without consuming
+// it (ties resolve to the lowest partition — the stable-merge rule).
+func (e *exchangeIter) peekMin() (storage.Row, bool) {
+	best := -1
+	for i, b := range e.bufs {
+		if e.heads[i] >= len(b) {
+			continue
+		}
+		if best < 0 || lessRows(b[e.heads[i]], e.bufs[best][e.heads[best]], e.seg.sortKey) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+	return e.bufs[best][e.heads[best]], true
+}
+
+func (e *exchangeIter) mergeNext() (storage.Row, bool) {
+	best := -1
+	for i, b := range e.bufs {
+		if e.heads[i] >= len(b) {
+			continue
+		}
+		if best < 0 || lessRows(b[e.heads[i]], e.bufs[best][e.heads[best]], e.seg.sortKey) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+	row := e.bufs[best][e.heads[best]]
+	e.heads[best]++
+	return row, true
+}
+
+// lessRows compares two rows on the sort key columns; false on equal keys,
+// so an ascending partition sweep keeps the stable (lowest-partition-first)
+// order — exactly sort.SliceStable over the concatenated partitions.
+func lessRows(a, b storage.Row, keyIdx []int) bool {
+	for _, p := range keyIdx {
+		if cmp := catalog.Compare(a[p], b[p]); cmp != 0 {
+			return cmp < 0
+		}
+	}
+	return false
+}
+
+// harvest sums worker counters (workers have exited; partition order makes
+// the sample picks deterministic).
+func (e *exchangeIter) harvest() {
+	if e.harvested {
+		return
+	}
+	e.harvested = true
+	e.lvTotals = make([]levelTotals, len(e.seg.levels))
+	for _, w := range e.workers {
+		e.scanNScan += w.scanNScan
+		e.scanNOut += w.scanNOut
+		e.grpNIn += w.grpNIn
+		for li := range e.lvTotals {
+			e.lvTotals[li].nIn += w.lv[li].nIn
+			e.lvTotals[li].nOut += w.lv[li].nOut
+			if e.lvTotals[li].sample == nil && w.lv[li].sample != nil {
+				e.lvTotals[li].sample = w.lv[li].sample
+			}
+		}
+	}
+}
+
+// chargeUpstream charges the scan and every spine level from the summed
+// counters, in the serial pipeline's order: scan first (it exhausts first),
+// then the spine bottom-up.
+func (e *exchangeIter) chargeUpstream() {
+	if e.upCharged {
+		return
+	}
+	e.upCharged = true
+	c := e.ctx
+	sc := e.seg.scan
+	if sc.node.Op == qgm.OpTBSCAN {
+		c.chargeTBScan(sc.node, e.scanNScan, e.scanNOut, sc.tablePages, sc.tableRows)
+	} else {
+		c.chargeIXScan(sc.node, sc.idxDef, e.scanNScan, e.scanNOut, sc.tablePages, sc.tableRows, sc.rowsPerPage)
+	}
+	for li, lv := range e.seg.levels {
+		t := e.lvTotals[li]
+		if lv.kind == levelFilter {
+			// Same charge the serial passIter(FILTER) computes.
+			c.charge(lv.node, float64(t.nIn)*c.cfg.CPUSpeed*0.2, t.nIn)
+			continue
+		}
+		c.chargeJoin(lv.node, joinActuals{
+			outerRows: t.nIn, innerRows: len(lv.build.rows), outRows: t.nOut,
+			outerSample: t.sample, innerSample: lv.build.sample(),
+			nOuterCols: lv.nOuterCols, nInnerCols: lv.nInnerCols,
+		})
+	}
+}
+
+// finalizeCharges fires at exhaustion of the non-sort paths (the sort path
+// charges in collectSorted): upstream first, then the terminal GRPBY —
+// mirroring the serial order where the child pipeline finalizes inside the
+// last groupByIter.Next.
+func (e *exchangeIter) finalizeCharges() {
+	e.harvest()
+	e.chargeUpstream()
+	if e.seg.term == termGrpBy && !e.grpCharged {
+		e.grpCharged = true
+		e.ctx.charge(e.seg.termNode, float64(e.grpNIn)*e.ctx.cfg.CPUSpeed, e.grpOut)
+	}
+}
+
+func (e *exchangeIter) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.finished = true
+	if e.started {
+		e.cancelled.Store(true)
+		close(e.done)
+		e.wg.Wait()
+	} else {
+		// Never ran: close the un-drained build subtrees (charging their
+		// zero work, as a closed serial pipeline would).
+		for _, lv := range e.seg.levels {
+			if lv.kind == levelJoin && lv.build == nil {
+				lv.innerIter.Close()
+			}
+		}
+	}
+	e.finalizeCharges()
+	for _, lv := range e.seg.levels {
+		if lv.kind == levelJoin && lv.build != nil {
+			lv.build.release(e.ctx)
+			lv.build = nil
+		}
+	}
+	if e.merged {
+		e.ctx.release(e.sortHeldRows, e.sortHeldBytes)
+		e.bufs = nil
+	}
+	if e.grpHeldBytes > 0 || e.grpOut > 0 {
+		e.ctx.release(e.grpOut, e.grpHeldBytes)
+		e.seen = nil
+	}
+}
+
+// --- worker side -------------------------------------------------------------
+
+func (w *segWorker) main() {
+	exchangeWorkers.Add(1)
+	// Deferred calls run LIFO: the counter must hit zero before wg.Done
+	// releases a Close() waiting on the group, so tests observing
+	// ExchangeWorkerCount()==0 after Close are exact, not eventual.
+	defer w.ex.wg.Done()
+	defer exchangeWorkers.Add(-1)
+	ok := w.scanPartition()
+	if w.ex.seg.term == termSort {
+		if ok {
+			w.sortLocal()
+			select {
+			case w.ch <- w.sortBuf:
+			case <-w.ex.done:
+			}
+		}
+		close(w.ch)
+		return
+	}
+	if ok {
+		w.flush()
+	}
+	if w.ex.ordered {
+		close(w.ch)
+	}
+}
+
+// scanPartition drives the partition's rows through the spine; false when
+// cancelled.
+func (w *segWorker) scanPartition() bool {
+	sc := w.ex.seg.scan
+	ctx := w.ex.ctx
+	if sc.node.Op == qgm.OpTBSCAN {
+		for i := w.lo; i < w.hi; i++ {
+			if i&1023 == 0 && w.ex.cancelled.Load() {
+				return false
+			}
+			row := sc.rows[i]
+			w.scanNScan++
+			if !ctx.rowMatches(sc.table.Def, row, sc.preds) {
+				continue
+			}
+			w.scanNOut++
+			if !w.feed(0, row) {
+				return false
+			}
+		}
+		return true
+	}
+	for i := w.lo; i < w.hi; i++ {
+		if i&1023 == 0 && w.ex.cancelled.Load() {
+			return false
+		}
+		row := sc.table.Rows[sc.entries[i].RowID]
+		w.scanNScan++
+		if !ctx.rowMatches(sc.table.Def, row, sc.preds) {
+			continue
+		}
+		w.scanNOut++
+		if !w.feed(0, row) {
+			return false
+		}
+	}
+	return true
+}
+
+// feed pushes one row through spine level li and everything above it.
+func (w *segWorker) feed(li int, row storage.Row) bool {
+	levels := w.ex.seg.levels
+	if li == len(levels) {
+		return w.emit(row)
+	}
+	lv := levels[li]
+	cnt := &w.lv[li]
+	cnt.nIn++
+	if cnt.sample == nil {
+		cnt.sample = row
+	}
+	if lv.kind == levelFilter {
+		cnt.nOut++
+		return w.feed(li+1, row)
+	}
+	for _, irow := range lv.build.matches(row, &w.kb) {
+		cnt.nOut++
+		if !w.feed(li+1, concatRows(row, irow)) {
+			return false
+		}
+	}
+	return true
+}
+
+// emit hands a spine-output row to the terminal: buffered for the local
+// sort, locally deduplicated for GRPBY (the consumer dedupes globally), or
+// batched straight out.
+func (w *segWorker) emit(row storage.Row) bool {
+	switch w.ex.seg.term {
+	case termSort:
+		w.sortBuf = append(w.sortBuf, row)
+		return true
+	case termGrpBy:
+		w.grpNIn++
+		k := groupKeyOf(row, w.ex.seg.grpKey, &w.kb)
+		if _, dup := w.localSeen[k]; dup {
+			return true
+		}
+		w.localSeen[k] = struct{}{}
+	}
+	w.batch = append(w.batch, row)
+	if len(w.batch) >= exchangeBatchRows {
+		return w.flush()
+	}
+	return true
+}
+
+func (w *segWorker) flush() bool {
+	if len(w.batch) == 0 {
+		return true
+	}
+	batch := w.batch
+	w.batch = make([]storage.Row, 0, exchangeBatchRows)
+	out := w.ch
+	if !w.ex.ordered {
+		out = w.ex.fanin
+	}
+	select {
+	case out <- batch:
+		return true
+	case <-w.ex.done:
+		return false
+	}
+}
+
+// sortLocal stable-sorts the partition buffer; partition-local stable order
+// plus the stable merge equals the serial global stable sort.
+func (w *segWorker) sortLocal() {
+	keyIdx := w.ex.seg.sortKey
+	if len(keyIdx) == 0 {
+		return
+	}
+	sortStableBy(w.sortBuf, keyIdx)
+}
+
+// sortStableBy stable-sorts rows on the key columns — the one comparison the
+// serial sortIter, the materializing matSort and the exchange workers all
+// share, so their orders agree row for row.
+func sortStableBy(rows []storage.Row, keyIdx []int) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, p := range keyIdx {
+			if cmp := catalog.Compare(rows[i][p], rows[j][p]); cmp != 0 {
+				return cmp < 0
+			}
+		}
+		return false
+	})
+}
+
+// groupKeyOf serializes the group-by key columns (shared between workers'
+// local dedupe and the consumer's global dedupe — the key strings must be
+// identical).
+func groupKeyOf(row storage.Row, keyIdx []int, kb *strings.Builder) string {
+	kb.Reset()
+	for _, p := range keyIdx {
+		kb.WriteString(row[p].Key())
+		kb.WriteByte('|')
+	}
+	return kb.String()
+}

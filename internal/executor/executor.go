@@ -77,10 +77,49 @@ type Executor struct {
 	// per-operator actuals, much larger PeakIntermediateRows) and for the
 	// BENCH_executor comparison; serving paths leave it false.
 	Materialize bool
+	// Workers enables intra-query parallelism: qualifying pipeline segments
+	// (a scan plus the FILTER/HSJOIN spine above it, with an optional
+	// terminal SORT or GRPBY) run as an exchange — the scan partitioned
+	// across up to Workers goroutines, merged order-preserving when the
+	// input is ordered or a terminal breaker demands it, unordered fan-in
+	// otherwise. 0 or 1 means serial. Per-operator actuals are aggregated
+	// deterministically, so charges are bit-identical at any worker count.
+	Workers int
+	// ShareScans lets concurrent executions of large table scans pin one
+	// snapshot and read it once: the first overlapping scan triggers a
+	// single shared producer pass that fans rows to every attached cursor
+	// (late attachers wrap around to cover the prefix they missed). Row
+	// counts and charges are unchanged; result row order rotates by attach
+	// position.
+	ShareScans bool
+
+	shared *scanRegistry
 }
 
 // New returns an executor over the database.
-func New(db *storage.Database) *Executor { return &Executor{DB: db} }
+func New(db *storage.Database) *Executor {
+	return &Executor{DB: db, shared: newScanRegistry()}
+}
+
+// WithWorkers returns a view of the executor with a different worker count —
+// a cheap copy sharing the database and the shared-scan registry, so a
+// per-execution admission decision (the core memory governor degrading a
+// too-big plan to serial) does not need a second executor.
+func (e *Executor) WithWorkers(n int) *Executor {
+	cp := *e
+	cp.Workers = n
+	return &cp
+}
+
+// SharedScanStats reports the shared-scan registry counters: shared producer
+// passes started, consumers that attached to one, and consumers detached for
+// falling behind the producer.
+func (e *Executor) SharedScanStats() (passes, attached, overflows int64) {
+	if e.shared == nil {
+		return 0, 0, 0
+	}
+	return e.shared.passes.Load(), e.shared.attached.Load(), e.shared.overflows.Load()
+}
 
 // Execute runs the plan for the query. The plan's nodes are annotated with
 // actual cardinalities and per-operator simulated milliseconds as a side
@@ -138,6 +177,7 @@ func (e *Executor) Open(plan *qgm.Plan, q *sqlparser.Query) (*Cursor, error) {
 		cfg:       e.DB.Catalog.Config,
 		instToRef: map[string]string{},
 		refToInst: map[string]string{},
+		workers:   e.Workers,
 	}
 	for i, ref := range work.From {
 		inst := fmt.Sprintf("Q%d", i+1)
@@ -219,8 +259,8 @@ func (c *Cursor) finish() {
 	c.finished = true
 	c.root.Close()
 	c.ctx.stats.Rows = c.rows
-	c.ctx.stats.PeakIntermediateRows = c.ctx.peakRows
-	c.ctx.stats.PeakIntermediateBytes = c.ctx.peakBytes
+	c.ctx.stats.PeakIntermediateRows = c.ctx.res.peakRows
+	c.ctx.stats.PeakIntermediateBytes = c.ctx.res.peakBytes
 	c.plan.ActualMillis = c.ctx.stats.ElapsedMillis
 }
 
@@ -232,31 +272,16 @@ type execContext struct {
 	stats     RunStats
 	instToRef map[string]string
 	refToInst map[string]string
+	workers   int
 
-	// likeRE caches compiled LIKE patterns for this execution: LIKE-heavy
-	// scans would otherwise recompile the same regexp once per row.
-	likeRE map[string]*regexp.Regexp
-
-	// Live intermediate-row accounting (see RunStats.PeakIntermediateRows).
-	curRows, peakRows   int64
-	curBytes, peakBytes int64
+	// res is the live intermediate-row accounting (see
+	// RunStats.PeakIntermediateRows), shared by the streaming and
+	// materializing engines through hold/release.
+	res residency
 }
 
-func (c *execContext) hold(rows int, bytes int64) {
-	c.curRows += int64(rows)
-	c.curBytes += bytes
-	if c.curRows > c.peakRows {
-		c.peakRows = c.curRows
-	}
-	if c.curBytes > c.peakBytes {
-		c.peakBytes = c.curBytes
-	}
-}
-
-func (c *execContext) release(rows int, bytes int64) {
-	c.curRows -= int64(rows)
-	c.curBytes -= bytes
-}
+func (c *execContext) hold(rows int, bytes int64)    { c.res.hold(rows, bytes) }
+func (c *execContext) release(rows int, bytes int64) { c.res.release(rows, bytes) }
 
 func (c *execContext) charge(node *qgm.Node, millis float64, rows int) {
 	c.stats.ElapsedMillis += millis
@@ -272,6 +297,11 @@ type rowset struct {
 	cols  []string // "Qi.COLUMN"
 	rows  []storage.Row
 	index map[string]int
+
+	// Residency held for this rowset (set by holdRowset, cleared by
+	// releaseRowset) so the release matches the hold even if rows change.
+	heldRows  int
+	heldBytes int64
 }
 
 func (r *rowset) colIndex(name string) int {
@@ -310,7 +340,8 @@ func scanColumns(inst string, def *catalog.Table) []string {
 }
 
 // rowMatches applies the local predicates to a base-table row. LIKE patterns
-// go through the per-execution regexp cache.
+// go through the process-wide compiled-pattern cache. Safe for concurrent use
+// by exchange workers: it only reads execution state.
 func (c *execContext) rowMatches(def *catalog.Table, row storage.Row, preds []sqlparser.Predicate) bool {
 	for _, p := range preds {
 		v := storage.Value(def, row, p.Left.Column)
@@ -327,22 +358,14 @@ func (c *execContext) rowMatches(def *catalog.Table, row storage.Row, preds []sq
 	return true
 }
 
-// evalLike evaluates a LIKE predicate using the execution's compiled-pattern
-// cache.
+// evalLike evaluates a LIKE predicate through the process-wide
+// compiled-pattern cache (routinized repeats of a query stop recompiling).
 func (c *execContext) evalLike(p sqlparser.Predicate, v catalog.Value) bool {
 	if v.IsNull() {
 		return false
 	}
-	pattern := p.Value.AsString()
-	re, ok := c.likeRE[pattern]
-	if !ok {
-		re = compileLike(pattern)
-		if c.likeRE == nil {
-			c.likeRE = make(map[string]*regexp.Regexp)
-		}
-		c.likeRE[pattern] = re
-	}
-	ok = re != nil && re.MatchString(v.AsString())
+	re := likeCache.get(p.Value.AsString())
+	ok := re != nil && re.MatchString(v.AsString())
 	if p.Not {
 		return !ok
 	}

@@ -2,8 +2,6 @@ package executor
 
 import (
 	"fmt"
-	"math"
-	"sort"
 	"strings"
 
 	"galo/internal/catalog"
@@ -30,6 +28,18 @@ type rowIter interface {
 // returns it with its output column layout. All plan validation (unknown
 // tables, missing indexes) happens here, before the first row flows.
 func (c *execContext) open(node *qgm.Node) (rowIter, []string, error) {
+	if c.workers > 1 {
+		// Try to run this subtree as a parallel exchange segment; shapes
+		// that don't qualify fall through to the serial operators (whose
+		// children get their own chance to qualify).
+		it, cols, ok, err := c.openParallel(node)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			return it, cols, nil
+		}
+	}
 	switch {
 	case node.Op == qgm.OpRETURN:
 		child, cols, err := c.open(node.Outer)
@@ -151,10 +161,24 @@ func (c *execContext) openScan(node *qgm.Node) (rowIter, []string, error) {
 
 	switch node.Op {
 	case qgm.OpTBSCAN:
-		return &tbscanIter{
+		it := &tbscanIter{
 			ctx: c, node: node, table: table, preds: preds,
+			snap: table.Rows, limit: len(table.Rows),
 			tablePages: tablePages, tableRows: tableRows,
-		}, cols, nil
+		}
+		if reg := c.exec.shared; reg != nil && c.exec.ShareScans && len(table.Rows) >= sharedScanMinRows {
+			it.reg = reg
+			snap, feed := reg.attach(table)
+			if feed != nil {
+				// Joined a shared pass: serve the feed first, then wrap
+				// around to cover [0, attachPos) privately.
+				it.snap, it.feed = snap, feed
+				it.pos, it.limit = 0, 0
+			} else {
+				it.regPrivate = true
+			}
+		}
+		return it, cols, nil
 	case qgm.OpIXSCAN, qgm.OpFETCH:
 		idxDef := table.Def.IndexByName(node.Index)
 		if idxDef == nil {
@@ -203,31 +227,83 @@ func indexBounds(idx *storage.IndexData, lead string, preds []sqlparser.Predicat
 
 // tbscanIter streams a full table scan, filtering each row before it leaves
 // the operator (predicate pushdown: non-matching rows never enter the
-// pipeline).
+// pipeline). Under Executor.ShareScans it may source rows from a shared
+// producer pass instead of reading the snapshot itself: the feed delivers
+// [attachPos, end), then the iterator wraps to cover [0, attachPos)
+// privately — every snapshot row exactly once, so counts and charges are
+// identical to a private scan; only the row order rotates.
 type tbscanIter struct {
 	ctx   *execContext
 	node  *qgm.Node
 	table *storage.Table
 	preds []sqlparser.Predicate
 
-	pos, nScan, nOut      int
+	snap       []storage.Row // pinned snapshot (shared passes read the same one)
+	pos, limit int           // current private range [pos, limit)
+	wrapEnd    int           // after the private range, continue over [0, wrapEnd)
+	wrapped    bool
+
+	reg        *scanRegistry
+	regPrivate bool
+	feed       *scanFeed
+	feedBatch  []storage.Row
+	fi         int
+
+	nScan, nOut           int
 	tablePages, tableRows float64
 	charged, closed       bool
 }
 
 func (s *tbscanIter) Next() (storage.Row, bool) {
-	rows := s.table.Rows
-	for s.pos < len(rows) {
-		row := rows[s.pos]
-		s.pos++
+	for {
+		row, ok := s.nextRaw()
+		if !ok {
+			s.finalize()
+			return nil, false
+		}
 		s.nScan++
 		if s.ctx.rowMatches(s.table.Def, row, s.preds) {
 			s.nOut++
 			return row, true
 		}
 	}
-	s.finalize()
-	return nil, false
+}
+
+// nextRaw produces the next unfiltered snapshot row: feed batches while the
+// shared producer is ahead of us, then the private ranges. A blocking feed
+// receive is safe — the producer goroutine always runs to completion and
+// closes every attached channel (detaching consumers it cannot keep fed).
+func (s *tbscanIter) nextRaw() (storage.Row, bool) {
+	if f := s.feed; f != nil {
+		for {
+			if s.fi < len(s.feedBatch) {
+				row := s.feedBatch[s.fi]
+				s.fi++
+				return row, true
+			}
+			batch, ok := <-f.ch
+			if !ok {
+				// Producer finished (or detached us): read the undelivered
+				// tail privately, then wrap to the prefix we attached after.
+				s.pos, s.limit, s.wrapEnd = f.resume, len(s.snap), f.start
+				s.feed, s.feedBatch = nil, nil
+				break
+			}
+			s.feedBatch, s.fi = batch, 0
+		}
+	}
+	for {
+		if s.pos < s.limit {
+			row := s.snap[s.pos]
+			s.pos++
+			return row, true
+		}
+		if s.wrapped || s.wrapEnd == 0 {
+			return nil, false
+		}
+		s.wrapped = true
+		s.pos, s.limit = 0, s.wrapEnd
+	}
 }
 
 // finalize charges the scan for the fraction of the table actually read —
@@ -238,15 +314,11 @@ func (s *tbscanIter) finalize() {
 		return
 	}
 	s.charged = true
-	frac := 1.0
-	if s.tableRows > 0 {
-		frac = float64(s.nScan) / s.tableRows
+	s.ctx.chargeTBScan(s.node, s.nScan, s.nOut, s.tablePages, s.tableRows)
+	if s.reg != nil {
+		s.reg.detach(s.table, s.feed, s.regPrivate)
+		s.reg, s.feed, s.regPrivate = nil, nil, false
 	}
-	pages := s.tablePages * frac
-	s.ctx.stats.LogicalReads += int64(pages)
-	s.ctx.stats.PhysicalReads += int64(pages)
-	s.ctx.stats.CPURows += int64(s.nScan)
-	s.ctx.charge(s.node, pages*s.ctx.rt()+float64(s.nScan)*s.ctx.cfg.CPUSpeed, s.nOut)
 }
 
 func (s *tbscanIter) Close() {
@@ -295,31 +367,7 @@ func (s *ixscanIter) finalize() {
 		return
 	}
 	s.charged = true
-	c := s.ctx
-	matchRows := float64(s.nCand)
-	leafPages := math.Max(s.tableRows/300, 1)
-	frac := matchRows / math.Max(s.tableRows, 1)
-	// Mirrors ixscanCost: the B-tree dive only pays a full random I/O when
-	// the table exceeds the buffer pool.
-	dive := c.cfg.Overhead
-	if s.tablePages <= float64(c.cfg.BufferPoolPages) {
-		dive = c.cfg.Overhead * 0.1
-	}
-	millis := dive + leafPages*frac*c.rt() + matchRows*c.cfg.CPUSpeed*0.5
-	c.stats.LogicalReads += int64(leafPages * frac)
-	c.stats.CPURows += int64(matchRows)
-	if s.node.Op == qgm.OpFETCH {
-		clustered := matchRows * s.idxDef.ClusterRatio
-		unclustered := matchRows * (1 - s.idxDef.ClusterRatio)
-		randomIO := c.cfg.Overhead
-		if s.tablePages <= float64(c.cfg.BufferPoolPages) {
-			randomIO = c.rt() * 0.25
-		}
-		millis += (clustered/math.Max(s.rowsPerPage, 1))*c.rt() + unclustered*randomIO + matchRows*c.cfg.CPUSpeed
-		c.stats.PhysicalReads += int64(unclustered) + int64(clustered/math.Max(s.rowsPerPage, 1))
-		c.stats.LogicalReads += int64(matchRows)
-	}
-	c.charge(s.node, millis, s.nOut)
+	s.ctx.chargeIXScan(s.node, s.idxDef, s.nCand, s.nOut, s.tablePages, s.tableRows, s.rowsPerPage)
 }
 
 func (s *ixscanIter) Close() {
@@ -373,15 +421,7 @@ func (s *sortIter) buffer() {
 	}
 	s.child.Close()
 	if len(s.keyIdx) > 0 {
-		idx := s.keyIdx
-		sort.SliceStable(s.rows, func(i, j int) bool {
-			for _, p := range idx {
-				if cmp := catalog.Compare(s.rows[i][p], s.rows[j][p]); cmp != 0 {
-					return cmp < 0
-				}
-			}
-			return false
-		})
+		sortStableBy(s.rows, s.keyIdx)
 	}
 	var sample storage.Row
 	if len(s.rows) > 0 {

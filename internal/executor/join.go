@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"galo/internal/catalog"
 	"galo/internal/qgm"
@@ -60,13 +61,8 @@ type joinIter struct {
 
 	nOuterCols, nInnerCols int
 
-	built     bool
-	buildRows []storage.Row
-	build     map[string][]storage.Row
-	// buildFast replaces build for single-column join keys (the common case):
-	// hashing a comparable struct skips the per-row key-string allocation.
-	buildFast map[fastKey][]storage.Row
-	heldBytes int64
+	built bool
+	hb    *hashBuild
 
 	// MSJOIN early-out bookkeeping (the Figure 8 rescue): count how many
 	// outer rows a merge join would have read before passing the largest
@@ -110,7 +106,7 @@ func (j *joinIter) Next() (storage.Row, bool) {
 			j.nProcessed++
 		}
 		j.cur = orow
-		j.matches = j.matchesFor(orow)
+		j.matches = j.hb.matches(orow, &j.kb)
 		j.mi = 0
 	}
 }
@@ -119,48 +115,234 @@ func (j *joinIter) Next() (storage.Row, bool) {
 // join key. The buffer is charged to the intermediate accounting until Close.
 func (j *joinIter) buildInner() {
 	j.built = true
-	j.buildRows = make([]storage.Row, 0, presizeHint(j.node.Inner.EstCardinality))
+	j.hb = j.ctx.drainBuild(j.inner, j.node.Inner, j.key, j.nInnerCols)
+	if j.node.Op == qgm.OpMSJOIN && j.node.EarlyOut && len(j.key.outerPos) > 0 && len(j.hb.rows) > 0 {
+		j.trackEarlyOut = true
+		j.maxInner = maxKey(j.hb.rows, j.key.innerPos[0])
+	}
+}
+
+// drainBuild drains a join's inner child into a hashBuild (holding the
+// buffered rows in the intermediate accounting until the owner releases
+// them). Shared by the serial joinIter and the exchange's build phase.
+func (c *execContext) drainBuild(inner rowIter, innerNode *qgm.Node, key joinKey, nInnerCols int) *hashBuild {
+	rows := make([]storage.Row, 0, presizeHint(innerNode.EstCardinality))
 	for {
-		row, ok := j.inner.Next()
+		row, ok := inner.Next()
 		if !ok {
 			break
 		}
-		j.buildRows = append(j.buildRows, row)
+		rows = append(rows, row)
 	}
-	j.inner.Close()
+	inner.Close()
+	b := newHashBuild(rows, key, nInnerCols, c.workers, innerNode.EstCardinality)
+	c.hold(len(rows), b.heldBytes)
+	return b
+}
 
-	var sample storage.Row
-	if len(j.buildRows) > 0 {
-		sample = j.buildRows[0]
+// parallelBuildMinRows is the smallest build side worth hash-partitioning
+// across workers; below it the partitioning pass costs more than it saves.
+const parallelBuildMinRows = 4096
+
+// hashBuild is a hash-join build side: the buffered inner rows plus the
+// key → rows index. With workers > 1 and a large input the index is
+// hash-partitioned — a serial pass splits rows by key hash (preserving drain
+// order within each partition), then per-worker goroutines build the
+// partition maps concurrently. Within-bucket insertion order equals the
+// global drain order either way, so match chains — and therefore emission
+// order and every charge — are identical to the serial build.
+type hashBuild struct {
+	key        joinKey
+	rows       []storage.Row
+	nInnerCols int
+	heldBytes  int64
+
+	// single indexes single-column keys (the common case) by comparable
+	// fastKey — no per-row key-string allocation; multi indexes multi-column
+	// keys by their serialized string. len > 1 means hash-partitioned.
+	single []map[fastKey][]storage.Row
+	multi  []map[string][]storage.Row
+}
+
+func newHashBuild(rows []storage.Row, key joinKey, nInnerCols, workers int, estCard float64) *hashBuild {
+	b := &hashBuild{key: key, rows: rows, nInnerCols: nInnerCols}
+	b.heldBytes = rowsFootprint(rows, nInnerCols)
+	if workers < 2 || len(rows) < parallelBuildMinRows {
+		workers = 1
 	}
-	j.heldBytes = int64(rowWidthOf(sample, j.nInnerCols)) * int64(len(j.buildRows))
-	j.ctx.hold(len(j.buildRows), j.heldBytes)
-
 	switch {
-	case len(j.key.outerPos) == 1:
-		j.buildFast = make(map[fastKey][]storage.Row, len(j.buildRows))
-		p := j.key.innerPos[0]
-		for _, irow := range j.buildRows {
+	case len(key.outerPos) == 0:
+		// No equi-join key: the join degrades to a cartesian product over
+		// b.rows; no index needed.
+	case len(key.innerPos) == 1:
+		p := key.innerPos[0]
+		if workers == 1 {
+			m := make(map[fastKey][]storage.Row, len(rows))
+			for _, irow := range rows {
+				if irow[p].IsNull() {
+					continue
+				}
+				k := fastKeyOf(irow[p])
+				m[k] = append(m[k], irow)
+			}
+			b.single = []map[fastKey][]storage.Row{m}
+			break
+		}
+		parts := partitionRows(rows, workers, estCard, func(irow storage.Row) (uint64, bool) {
 			if irow[p].IsNull() {
-				continue
+				return 0, false
 			}
-			k := fastKeyOf(irow[p])
-			j.buildFast[k] = append(j.buildFast[k], irow)
+			return fastKeyHash(fastKeyOf(irow[p])), true
+		})
+		b.single = make([]map[fastKey][]storage.Row, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				m := make(map[fastKey][]storage.Row, len(parts[w]))
+				for _, irow := range parts[w] {
+					k := fastKeyOf(irow[p])
+					m[k] = append(m[k], irow)
+				}
+				b.single[w] = m
+			}(w)
 		}
-	case len(j.key.outerPos) > 1:
-		j.build = make(map[string][]storage.Row, len(j.buildRows))
-		for _, irow := range j.buildRows {
-			k, ok := j.keyOf(irow, j.key.innerPos)
+		wg.Wait()
+	default:
+		if workers == 1 {
+			m := make(map[string][]storage.Row, len(rows))
+			var kb strings.Builder
+			for _, irow := range rows {
+				k, ok := multiKeyOf(irow, key.innerPos, &kb)
+				if !ok {
+					continue
+				}
+				m[k] = append(m[k], irow)
+			}
+			b.multi = []map[string][]storage.Row{m}
+			break
+		}
+		var kb strings.Builder
+		parts := partitionRows(rows, workers, estCard, func(irow storage.Row) (uint64, bool) {
+			k, ok := multiKeyOf(irow, key.innerPos, &kb)
 			if !ok {
-				continue
+				return 0, false
 			}
-			j.build[k] = append(j.build[k], irow)
+			return hashString(k), true
+		})
+		b.multi = make([]map[string][]storage.Row, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				m := make(map[string][]storage.Row, len(parts[w]))
+				var wkb strings.Builder
+				for _, irow := range parts[w] {
+					k, _ := multiKeyOf(irow, key.innerPos, &wkb)
+					m[k] = append(m[k], irow)
+				}
+				b.multi[w] = m
+			}(w)
 		}
+		wg.Wait()
 	}
-	if j.node.Op == qgm.OpMSJOIN && j.node.EarlyOut && len(j.key.outerPos) > 0 && len(j.buildRows) > 0 {
-		j.trackEarlyOut = true
-		j.maxInner = maxKey(j.buildRows, j.key.innerPos[0])
+	return b
+}
+
+// partitionRows splits build rows into hash partitions in one serial pass —
+// drain order is preserved within each partition. Partition slices are
+// pre-sized from the plan's estimated build cardinality.
+func partitionRows(rows []storage.Row, workers int, estCard float64, hash func(storage.Row) (uint64, bool)) [][]storage.Row {
+	est := presizeHint(estCard)/workers + 1
+	parts := make([][]storage.Row, workers)
+	for i := range parts {
+		parts[i] = make([]storage.Row, 0, est)
 	}
+	for _, irow := range rows {
+		h, ok := hash(irow)
+		if !ok {
+			continue
+		}
+		parts[h%uint64(workers)] = append(parts[h%uint64(workers)], irow)
+	}
+	return parts
+}
+
+// matches returns the build rows joining with one probe-side row, in build
+// insertion order. kb is the caller's scratch builder (each exchange worker
+// probes with its own). With no equi-join key the join degrades to a
+// cartesian product.
+func (b *hashBuild) matches(orow storage.Row, kb *strings.Builder) []storage.Row {
+	switch {
+	case len(b.key.outerPos) == 0:
+		return b.rows
+	case len(b.key.outerPos) == 1:
+		v := orow[b.key.outerPos[0]]
+		if v.IsNull() {
+			return nil
+		}
+		k := fastKeyOf(v)
+		if len(b.single) == 1 {
+			return b.single[0][k]
+		}
+		return b.single[fastKeyHash(k)%uint64(len(b.single))][k]
+	default:
+		k, ok := multiKeyOf(orow, b.key.outerPos, kb)
+		if !ok {
+			return nil
+		}
+		if len(b.multi) == 1 {
+			return b.multi[0][k]
+		}
+		return b.multi[hashString(k)%uint64(len(b.multi))][k]
+	}
+}
+
+// sample returns the first build row (the serial spill-formula sample).
+func (b *hashBuild) sample() storage.Row {
+	if len(b.rows) == 0 {
+		return nil
+	}
+	return b.rows[0]
+}
+
+// release returns the build's buffered rows to the residency accounting.
+func (b *hashBuild) release(c *execContext) {
+	c.release(len(b.rows), b.heldBytes)
+	b.rows, b.single, b.multi = nil, nil, nil
+}
+
+// FNV-1a hashing for build partitioning: deterministic across runs (Go's
+// map hash is seeded per process, so it cannot pick partitions).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func hashString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fastKeyHash(k fastKey) uint64 {
+	h := uint64(fnvOffset64)
+	if k.isStr {
+		h ^= 1
+		h *= fnvPrime64
+		return h ^ hashString(k.s)
+	}
+	bits := math.Float64bits(k.f)
+	for i := 0; i < 8; i++ {
+		h ^= (bits >> (8 * i)) & 0xff
+		h *= fnvPrime64
+	}
+	return h
 }
 
 // fastKey is a comparable, allocation-free stand-in for a single join-key
@@ -180,108 +362,39 @@ func fastKeyOf(v catalog.Value) fastKey {
 	return fastKey{f: v.AsFloat()}
 }
 
-// keyOf serializes the (multi-column) join-key columns of a row; ok is false
-// when any key column is null (null keys never match).
-func (j *joinIter) keyOf(row storage.Row, pos []int) (string, bool) {
-	j.kb.Reset()
+// multiKeyOf serializes the (multi-column) join-key columns of a row; ok is
+// false when any key column is null (null keys never match).
+func multiKeyOf(row storage.Row, pos []int, kb *strings.Builder) (string, bool) {
+	kb.Reset()
 	for _, p := range pos {
 		if row[p].IsNull() {
 			return "", false
 		}
-		j.kb.WriteString(row[p].Key())
-		j.kb.WriteByte('|')
+		kb.WriteString(row[p].Key())
+		kb.WriteByte('|')
 	}
-	return j.kb.String(), true
-}
-
-// matchesFor returns the inner rows joining with one outer row. With no
-// equi-join key the join degrades to a cartesian product.
-func (j *joinIter) matchesFor(orow storage.Row) []storage.Row {
-	switch {
-	case len(j.key.outerPos) == 0:
-		return j.buildRows
-	case len(j.key.outerPos) == 1:
-		v := orow[j.key.outerPos[0]]
-		if v.IsNull() {
-			return nil
-		}
-		return j.buildFast[fastKeyOf(v)]
-	}
-	k, ok := j.keyOf(orow, j.key.outerPos)
-	if !ok {
-		return nil
-	}
-	return j.build[k]
+	return kb.String(), true
 }
 
 // finalize charges the join's simulated cost from the row counts actually
-// processed, through the same formulas the optimizer used at plan time.
+// processed, through the shared charge formulas.
 func (j *joinIter) finalize() {
 	if j.charged {
 		return
 	}
 	j.charged = true
-	c := j.ctx
-	outerRows := float64(j.nOuterRows)
-	innerRows := float64(len(j.buildRows))
-	outRows := float64(j.nOut)
-	cpu := c.cfg.CPUSpeed
-
-	switch j.node.Op {
-	case qgm.OpHSJOIN:
-		probeFactor := 1.0
-		if j.node.BloomFilter {
-			probeFactor = 0.6
-		}
-		millis := innerRows*cpu*2 + outerRows*cpu*probeFactor + outRows*cpu*0.1
-		var innerSample storage.Row
-		if len(j.buildRows) > 0 {
-			innerSample = j.buildRows[0]
-		}
-		buildPages := pagesOf(c.cfg, innerRows, rowWidthOf(innerSample, j.nInnerCols))
-		if buildPages > float64(c.cfg.SortHeapPages) {
-			spill := buildPages
-			outerPages := pagesOf(c.cfg, outerRows, rowWidthOf(j.outerSample, j.nOuterCols))
-			if j.node.BloomFilter {
-				outerPages *= 0.5
-			}
-			spill += outerPages
-			millis += 2 * spill * c.rt()
-			c.stats.SortSpillPages += int64(spill)
-			c.stats.PhysicalReads += int64(spill)
-		}
-		c.stats.CPURows += int64(innerRows + outerRows)
-		c.charge(j.node, millis, j.nOut)
-
-	case qgm.OpNLJOIN:
-		matchedPerProbe := 0.0
-		if outerRows > 0 {
-			matchedPerProbe = outRows / outerRows
-		}
-		perProbe := c.nlProbeMillis(j.node.Inner, matchedPerProbe, innerRows)
-		millis := outerRows*perProbe + outRows*cpu
-		c.stats.CPURows += int64(outerRows)
-		c.charge(j.node, millis, j.nOut)
-
-	case qgm.OpMSJOIN:
-		// A merge join over sorted inputs can stop reading the outer as soon
-		// as its key exceeds the largest inner key (the Figure 8 early-out).
-		outerProcessed := outerRows
-		if j.trackEarlyOut {
-			outerProcessed = float64(j.nProcessed) + 1
-			if outerProcessed > outerRows {
-				outerProcessed = outerRows
-			}
-		}
-		if innerRows == 0 {
-			outerProcessed = 1
-		}
-		// Same formula as the optimizer's msjoinCost, over actual row counts:
-		// a single interleaved pass over pre-sorted inputs.
-		millis := (outerProcessed+innerRows)*cpu*0.5 + outRows*cpu*0.1
-		c.stats.CPURows += int64(outerProcessed + innerRows)
-		c.charge(j.node, millis, j.nOut)
+	innerRows := 0
+	var innerSample storage.Row
+	if j.hb != nil {
+		innerRows = len(j.hb.rows)
+		innerSample = j.hb.sample()
 	}
+	j.ctx.chargeJoin(j.node, joinActuals{
+		outerRows: j.nOuterRows, innerRows: innerRows, outRows: j.nOut,
+		outerSample: j.outerSample, innerSample: innerSample,
+		nOuterCols: j.nOuterCols, nInnerCols: j.nInnerCols,
+		trackEarlyOut: j.trackEarlyOut, nProcessed: j.nProcessed,
+	})
 }
 
 func (j *joinIter) Close() {
@@ -295,10 +408,7 @@ func (j *joinIter) Close() {
 	}
 	j.finalize()
 	if j.built {
-		j.ctx.release(len(j.buildRows), j.heldBytes)
-		j.buildRows = nil
-		j.build = nil
-		j.buildFast = nil
+		j.hb.release(j.ctx)
 	}
 }
 

@@ -22,15 +22,19 @@ import (
 // accounting (an operator's output is held before its inputs are released,
 // so the peak reflects the in+out residency materialization actually has).
 
-// holdRowset charges a materialized intermediate rowset to the live
-// accounting.
+// holdRowset charges a materialized intermediate rowset to the same residency
+// tracker the streaming path uses (execContext.res), remembering the footprint
+// so release returns exactly what was held.
 func (c *execContext) holdRowset(rs *rowset) {
-	c.hold(len(rs.rows), int64(rowWidth(rs))*int64(len(rs.rows)))
+	rs.heldBytes = rowsFootprint(rs.rows, len(rs.cols))
+	rs.heldRows = len(rs.rows)
+	c.hold(rs.heldRows, rs.heldBytes)
 }
 
 // releaseRowset returns a materialized rowset's rows to the accounting.
 func (c *execContext) releaseRowset(rs *rowset) {
-	c.release(len(rs.rows), int64(rowWidth(rs))*int64(len(rs.rows)))
+	c.release(rs.heldRows, rs.heldBytes)
+	rs.heldRows, rs.heldBytes = 0, 0
 }
 
 // matRun executes the subtree rooted at node and returns its output rows.

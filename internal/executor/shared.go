@@ -1,0 +1,201 @@
+package executor
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"galo/internal/storage"
+)
+
+// Shared scans: when Executor.ShareScans is on and two executions scan the
+// same large base table concurrently, the registry spawns one producer
+// goroutine that pins the table snapshot and reads it once, fanning row
+// batches to every attached consumer. A consumer that attaches after the
+// producer has advanced receives [attachPos, end) from the feed and covers
+// [0, attachPos) itself afterwards, so it still sees every snapshot row
+// exactly once — counts and charges are identical to a private scan; only
+// the row order rotates by the attach position.
+//
+// The producer never blocks on a consumer: sends are non-blocking, and a
+// consumer whose channel is full is detached (its feed closes with a resume
+// position; it falls back to private reads). That is what makes the path
+// deadlock-free even when a cursor attaches and then never pulls — e.g. a
+// join whose outer is not drained until its inner build finishes.
+
+const (
+	// sharedScanMinRows is the smallest table worth sharing: below it a
+	// private pass is cheaper than the channel traffic.
+	sharedScanMinRows = 2048
+	sharedScanBatch   = 256
+	sharedScanDepth   = 16 // batches buffered per consumer feed
+)
+
+// scanFeed is one consumer's subscription to a shared producer pass.
+type scanFeed struct {
+	ch    chan []storage.Row
+	start int // snapshot position the producer was at when we attached
+	// resume is the first snapshot position NOT delivered through ch; set by
+	// the producer before closing ch (the close is the happens-before edge).
+	resume int
+}
+
+// scanShare is one in-flight shared pass over a table snapshot.
+type scanShare struct {
+	table *storage.Table
+	rows  []storage.Row // pinned snapshot
+
+	mu    sync.Mutex
+	feeds []*scanFeed // nil slots are detached consumers
+	pos   int
+	done  bool
+}
+
+// scanRegistry tracks, per executor, which tables have scans in flight so a
+// second concurrent scan can trigger a shared pass.
+type scanRegistry struct {
+	mu      sync.Mutex
+	private map[*storage.Table]int // open private tbscan iterators
+	shares  map[*storage.Table]*scanShare
+
+	passes    atomic.Int64 // shared producer passes started
+	attached  atomic.Int64 // consumers that joined a shared pass
+	overflows atomic.Int64 // consumers detached for falling behind
+}
+
+func newScanRegistry() *scanRegistry {
+	return &scanRegistry{
+		private: make(map[*storage.Table]int),
+		shares:  make(map[*storage.Table]*scanShare),
+	}
+}
+
+// attach registers a new scan of t. If a shared pass is running (or another
+// scan is already mid-flight, which spawns one), the returned feed — and the
+// snapshot the pass pinned — replace private reading; a nil feed means scan
+// privately.
+func (r *scanRegistry) attach(t *storage.Table) ([]storage.Row, *scanFeed) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if sh := r.shares[t]; sh != nil {
+		if f := sh.subscribe(); f != nil {
+			r.attached.Add(1)
+			return sh.rows, f
+		}
+	}
+	if r.private[t] > 0 {
+		// A concurrent scan of this table is mid-flight: start one shared
+		// pass for every scan from here on (the in-flight one finishes
+		// privately — it is already past an unknown position).
+		sh := &scanShare{table: t, rows: t.Rows}
+		r.shares[t] = sh
+		f := sh.subscribe()
+		r.passes.Add(1)
+		r.attached.Add(1)
+		go sh.produce(r)
+		return sh.rows, f
+	}
+	r.private[t]++
+	return nil, nil
+}
+
+// detach unregisters a finished or closed scan.
+func (r *scanRegistry) detach(t *storage.Table, feed *scanFeed, private bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if private {
+		if r.private[t] > 0 {
+			r.private[t]--
+		}
+		return
+	}
+	if feed == nil {
+		return
+	}
+	// Still feeding: remove our slot so the producer stops sending to us.
+	if sh := r.shares[t]; sh != nil {
+		sh.mu.Lock()
+		for i, f := range sh.feeds {
+			if f == feed {
+				sh.feeds[i] = nil
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// finish removes a completed share from the registry.
+func (r *scanRegistry) finish(sh *scanShare) {
+	r.mu.Lock()
+	if r.shares[sh.table] == sh {
+		delete(r.shares, sh.table)
+	}
+	r.mu.Unlock()
+}
+
+// subscribe adds a consumer feed starting at the producer's current
+// position; nil once the pass has completed.
+func (s *scanShare) subscribe() *scanFeed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return nil
+	}
+	f := &scanFeed{ch: make(chan []storage.Row, sharedScanDepth), start: s.pos}
+	s.feeds = append(s.feeds, f)
+	return f
+}
+
+// produce is the shared pass: one sweep over the pinned snapshot, fanning
+// each batch to every live feed with a non-blocking send. It always runs to
+// completion (or until every consumer detached) and closes every feed it
+// still owns — consumers may therefore block on their channel safely.
+func (s *scanShare) produce(reg *scanRegistry) {
+	rows := s.rows
+	for {
+		s.mu.Lock()
+		if s.pos >= len(rows) {
+			break // holds s.mu; closed below
+		}
+		end := s.pos + sharedScanBatch
+		if end > len(rows) {
+			end = len(rows)
+		}
+		batch := rows[s.pos:end]
+		live := 0
+		for i, f := range s.feeds {
+			if f == nil {
+				continue
+			}
+			select {
+			case f.ch <- batch:
+				live++
+			default:
+				// Consumer too slow (or not pulling at all): detach it. It
+				// resumes privately at this batch — everything already in
+				// its channel buffer was sent before this position.
+				f.resume = s.pos
+				close(f.ch)
+				s.feeds[i] = nil
+				reg.overflows.Add(1)
+			}
+		}
+		s.pos = end
+		if live == 0 {
+			// Nobody left listening; stop reading.
+			break // holds s.mu; closed below
+		}
+		s.mu.Unlock()
+	}
+	// s.mu held here.
+	for i, f := range s.feeds {
+		if f == nil {
+			continue
+		}
+		f.resume = s.pos
+		close(f.ch)
+		s.feeds[i] = nil
+	}
+	s.done = true
+	s.mu.Unlock()
+	reg.finish(s)
+}

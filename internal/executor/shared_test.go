@@ -1,0 +1,152 @@
+package executor
+
+import (
+	"testing"
+	"time"
+
+	"galo/internal/catalog"
+	"galo/internal/optimizer"
+	"galo/internal/qgm"
+	"galo/internal/sqlparser"
+	"galo/internal/storage"
+)
+
+// TestSharedScanIdenticalCountsAndCharges pins the shared-scan contract: a
+// consumer that joins a shared pass sees every snapshot row exactly once and
+// charges exactly what a private scan charges — only the row order may rotate
+// by the attach position.
+func TestSharedScanIdenticalCountsAndCharges(t *testing.T) {
+	_, opt, _ := setup(t)
+	q := sqlparser.MustParse(`SELECT ss_net_profit, ss_quantity FROM store_sales WHERE ss_quantity >= 0`)
+	spec := optimizer.LeafAccess("STORE_SALES", qgm.OpTBSCAN, "")
+	buildPlan := func() *qgm.Plan {
+		plan, err := opt.BuildPlan(q, spec)
+		if err != nil {
+			t.Fatalf("BuildPlan: %v", err)
+		}
+		return plan
+	}
+
+	ref, err := New(testDB).Execute(buildPlan(), q)
+	if err != nil {
+		t.Fatalf("reference Execute: %v", err)
+	}
+
+	ex := New(testDB)
+	ex.ShareScans = true
+	curA, err := ex.Open(buildPlan(), q)
+	if err != nil {
+		t.Fatalf("Open A: %v", err)
+	}
+	// A is mid-flight (registered private); B's open must spawn a shared pass
+	// and attach to it.
+	curB, err := ex.Open(buildPlan(), q)
+	if err != nil {
+		t.Fatalf("Open B: %v", err)
+	}
+	drain := func(cur *Cursor) []storage.Row {
+		var rows []storage.Row
+		for {
+			row, ok := cur.Next()
+			if !ok {
+				break
+			}
+			rows = append(rows, row)
+		}
+		cur.Close()
+		return rows
+	}
+	bRows := drain(curB)
+	aRows := drain(curA)
+
+	passes, attached, _ := ex.SharedScanStats()
+	if passes != 1 || attached != 1 {
+		t.Errorf("shared pass counters: passes=%d attached=%d, want 1/1", passes, attached)
+	}
+	for name, got := range map[string][]storage.Row{"shared": bRows, "private": aRows} {
+		if len(got) != len(ref.Rows) {
+			t.Fatalf("%s consumer saw %d rows, want %d", name, len(got), len(ref.Rows))
+		}
+		cp := append([]storage.Row{}, got...)
+		want := append([]storage.Row{}, ref.Rows...)
+		sortRowsBy(cp)
+		sortRowsBy(want)
+		for i := range cp {
+			for j := range cp[i] {
+				if cp[i][j].Key() != want[i][j].Key() {
+					t.Fatalf("%s consumer row multiset differs at %d", name, i)
+				}
+			}
+		}
+	}
+	if curB.Stats() != ref.Stats {
+		t.Errorf("shared consumer stats differ from private scan:\n  shared:  %+v\n  private: %+v",
+			curB.Stats(), ref.Stats)
+	}
+	if curA.Stats() != ref.Stats {
+		t.Errorf("first (private) consumer stats differ:\n  got:  %+v\n  want: %+v", curA.Stats(), ref.Stats)
+	}
+}
+
+// TestSharedScanProducerNeverBlocks pins the deadlock-freedom rule at the
+// protocol level: a consumer that attaches and never pulls is detached by the
+// producer (overflow), its feed closes with a resume position, and the
+// feed + resume-tail + wrap-prefix protocol still covers every row exactly
+// once.
+func TestSharedScanProducerNeverBlocks(t *testing.T) {
+	const n = sharedScanBatch * (sharedScanDepth + 8) // overflows the feed depth
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		rows[i] = storage.Row{catalog.Int(int64(i))}
+	}
+	tbl := &storage.Table{Rows: rows}
+	reg := newScanRegistry()
+
+	// First scan is private; second spawns the share.
+	if snap, feed := reg.attach(tbl); snap != nil || feed != nil {
+		t.Fatal("first attach should be private")
+	}
+	snap, feed := reg.attach(tbl)
+	if feed == nil {
+		t.Fatal("second attach should join a shared pass")
+	}
+
+	// Never pull: the producer must detach us and run to completion on its
+	// own. Wait for the detach before draining — pulling earlier would keep
+	// pace with the producer and dodge the overflow path under test.
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.overflows.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if ov := reg.overflows.Load(); ov != 1 {
+		t.Fatalf("producer did not detach the stalled consumer (overflows=%d)", ov)
+	}
+	seen := make(map[int64]int, n)
+	delivered := 0
+	for batch := range feed.ch { // closed by the detach; drains the buffer
+		for _, r := range batch {
+			seen[r[0].AsInt()]++
+			delivered++
+		}
+	}
+	if feed.resume < delivered+feed.start {
+		t.Fatalf("resume %d behind delivered range [%d,%d)", feed.resume, feed.start, feed.start+delivered)
+	}
+	// Cover the undelivered tail and the pre-attach prefix, as tbscanIter does.
+	for i := feed.resume; i < len(snap); i++ {
+		seen[snap[i][0].AsInt()]++
+	}
+	for i := 0; i < feed.start; i++ {
+		seen[snap[i][0].AsInt()]++
+	}
+	if len(seen) != n {
+		t.Fatalf("saw %d distinct rows, want %d", len(seen), n)
+	}
+	for v, c := range seen {
+		if c != 1 {
+			t.Fatalf("row %d seen %d times", v, c)
+		}
+	}
+	reg.detach(tbl, feed, false)
+	reg.detach(tbl, nil, true)
+}

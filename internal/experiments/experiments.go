@@ -43,6 +43,10 @@ type Config struct {
 	Runs              int
 	PredicateVariants int
 	Workers           int
+	// ExecWorkers is the exchange-worker count for validated plan executions
+	// (core.Config.Exec.Workers); 0 or 1 runs them serially. Simulated costs
+	// are identical at any worker count, so results don't depend on it.
+	ExecWorkers int
 }
 
 // DefaultConfig returns the laptop-scale configuration used by the
@@ -62,6 +66,7 @@ func DefaultConfig() Config {
 		Runs:              2,
 		PredicateVariants: 1,
 		Workers:           4,
+		ExecWorkers:       4,
 	}
 }
 
@@ -177,6 +182,7 @@ func RunExp2(cfg Config) (*Exp2Result, error) {
 	tpcdsSys := core.NewSystem(tpcdsDB, core.Config{
 		Learning: cfg.learningOptions("tpcds", 4),
 		Matching: matching.DefaultOptions(),
+		Exec:     core.ExecOptions{Workers: cfg.ExecWorkers},
 	})
 	tpcdsQueries := cfg.tpcdsQueries()
 	if _, err := tpcdsSys.Learn(tpcdsQueries); err != nil {
@@ -197,6 +203,7 @@ func RunExp2(cfg Config) (*Exp2Result, error) {
 	clientSys := core.NewSystem(clientDB, core.Config{
 		Learning: cfg.learningOptions("client", 4),
 		Matching: matching.DefaultOptions(),
+		Exec:     core.ExecOptions{Workers: cfg.ExecWorkers},
 	})
 	clientQueries := cfg.clientQueries()
 	if _, err := clientSys.Learn(clientQueries); err != nil {
@@ -261,6 +268,7 @@ func RunExp3(cfg Config, widths []int) ([]Exp3Row, error) {
 	sys := core.NewSystem(db, core.Config{
 		Learning: cfg.learningOptions("tpcds", 4),
 		Matching: matching.DefaultOptions(),
+		Exec:     core.ExecOptions{Workers: cfg.ExecWorkers},
 	})
 	// Learn over a handful of queries so the knowledge base is non-trivial.
 	if _, err := sys.Learn([]*sqlparser.Query{tpcds.Fig3Query(), tpcds.Fig4Query(), tpcds.Fig7Query(), tpcds.Fig8Query()}); err != nil {

@@ -162,6 +162,49 @@ func (p *Plan) MaxEstimationGap() float64 {
 	return worst
 }
 
+// EstPeakResidencyBytes estimates the peak intermediate-row residency of
+// executing the plan, in bytes: the sum over pipeline breakers of the rows
+// they buffer (join builds hold the inner input, SORT holds its input, GRPBY
+// holds its distinct output). The executor's memory governor admits
+// executions against this estimate. A sum (rather than a max over
+// concurrently-live breakers) is deliberately conservative: with a parallel
+// exchange all build sides are resident at once.
+func (p *Plan) EstPeakResidencyBytes() int64 {
+	if p == nil || p.Root == nil {
+		return 0
+	}
+	width := func(n *Node) float64 {
+		if n == nil || n.RowSize <= 0 {
+			return 64
+		}
+		return float64(n.RowSize)
+	}
+	card := func(n *Node) float64 {
+		if n == nil || n.EstCardinality < 1 {
+			return 1
+		}
+		return n.EstCardinality
+	}
+	var total float64
+	p.Root.Walk(func(n *Node) {
+		switch {
+		case n.Op.IsJoin() && n.Op != OpNLJOIN:
+			// Hash build / merge buffer holds the inner input.
+			total += card(n.Inner) * width(n.Inner)
+		case n.Op == OpSORT:
+			total += card(n.Outer) * width(n.Outer)
+		case n.Op == OpGRPBY:
+			// Key set: output rows plus per-entry map overhead.
+			total += card(n) * (width(n) + 24)
+		}
+	})
+	const maxEst = 1 << 40 // clamp runaway estimates to 1 TiB
+	if total > maxEst {
+		total = maxEst
+	}
+	return int64(total)
+}
+
 // Validate checks structural invariants: joins have two children, scans have
 // none, unary operators have exactly one, IDs are unique, and every scan
 // names a table and instance.

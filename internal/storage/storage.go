@@ -323,6 +323,25 @@ func (idx *IndexData) LookupRange(lo, hi *catalog.Value) []int {
 // Len returns the number of entries in the index.
 func (idx *IndexData) Len() int { return len(idx.Entries) }
 
+// SplitRange splits the half-open position range [lo, hi) into at most parts
+// contiguous, near-equal, non-empty sub-ranges. The executor's exchange
+// operator partitions scans with it: contiguous sub-ranges concatenated in
+// order reproduce the original scan order exactly.
+func SplitRange(lo, hi, parts int) [][2]int {
+	n := hi - lo
+	if n <= 0 || parts <= 1 {
+		return [][2]int{{lo, hi}}
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([][2]int, 0, parts)
+	for i := 0; i < parts; i++ {
+		out = append(out, [2]int{lo + i*n/parts, lo + (i+1)*n/parts})
+	}
+	return out
+}
+
 // Value returns the value of the named column in the row of the given table
 // definition, or NULL when absent.
 func Value(def *catalog.Table, row Row, column string) catalog.Value {
