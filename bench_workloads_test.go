@@ -1,0 +1,155 @@
+// Workload zoo trajectory: TestEmitBenchWorkloadsJSON measures, for every
+// zoo scenario, the per-scan q-error over its hazard queries before and
+// after the scenario's statistical remedy, plus the multi-tenant serving
+// latency of a bursty arrival trace against an uncontended steady replay,
+// and records the results in BENCH_workloads.json so future PRs can track
+// how estimator and serving changes move the adversarial scenarios.
+package galo_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"galo"
+	"galo/internal/core"
+	"galo/internal/experiments"
+	"galo/internal/workload/trace"
+)
+
+// traceLatencies replays an arrival trace against a /reopt endpoint and
+// returns the sorted answered-request latencies in milliseconds.
+func traceLatencies(t *testing.T, url string, arrivals []trace.Arrival, speedup float64) []float64 {
+	t.Helper()
+	var mu sync.Mutex
+	var lat []float64
+	trace.Replay(arrivals, speedup, func(a trace.Arrival) {
+		payload, _ := json.Marshal(core.ReoptRequest{SQL: a.Query.SQL(), Name: a.Query.Name})
+		req, err := http.NewRequest(http.MethodPost, url+"/reopt", bytes.NewReader(payload))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Galo-Client", a.Tenant)
+		start := time.Now()
+		resp, err := http.DefaultClient.Do(req)
+		elapsed := float64(time.Since(start).Microseconds()) / 1000
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s %s: status %d", a.Tenant, a.Query.Name, resp.StatusCode)
+			return
+		}
+		mu.Lock()
+		lat = append(lat, elapsed)
+		mu.Unlock()
+	})
+	sort.Float64s(lat)
+	return lat
+}
+
+// TestEmitBenchWorkloadsJSON writes BENCH_workloads.json. Only runs when
+// GALO_BENCH_JSON=1 (CI's bench-emit step sets it).
+func TestEmitBenchWorkloadsJSON(t *testing.T) {
+	if os.Getenv("GALO_BENCH_JSON") == "" {
+		t.Skip("set GALO_BENCH_JSON=1 to (re)write BENCH_workloads.json")
+	}
+
+	// Estimation hazards: every scenario's pre/post-learning q-error. The
+	// emit enforces the same gates as the tier-1 test (experiments
+	// TestZooHazardGates) so a regression cannot silently ship a benchmark
+	// file that contradicts them.
+	cfg := experiments.DefaultConfig()
+	cfg.WorkloadScales = map[string]float64{"ohlc": 0.15, "joblike": 0.15, "trace": 0.15}
+	zoo, err := experiments.RunZoo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scenarios := make([]map[string]any, 0, len(zoo))
+	for _, r := range zoo {
+		if r.PreP90 <= 10 {
+			t.Errorf("%s: pre-learning q-error p90 = %.2f, want > 10", r.Scenario, r.PreP90)
+		}
+		if r.PostP90 >= 2 {
+			t.Errorf("%s: post-learning q-error p90 = %.2f, want < 2", r.Scenario, r.PostP90)
+		}
+		scenarios = append(scenarios, map[string]any{
+			"scenario":         r.Scenario,
+			"hazard":           r.Hazard,
+			"scans":            r.Scans,
+			"pre_median_qerr":  round3(r.PreMedian),
+			"pre_p90_qerr":     round3(r.PreP90),
+			"pre_max_qerr":     round3(r.PreMax),
+			"post_median_qerr": round3(r.PostMedian),
+			"post_p90_qerr":    round3(r.PostP90),
+			"post_max_qerr":    round3(r.PostMax),
+		})
+	}
+
+	// Multi-tenant serving latency: the same request mix replayed bursty
+	// (overlapping per-tenant bursts contend for the matcher) vs steady
+	// (spaced arrivals, the uncontended control) against one trace-workload
+	// server with no admission limits — pure contention, no 429s.
+	gen := trace.New().DefaultGen()
+	gen.Scale = 0.25
+	db, err := trace.New().Generate(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := galo.NewSystem(db, galo.DefaultConfig())
+	defer sys.Close()
+	srv := httptest.NewServer(sys.APIHandler())
+	defer srv.Close()
+
+	const (
+		tenants     = 8
+		arrivalsN   = 192
+		traceSeed   = 20190803
+		replaySpeed = 20
+	)
+	bursty := traceLatencies(t, srv.URL, trace.Arrivals(trace.TraceOptions{
+		Seed: traceSeed, Tenants: tenants, Arrivals: arrivalsN, Profile: trace.ProfileBursty,
+	}), replaySpeed)
+	steady := traceLatencies(t, srv.URL, trace.Arrivals(trace.TraceOptions{
+		Seed: traceSeed, Tenants: tenants, Arrivals: arrivalsN, Profile: trace.ProfileSteady,
+	}), replaySpeed)
+	latRow := func(lat []float64) map[string]any {
+		return map[string]any{
+			"answered":  len(lat),
+			"p50_ms":    round3(quantile(lat, 0.5)),
+			"p99_ms":    round3(quantile(lat, 0.99)),
+			"max_ms":    round3(quantile(lat, 1.0)),
+			"tenants":   tenants,
+			"arrivals":  arrivalsN,
+			"speedup_x": replaySpeed,
+		}
+	}
+
+	doc := map[string]any{
+		"benchmark": "workload zoo: per-scenario estimation hazard (q-error pre/post remedy) and multi-tenant /reopt latency (bursty vs steady arrivals)",
+		"note":      "q-error = max(est/act, act/est) per base-table scan over each scenario's hazard queries; gates: pre p90 > 10 (the hazard fires), post p90 < 2 (the remedy works). Latency rows replay the same multi-tenant request mix against one serving process: bursty overlaps per-tenant bursts, steady is the uncontended control.",
+		"scenarios": scenarios,
+		"multi_tenant_latency": map[string]any{
+			"bursty": latRow(bursty),
+			"steady": latRow(steady),
+		},
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_workloads.json", append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote BENCH_workloads.json:\n%s", data)
+}

@@ -8,8 +8,14 @@
 //	galo reopt   -workload tpcds|client -kb kb.nt [-query "SELECT ..."] [-name TPCDS.Q09] [-exec-workers N]
 //	galo kb      -kb kb.nt
 //	galo serve   -kb kb.nt [-addr :3030] [-online] [-shards N] [-data-dir DIR] [-sync always|interval|never]
-//	             [-exec-workers N] [-exec-mem-budget 256MB]
+//	             [-exec-workers N] [-exec-mem-budget 256MB] [-tenant-namespaces] [-tenant-share] [-max-tenants N]
+//	galo trace   [-trace bursty|steady] [-tenants N] [-arrivals N] [-speedup X] [-target URL]
 //	galo explain -workload tpcds|client [-query "SELECT ..."]
+//
+// -workload also accepts the zoo scenarios (ohlc, joblike, trace): adversarial
+// workloads whose generators build a deterministic estimation hazard in
+// (stale histograms, correlated join columns, per-tenant type skew) and whose
+// hazard queries stand in for the workload query list.
 //
 // serve exposes the re-optimization HTTP API (see `galo help` for example
 // requests): POST /reopt re-optimizes SQL against the knowledge base,
@@ -31,13 +37,19 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
@@ -60,6 +72,8 @@ func main() {
 		err = runKB(args)
 	case "serve":
 		err = runServe(args)
+	case "trace":
+		err = runTrace(args)
 	case "explain":
 		err = runExplain(args)
 	case "help", "-h", "--help":
@@ -83,6 +97,7 @@ commands:
   reopt    re-optimize queries online against a knowledge base
   kb       list the templates stored in a knowledge base
   serve    run the re-optimization HTTP service over a knowledge base
+  trace    replay a deterministic multi-tenant arrival trace against /reopt
   explain  show the optimizer's plan for a query without GALO
 
 the serve API (default address :3030):
@@ -107,7 +122,19 @@ the serve API (default address :3030):
 
   with -probe-budget / -max-inflight, /reopt sheds load with 429 when a
   client's probe budget is exhausted or the matcher is saturated; the
-  backpressure counters appear under "admission" in /stats.
+  backpressure counters appear under "admission" in /stats. Per-client
+  request/probe/throttle counters appear as rows under "tenancy".
+
+  with -tenant-namespaces, each X-Galo-Client identity gets its own
+  knowledge base namespace: templates seeded into one tenant's namespace
+  never match another tenant's queries. -tenant-share falls back to the
+  shared knowledge base when a tenant's own namespace has no match, and
+  -max-tenants bounds the tracked identities (extras share one overflow
+  row, so counter sums stay exact).
+
+  # replay a bursty 4-tenant trace against an in-process trace-workload
+  # server with a per-tenant probe budget of 8
+  galo trace -tenants 4 -arrivals 128 -probe-budget 8
 
   with -exec-workers N, validated executions ("execute": true) run each
   eligible plan segment on N exchange workers — large scans split into
@@ -139,9 +166,9 @@ type workloadFlags struct {
 
 func addWorkloadFlags(fs *flag.FlagSet) *workloadFlags {
 	wf := &workloadFlags{}
-	fs.StringVar(&wf.workload, "workload", "tpcds", "workload: tpcds or client")
+	fs.StringVar(&wf.workload, "workload", "tpcds", "workload: tpcds, client, or a zoo scenario (ohlc, joblike, trace)")
 	fs.Float64Var(&wf.scale, "scale", 0.2, "data scale factor")
-	fs.Int64Var(&wf.seed, "seed", 20190522, "generation seed")
+	fs.Int64Var(&wf.seed, "seed", 20190522, "generation seed (0 = the workload's default)")
 	fs.IntVar(&wf.queries, "queries", 0, "limit the number of workload queries (0 = all)")
 	return wf
 }
@@ -165,7 +192,20 @@ func (wf *workloadFlags) load() (*galo.Database, []*galo.Query, error) {
 		}
 		return db, limit(galo.ClientQueries(), wf.queries), nil
 	default:
-		return nil, nil, fmt.Errorf("unknown workload %q (want tpcds or client)", wf.workload)
+		sc, ok := galo.ScenarioByName(strings.ToLower(wf.workload))
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown workload %q (want tpcds, client, ohlc, joblike or trace)", wf.workload)
+		}
+		gen := sc.DefaultGen()
+		if wf.seed != 0 {
+			gen.Seed = wf.seed
+		}
+		gen.Scale = wf.scale
+		db, err := sc.Generate(gen)
+		if err != nil {
+			return nil, nil, err
+		}
+		return db, sc.HazardQueries(db, wf.queries), nil
 	}
 }
 
@@ -348,6 +388,9 @@ func runServe(args []string) error {
 	shards := fs.Int("shards", 1, "number of knowledge base shards (templates partition by problem-signature prefix)")
 	probeBudget := fs.Int("probe-budget", 0, "per-client KB-probe budget per second on /reopt; 0 disables admission control")
 	maxInflight := fs.Int("max-inflight", 0, "max concurrent /reopt requests before load shedding; 0 = unlimited")
+	tenantNS := fs.Bool("tenant-namespaces", false, "give each X-Galo-Client identity its own knowledge base namespace")
+	tenantShare := fs.Bool("tenant-share", false, "with -tenant-namespaces, fall back to the shared knowledge base when a tenant's namespace has no match")
+	maxTenants := fs.Int("max-tenants", 0, "bound on tracked tenant identities; extra identities share one overflow row (0 = default 256)")
 	dataDir := fs.String("data-dir", "", "directory for the knowledge base WAL + snapshots; restart recovers the pre-crash epochs (empty = in-memory only)")
 	syncMode := fs.String("sync", "interval", "WAL durability: always (fsync per publication), interval (batched fsync), never")
 	snapshotEvery := fs.Uint64("snapshot-every", 0, "compact a shard's WAL into a snapshot every N epochs (0 = default 4096)")
@@ -364,6 +407,7 @@ func runServe(args []string) error {
 	cfg.Shards = *shards
 	cfg.Admission.ProbeBudget = *probeBudget
 	cfg.Admission.MaxConcurrent = *maxInflight
+	cfg.Tenancy = galo.TenancyOptions{Enabled: *tenantNS, ShareTemplates: *tenantShare, MaxTenants: *maxTenants}
 	cfg.DataDir = *dataDir
 	cfg.SnapshotEvery = *snapshotEvery
 	if cfg.Exec, err = ef.options(); err != nil {
@@ -454,5 +498,117 @@ func runExplain(args []string) error {
 		return err
 	}
 	fmt.Print(galo.FormatPlan(plan))
+	return nil
+}
+
+// runTrace replays a deterministic multi-tenant arrival trace against a
+// re-optimization server: each arrival posts its query to /reopt under its
+// tenant's X-Galo-Client identity. With no -target, it builds the trace
+// workload and serves it in-process, so one command demonstrates per-tenant
+// admission control and namespaces end to end.
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	profile := fs.String("trace", "bursty", "arrival profile: bursty or steady")
+	tenants := fs.Int("tenants", 4, "number of tenant identities")
+	arrivals := fs.Int("arrivals", 128, "total number of requests")
+	burstLen := fs.Int("burst-len", 16, "requests per burst (bursty profile)")
+	speedup := fs.Float64("speedup", 10, "replay speedup over the schedule's wall clock; <= 0 fires everything at once")
+	seed := fs.Int64("seed", 20190803, "trace schedule seed")
+	target := fs.String("target", "", "base URL of a running galo serve (empty = serve the trace workload in-process)")
+	scale := fs.Float64("scale", 0.25, "data scale for the in-process server")
+	probeBudget := fs.Int("probe-budget", 8, "in-process server: per-client probe budget (0 disables admission control)")
+	maxInflight := fs.Int("max-inflight", 0, "in-process server: max concurrent /reopt requests (0 = unlimited)")
+	tenantNS := fs.Bool("tenant-namespaces", false, "in-process server: per-tenant knowledge base namespaces")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *profile != "bursty" && *profile != "steady" {
+		return fmt.Errorf("unknown -trace profile %q (want bursty or steady)", *profile)
+	}
+
+	url := *target
+	if url == "" {
+		sc, _ := galo.ScenarioByName("trace")
+		gen := sc.DefaultGen()
+		gen.Scale = *scale
+		db, err := sc.Generate(gen)
+		if err != nil {
+			return err
+		}
+		cfg := galo.DefaultConfig()
+		cfg.Admission.ProbeBudget = *probeBudget
+		cfg.Admission.MaxConcurrent = *maxInflight
+		cfg.Tenancy = galo.TenancyOptions{Enabled: *tenantNS}
+		sys := galo.NewSystem(db, cfg)
+		defer sys.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: sys.APIHandler()}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		url = "http://" + ln.Addr().String()
+		fmt.Printf("serving the trace workload in-process on %s (probe budget %d)\n", url, *probeBudget)
+	}
+
+	schedule := galo.TraceArrivals(galo.TraceOptions{
+		Seed: *seed, Tenants: *tenants, Arrivals: *arrivals,
+		Profile: *profile, BurstLen: *burstLen,
+	})
+	type tally struct{ ok, throttled, failed int }
+	perTenant := map[string]*tally{}
+	var latencies []float64
+	var mu sync.Mutex
+	galo.ReplayTrace(schedule, *speedup, func(a galo.TraceArrival) {
+		body, _ := json.Marshal(galo.ReoptRequest{SQL: a.Query.SQL(), Name: a.Query.Name})
+		req, err := http.NewRequest(http.MethodPost, url+"/reopt", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Galo-Client", a.Tenant)
+		start := time.Now()
+		resp, err := http.DefaultClient.Do(req)
+		elapsed := float64(time.Since(start).Microseconds()) / 1000
+		mu.Lock()
+		defer mu.Unlock()
+		tl := perTenant[a.Tenant]
+		if tl == nil {
+			tl = &tally{}
+			perTenant[a.Tenant] = tl
+		}
+		if err != nil {
+			tl.failed++
+			return
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+			tl.ok++
+			latencies = append(latencies, elapsed)
+		case http.StatusTooManyRequests:
+			tl.throttled++
+		default:
+			tl.failed++
+		}
+	})
+
+	names := make([]string, 0, len(perTenant))
+	for name := range perTenant {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%-12s %8s %10s %8s\n", "tenant", "answered", "throttled", "failed")
+	for _, name := range names {
+		tl := perTenant[name]
+		fmt.Printf("%-12s %8d %10d %8d\n", name, tl.ok, tl.throttled, tl.failed)
+	}
+	if len(latencies) > 0 {
+		sort.Float64s(latencies)
+		quantile := func(q float64) float64 { return latencies[int(q*float64(len(latencies)-1))] }
+		fmt.Printf("\n%s profile: %d arrivals, answered latency p50 %.1f ms, p99 %.1f ms\n",
+			*profile, len(schedule), quantile(0.5), quantile(0.99))
+	}
 	return nil
 }

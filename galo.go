@@ -26,6 +26,7 @@ package galo
 import (
 	"galo/internal/core"
 	"galo/internal/executor"
+	"galo/internal/experiments"
 	"galo/internal/guideline"
 	"galo/internal/kb"
 	"galo/internal/learning"
@@ -35,7 +36,9 @@ import (
 	"galo/internal/storage"
 	"galo/internal/wal"
 	"galo/internal/workload/client"
+	"galo/internal/workload/scenario"
 	"galo/internal/workload/tpcds"
+	"galo/internal/workload/trace"
 )
 
 // System is a GALO deployment over one database instance: a knowledge base
@@ -187,3 +190,60 @@ func GenerateClient(opts ClientOptions) (*Database, error) { return client.Gener
 
 // ClientQueries returns the 116-query client-like workload.
 func ClientQueries() []*Query { return client.Queries() }
+
+// --- Workload zoo ------------------------------------------------------------
+
+// Scenario is one adversarial workload of the zoo: a deterministic generator
+// with a built-in estimation hazard, the hazard queries, and the statistical
+// remedy that fixes it (see internal/workload/scenario).
+type Scenario = scenario.Scenario
+
+// ScenarioGenOptions controls zoo scenario generation.
+type ScenarioGenOptions = scenario.GenOptions
+
+// TenancyOptions configures per-tenant knowledge base namespaces on the
+// serving API (Config.Tenancy).
+type TenancyOptions = core.TenancyOptions
+
+// Scenarios returns the workload zoo in registry order (ohlc, joblike,
+// trace).
+func Scenarios() []Scenario { return experiments.Scenarios() }
+
+// ScenarioByName looks a zoo scenario up by its registry name.
+func ScenarioByName(name string) (Scenario, bool) { return experiments.ScenarioByName(name) }
+
+// ZooResult is one zoo scenario's pre/post-learning estimation quality:
+// per-scan q-error quantiles over the scenario's hazard queries before and
+// after its statistical remedy.
+type ZooResult = experiments.ZooResult
+
+// RunZoo generates every zoo scenario, measures per-scan q-error over its
+// hazard queries under default statistics, applies the scenario's remedy and
+// measures again. scale overrides every scenario's data scale; 0 keeps the
+// per-scenario experiment defaults.
+func RunZoo(scale float64) ([]ZooResult, error) {
+	cfg := experiments.DefaultConfig()
+	if scale > 0 {
+		cfg.WorkloadScales = map[string]float64{}
+		for _, sc := range experiments.Scenarios() {
+			cfg.WorkloadScales[sc.Name()] = scale
+		}
+	}
+	return experiments.RunZoo(cfg)
+}
+
+// TraceArrival is one request of a multi-tenant arrival trace.
+type TraceArrival = trace.Arrival
+
+// TraceOptions controls multi-tenant arrival-trace generation.
+type TraceOptions = trace.TraceOptions
+
+// TraceArrivals generates a deterministic multi-tenant arrival trace over the
+// trace workload's query mix ("bursty" or "steady" profile).
+func TraceArrivals(opts TraceOptions) []TraceArrival { return trace.Arrivals(opts) }
+
+// ReplayTrace dispatches every arrival at its scheduled offset divided by
+// speedup, each concurrently, and waits for all of them to return.
+func ReplayTrace(arrivals []TraceArrival, speedup float64, do func(TraceArrival)) {
+	trace.Replay(arrivals, speedup, do)
+}

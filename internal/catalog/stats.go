@@ -43,12 +43,46 @@ func (c *ColumnStats) FrequencyOf(v Value) (int64, bool) {
 	return 0, false
 }
 
+// GroupFrequentValue records one frequent combination of a column group's
+// values. Values is aligned with the owning group's Columns order.
+type GroupFrequentValue struct {
+	Values []Value
+	Count  int64
+}
+
 // ColumnGroup records the combined distinct count of a set of correlated
-// columns. The estimator may or may not use it; the gap between using and
-// ignoring it is one of the sources of mis-estimation GALO learns about.
+// columns, plus the most frequent value combinations (DB2's column-group
+// frequent values). The estimator may or may not use it; the gap between
+// using and ignoring it is one of the sources of mis-estimation GALO learns
+// about.
 type ColumnGroup struct {
-	Columns []string
-	NDV     int64
+	Columns  []string
+	NDV      int64
+	Frequent []GroupFrequentValue
+}
+
+// FrequencyOf returns the recorded row count of the exact value combination
+// (aligned with g.Columns), and whether it appears in the frequent list.
+func (g ColumnGroup) FrequencyOf(vals []Value) (int64, bool) {
+	if len(vals) != len(g.Columns) {
+		return 0, false
+	}
+	for _, f := range g.Frequent {
+		if len(f.Values) != len(vals) {
+			continue
+		}
+		match := true
+		for i := range vals {
+			if !Equal(f.Values[i], vals[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return f.Count, true
+		}
+	}
+	return 0, false
 }
 
 // TableStats carries the per-table statistics snapshot.
@@ -77,16 +111,26 @@ func (t *TableStats) ColumnStats(col string) *ColumnStats {
 // GroupNDV returns the combined NDV recorded for exactly the given set of
 // columns (order-insensitive), or 0 if no group statistic exists.
 func (t *TableStats) GroupNDV(cols []string) int64 {
-	if t == nil {
-		return 0
-	}
-	want := normalizeCols(cols)
-	for _, g := range t.Groups {
-		if equalCols(normalizeCols(g.Columns), want) {
-			return g.NDV
-		}
+	if g := t.Group(cols); g != nil {
+		return g.NDV
 	}
 	return 0
+}
+
+// Group returns the column-group statistic recorded for exactly the given
+// set of columns (order-insensitive), or nil. The returned pointer aliases
+// the stats snapshot; group contents are immutable once installed.
+func (t *TableStats) Group(cols []string) *ColumnGroup {
+	if t == nil {
+		return nil
+	}
+	want := normalizeCols(cols)
+	for i := range t.Groups {
+		if equalCols(normalizeCols(t.Groups[i].Columns), want) {
+			return &t.Groups[i]
+		}
+	}
+	return nil
 }
 
 func normalizeCols(cols []string) []string {

@@ -69,6 +69,10 @@ type Config struct {
 	// and the peak-residency memory budget the governor admits concurrent
 	// executions against. The zero value is serial, ungoverned execution.
 	Exec ExecOptions
+	// Tenancy configures per-tenant knowledge base namespaces and per-tenant
+	// /stats accounting on the serving API; the zero value keeps the single
+	// shared namespace (counters are still collected per client identity).
+	Tenancy TenancyOptions
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -156,6 +160,9 @@ type System struct {
 
 	// admission holds the HTTP API's admission-control state (server.go).
 	admission admissionState
+
+	// tenants holds the per-tenant namespaces and counters (tenancy.go).
+	tenants tenancyState
 
 	// exec is the persistent system executor: one shared-scan registry for
 	// the whole system, so concurrent executions of large scans can share a

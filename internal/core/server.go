@@ -346,20 +346,24 @@ func (s *System) handleReopt(w http.ResponseWriter, r *http.Request) {
 	// Admission control: shed before any matching work happens. The
 	// concurrency cap guards the matcher (global saturation); the probe
 	// budget guards fairness (one client cannot monopolize the probe
-	// workers). Both reject with 429 + Retry-After, counted in /stats.
+	// workers). Both reject with 429 + Retry-After, counted in /stats —
+	// globally and on the client's tenant row.
+	client := clientKey(r)
+	slot := s.tenantSlot(client)
 	if max := s.Config.Admission.MaxConcurrent; max > 0 {
 		if s.admission.inFlight.Add(1) > int64(max) {
 			s.admission.inFlight.Add(-1)
 			s.admission.shed.Add(1)
+			slot.shed.Add(1)
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "matcher saturated, retry later", http.StatusTooManyRequests)
 			return
 		}
 		defer s.admission.inFlight.Add(-1)
 	}
-	client := clientKey(r)
 	if !s.admitProbes(client, time.Now()) {
 		s.admission.throttled.Add(1)
+		slot.throttled.Add(1)
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "probe budget exhausted, retry later", http.StatusTooManyRequests)
 		return
@@ -382,20 +386,28 @@ func (s *System) handleReopt(w http.ResponseWriter, r *http.Request) {
 	if q.Name == "" {
 		q.Name = "HTTP"
 	}
-	resp, err := s.reoptResponse(q, req.Execute)
+	resp, err := s.reoptResponse(slot, q, req.Execute)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	s.chargeProbes(client, resp.Probes)
+	slot.requests.Add(1)
+	slot.probes.Add(int64(resp.Probes))
+	slot.cacheHits.Add(int64(resp.CacheHits))
+	if resp.Matched {
+		slot.matched.Add(1)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
-// reoptResponse runs the online workflow for one request.
-func (s *System) reoptResponse(q *sqlparser.Query, execute bool) (*ReoptResponse, error) {
-	epoch := s.KB().Epoch()
-	res, err := s.Reoptimize(q)
+// reoptResponse runs the online workflow for one request in the client's
+// namespace (reoptimizeFor: the shared engine unless tenancy gives the slot
+// its own). Probes/CacheHits include any discarded tenant-namespace pass, so
+// admission charging and /stats sums see the full cost.
+func (s *System) reoptResponse(slot *tenantSlot, q *sqlparser.Query, execute bool) (*ReoptResponse, error) {
+	res, epoch, extraProbes, extraCacheHits, err := s.reoptimizeFor(slot, q)
 	if err != nil {
 		return nil, fmt.Errorf("reoptimize: %w", err)
 	}
@@ -407,8 +419,8 @@ func (s *System) reoptResponse(q *sqlparser.Query, execute bool) (*ReoptResponse
 		OriginalPlan: qgm.Format(res.OriginalPlan),
 		MatchMillis:  res.MatchMillis,
 		ProbeMillis:  res.ProbeStats.TotalMillis,
-		Probes:       res.ProbeStats.Probes,
-		CacheHits:    res.ProbeStats.CacheHits,
+		Probes:       res.ProbeStats.Probes + extraProbes,
+		CacheHits:    res.ProbeStats.CacheHits + extraCacheHits,
 	}
 	for _, m := range res.Matches {
 		resp.Matches = append(resp.Matches, ReoptMatch{
@@ -515,6 +527,10 @@ type statsResponse struct {
 	// stats); omitted when no data directory is open. Recovery summarizes
 	// what OpenDataDir found at boot.
 	Durability *durabilityStats `json:"durability,omitempty"`
+	// Tenancy reports per-tenant accounting: one row per client identity
+	// seen on /reopt (tenancy.go). Row counter sums — probes, throttled,
+	// shed — equal the corresponding totals above.
+	Tenancy tenancyStats `json:"tenancy"`
 }
 
 // durabilityStats is the /stats durability section: the wal layer's live
@@ -565,6 +581,7 @@ func (s *System) handleStats(w http.ResponseWriter, _ *http.Request) {
 		s.mu.Unlock()
 		resp.Durability = &durabilityStats{Stats: *ps, Recovery: recovery}
 	}
+	resp.Tenancy = s.tenancySnapshot()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
 }

@@ -32,8 +32,16 @@ import (
 // every experiment runnable in minutes on a laptop; raising Scale and the
 // query limits approaches the paper's setup.
 type Config struct {
-	Seed  int64
+	Seed int64
+	// Scale is the fallback data scale for workloads without an entry in
+	// WorkloadScales.
 	Scale float64
+	// WorkloadScales sets the data scale per workload name ("tpcds",
+	// "client", "ohlc", "joblike", "trace"). Scenario scale is per-workload
+	// because the hazards need different geometries: OHLC needs a deep
+	// calendar at small row counts, while the TPC-DS rescue numbers need
+	// large fact tables. Missing or non-positive entries fall back to Scale.
+	WorkloadScales map[string]float64
 	// TPCDSQueries / ClientQueries limit how many workload queries are used
 	// (0 = all: 99 and 116 respectively).
 	TPCDSQueries  int
@@ -59,7 +67,16 @@ func DefaultConfig() Config {
 		// experiments can afford the data volumes where the Figure 8 rescue
 		// numbers get dramatic. CI and the test suite pass their own smaller
 		// explicit scales.
-		Scale:             1.2,
+		Scale: 1.2,
+		// The zoo scenarios are cheaper per row than the TPC-DS harness and
+		// their hazards are scale-invariant, so they run smaller by default.
+		// tpcds/client deliberately have no entry: they follow Scale, so
+		// callers that shrink Scale (tests, CI) shrink those workloads too.
+		WorkloadScales: map[string]float64{
+			"ohlc":    0.4,
+			"joblike": 1.0,
+			"trace":   0.8,
+		},
 		TPCDSQueries:      28,
 		ClientQueries:     36,
 		RandomPlans:       6,
@@ -99,12 +116,21 @@ func (c Config) clientQueries() []*sqlparser.Query {
 	return qs
 }
 
+// ScaleFor returns the data scale for a workload: its WorkloadScales entry
+// when present and positive, Config.Scale otherwise.
+func (c Config) ScaleFor(workload string) float64 {
+	if s, ok := c.WorkloadScales[workload]; ok && s > 0 {
+		return s
+	}
+	return c.Scale
+}
+
 func (c Config) tpcdsDB() (*storage.Database, error) {
-	return tpcds.Generate(tpcds.GenOptions{Seed: c.Seed, Scale: c.Scale, Hazards: true})
+	return tpcds.Generate(tpcds.GenOptions{Seed: c.Seed, Scale: c.ScaleFor("tpcds"), Hazards: true})
 }
 
 func (c Config) clientDB() (*storage.Database, error) {
-	return client.Generate(client.GenOptions{Seed: c.Seed + 1, Scale: c.Scale, Hazards: true})
+	return client.Generate(client.GenOptions{Seed: c.Seed + 1, Scale: c.ScaleFor("client"), Hazards: true})
 }
 
 // --- Exp-1 / Figure 9: learning scalability ----------------------------------

@@ -33,31 +33,78 @@ func (o *Optimizer) localSelectivity(table string, preds []sqlparser.Predicate) 
 		sel *= o.predicateSelectivity(ts, p)
 	}
 	if o.Opts.UseColumnGroups && ts != nil && len(preds) >= 2 {
-		// If every predicate is an equality and a group statistic covers the
-		// predicate columns exactly, the combined selectivity is 1/groupNDV.
-		allEq := true
-		cols := make([]string, 0, len(preds))
-		for _, p := range preds {
-			if p.Kind != sqlparser.PredCompare || p.Op != "=" {
-				allEq = false
-				break
-			}
-			cols = append(cols, p.Left.Column)
-		}
-		if allEq {
-			if gndv := ts.GroupNDV(cols); gndv > 0 {
-				groupSel := 1.0 / float64(gndv)
-				if groupSel > sel {
-					sel = groupSel
-				}
-			}
-		}
+		sel = o.applyGroupStats(ts, preds, sel)
 	}
 	if sel < 1e-9 {
 		sel = 1e-9
 	}
 	if sel > 1 {
 		sel = 1
+	}
+	return sel
+}
+
+// applyGroupStats corrects the independence-assumption product `sel` using
+// column-group (correlation) statistics. For every recorded group whose
+// columns are all constrained by equality predicates, the product of the
+// member columns' individual selectivities is replaced by the group's
+// combined selectivity: the exact frequency of the value combination when it
+// appears in the group's frequent-combination list, otherwise 1/groupNDV
+// (guarded against being smaller than the independence product, since an
+// NDV-only group cannot see skew across combinations). Predicates not
+// covered by any group keep their independent estimates.
+func (o *Optimizer) applyGroupStats(ts *catalog.TableStats, preds []sqlparser.Predicate, sel float64) float64 {
+	type eqPred struct {
+		val catalog.Value
+		sel float64
+	}
+	eq := make(map[string]eqPred, len(preds))
+	for _, p := range preds {
+		if p.Kind == sqlparser.PredCompare && p.Op == "=" {
+			eq[strings.ToUpper(p.Left.Column)] = eqPred{p.Value, o.predicateSelectivity(ts, p)}
+		}
+	}
+	if len(eq) < 2 {
+		return sel
+	}
+	used := make(map[string]bool, len(eq))
+	for gi := range ts.Groups {
+		g := &ts.Groups[gi]
+		if len(g.Columns) < 2 {
+			continue
+		}
+		covered := true
+		for _, c := range g.Columns {
+			cu := strings.ToUpper(c)
+			if _, ok := eq[cu]; !ok || used[cu] {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		product := 1.0
+		vals := make([]catalog.Value, len(g.Columns))
+		for i, c := range g.Columns {
+			e := eq[strings.ToUpper(c)]
+			product *= e.sel
+			vals[i] = e.val
+		}
+		groupSel := product
+		if cnt, ok := g.FrequencyOf(vals); ok && ts.Cardinality > 0 {
+			groupSel = float64(cnt) / float64(ts.Cardinality)
+		} else if g.NDV > 0 {
+			if gs := 1.0 / float64(g.NDV); gs > groupSel {
+				groupSel = gs
+			}
+		}
+		if product > 0 {
+			sel = sel / product * groupSel
+		}
+		for _, c := range g.Columns {
+			used[strings.ToUpper(c)] = true
+		}
 	}
 	return sel
 }

@@ -26,10 +26,19 @@ type Options struct {
 	// distinct counts should be collected, e.g. {"ITEM": {{"I_CATEGORY",
 	// "I_CLASS"}}}. Without a group stat the optimizer assumes independence.
 	ColumnGroups map[string][][]string
+	// NumFrequentGroupValues is the size of the most-frequent-combination
+	// list collected per column group. Zero means DefaultGroupFrequentValues;
+	// negative disables combination lists (NDV-only groups).
+	NumFrequentGroupValues int
 	// SampleEvery collects statistics from every k-th row only (1 = full
 	// scan). Sampling introduces estimation error on skewed data.
 	SampleEvery int
 }
+
+// DefaultGroupFrequentValues is the frequent-combination list size used when
+// Options.NumFrequentGroupValues is zero. It is sized so that every
+// (tenant, dominant type) combination of the trace workload fits.
+const DefaultGroupFrequentValues = 256
 
 // DefaultOptions returns full-scan collection with a 10-entry frequent value
 // list and no column groups.
@@ -120,17 +129,24 @@ func Collect(db *storage.Database, table string, opts Options) (*catalog.TableSt
 	}
 
 	// Column-group statistics, if requested for this table.
+	groupK := opts.NumFrequentGroupValues
+	if groupK == 0 {
+		groupK = DefaultGroupFrequentValues
+	}
+	if groupK < 0 {
+		groupK = 0
+	}
 	for tbl, groups := range opts.ColumnGroups {
 		if !strings.EqualFold(tbl, def.Name) {
 			continue
 		}
 		for _, group := range groups {
-			ndv := groupNDV(t, group, opts.SampleEvery)
+			ndv, freq := groupStats(t, group, opts.SampleEvery, groupK)
 			cols := make([]string, len(group))
 			for i, c := range group {
 				cols[i] = strings.ToUpper(c)
 			}
-			ts.Groups = append(ts.Groups, catalog.ColumnGroup{Columns: cols, NDV: ndv})
+			ts.Groups = append(ts.Groups, catalog.ColumnGroup{Columns: cols, NDV: ndv, Frequent: freq})
 		}
 	}
 
@@ -173,17 +189,21 @@ func topK(counts map[string]int64, sample map[string]catalog.Value, k int, scale
 	return out
 }
 
-func groupNDV(t *storage.Table, group []string, sampleEvery int) int64 {
+// groupStats computes the combined NDV of a column group and its top-k most
+// frequent value combinations. Only columns present in the table definition
+// participate; combination values follow the group's column order.
+func groupStats(t *storage.Table, group []string, sampleEvery, k int) (int64, []catalog.GroupFrequentValue) {
 	pos := make([]int, 0, len(group))
 	for _, c := range group {
 		if i := t.Def.ColumnIndex(c); i >= 0 {
 			pos = append(pos, i)
 		}
 	}
-	if len(pos) == 0 {
-		return 0
+	if len(pos) != len(group) {
+		return 0, nil
 	}
-	seen := make(map[string]struct{})
+	counts := make(map[string]int64)
+	samples := make(map[string][]catalog.Value)
 	var sb strings.Builder
 	for ri, row := range t.Rows {
 		if ri%sampleEvery != 0 {
@@ -194,7 +214,41 @@ func groupNDV(t *storage.Table, group []string, sampleEvery int) int64 {
 			sb.WriteString(row[p].Key())
 			sb.WriteByte('|')
 		}
-		seen[sb.String()] = struct{}{}
+		key := sb.String()
+		counts[key]++
+		if _, ok := samples[key]; !ok && k > 0 {
+			vals := make([]catalog.Value, len(pos))
+			for vi, p := range pos {
+				vals[vi] = row[p]
+			}
+			samples[key] = vals
+		}
 	}
-	return int64(len(seen))
+	ndv := int64(len(counts))
+	if k == 0 {
+		return ndv, nil
+	}
+	type kv struct {
+		key   string
+		count int64
+	}
+	all := make([]kv, 0, len(counts))
+	for key, c := range counts {
+		all = append(all, kv{key, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].key < all[j].key
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	scale := int64(sampleEvery)
+	freq := make([]catalog.GroupFrequentValue, len(all))
+	for i, e := range all {
+		freq[i] = catalog.GroupFrequentValue{Values: samples[e.key], Count: e.count * scale}
+	}
+	return ndv, freq
 }

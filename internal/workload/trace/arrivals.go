@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"galo/internal/sqlparser"
+	"galo/internal/storage"
+)
+
+// Arrival is one request of a multi-tenant trace: at offset AtMillis from
+// the trace start, tenant Tenant (an X-Galo-Client identity) issues Query.
+type Arrival struct {
+	AtMillis int64
+	Tenant   string
+	Query    *sqlparser.Query
+}
+
+// TraceOptions controls arrival-trace generation.
+type TraceOptions struct {
+	// Seed makes the schedule deterministic.
+	Seed int64
+	// Tenants is the number of tenant identities (default NumTenants).
+	Tenants int
+	// Arrivals is the total number of requests (default 32 per tenant).
+	Arrivals int
+	// Profile selects the arrival process: "bursty" (default) rotates a
+	// burst owner that fires a dense run of requests while the others trickle;
+	// "steady" spreads the same request mix uniformly — the uncontended
+	// control for latency comparisons.
+	Profile string
+	// BurstLen is the number of back-to-back requests per burst (default 16).
+	BurstLen int
+}
+
+// Profiles supported by Arrivals.
+const (
+	ProfileBursty = "bursty"
+	ProfileSteady = "steady"
+)
+
+func (o *TraceOptions) fill() {
+	if o.Tenants <= 0 {
+		o.Tenants = NumTenants
+	}
+	if o.Arrivals <= 0 {
+		o.Arrivals = 32 * o.Tenants
+	}
+	if o.Profile == "" {
+		o.Profile = ProfileBursty
+	}
+	if o.BurstLen <= 0 {
+		o.BurstLen = 16
+	}
+}
+
+// Arrivals generates a deterministic arrival trace over the trace workload's
+// query mix: each tenant mostly issues its dominant-type query
+// (TenantQuery), with occasional dimension lookups. Arrivals are returned in
+// schedule order.
+func Arrivals(opts TraceOptions) []Arrival {
+	opts.fill()
+	g := storage.NewGenerator(opts.Seed)
+	queryFor := func(tenant int) *sqlparser.Query {
+		// Mostly the tenant's dominant-type join (each request costs a
+		// knowledge base probe, so bursts drain the tenant's probe bucket),
+		// with occasional single-table dominant-type scans.
+		if g.Bool(0.8) {
+			return TenantJoinQuery((tenant-1)%NumTenants + 1)
+		}
+		return TenantQuery((tenant-1)%NumTenants + 1)
+	}
+
+	out := make([]Arrival, 0, opts.Arrivals)
+	switch opts.Profile {
+	case ProfileSteady:
+		// Uniform round-robin: one request every 5ms, tenants take turns.
+		at := int64(0)
+		for i := 0; i < opts.Arrivals; i++ {
+			tenant := i%opts.Tenants + 1
+			out = append(out, Arrival{AtMillis: at, Tenant: TenantID(tenant), Query: queryFor(tenant)})
+			at += 5
+		}
+	default:
+		// Bursty: the burst owner rotates; during its burst it fires
+		// BurstLen requests 1-2ms apart while every other tenant trickles
+		// with probability 0.2, so bursts overlap background traffic.
+		at := int64(0)
+		owner := 0
+		for len(out) < opts.Arrivals {
+			owner = owner%opts.Tenants + 1
+			burstStart := at
+			for b := 0; b < opts.BurstLen && len(out) < opts.Arrivals; b++ {
+				out = append(out, Arrival{AtMillis: at, Tenant: TenantID(owner), Query: queryFor(owner)})
+				at += g.UniformInt(1, 2)
+			}
+			for t := 1; t <= opts.Tenants && len(out) < opts.Arrivals; t++ {
+				if t != owner && g.Bool(0.2) {
+					trickleAt := burstStart + g.UniformInt(0, at-burstStart)
+					out = append(out, Arrival{AtMillis: trickleAt, Tenant: TenantID(t), Query: queryFor(t)})
+				}
+			}
+			// An inter-burst gap lets buckets refill partially — bursts are
+			// bursts, not a uniform hammer.
+			at += g.UniformInt(10, 20)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].AtMillis < out[j].AtMillis })
+	return out
+}
+
+// Replay dispatches every arrival at its scheduled offset divided by
+// speedup, each in its own goroutine (concurrent arrivals overlap, as they
+// would against a real server), and waits for all dispatched calls to
+// return. speedup <= 0 replays with no waiting at all.
+func Replay(arrivals []Arrival, speedup float64, do func(Arrival)) {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, a := range arrivals {
+		if speedup > 0 {
+			due := time.Duration(float64(a.AtMillis)/speedup) * time.Millisecond
+			if wait := due - time.Since(start); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		wg.Add(1)
+		go func(a Arrival) {
+			defer wg.Done()
+			do(a)
+		}(a)
+	}
+	wg.Wait()
+}
