@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"galo"
+	"galo/internal/experiments"
 	"galo/internal/workload/tpcds"
 )
 
@@ -217,6 +218,116 @@ func BenchmarkServingReopt(b *testing.B) {
 	})
 }
 
+// fleetServingRow is one entry of BENCH_serving.json's "fleet" section: the
+// same 16-client drive once with every replica up and once across a replica
+// SIGKILL, so the two rows quantify what the gateway's retries and failover
+// cost under faults.
+type fleetServingRow struct {
+	Phase          string  `json:"phase"` // "intact" or "one_replica_killed"
+	Clients        int     `json:"clients"`
+	Requests       int     `json:"requests"`
+	FailedRequests int     `json:"failed_requests"`
+	ThroughputRPS  float64 `json:"throughput_rps"`
+	WallP50Millis  float64 `json:"wall_p50_ms"`
+	WallP99Millis  float64 `json:"wall_p99_ms"`
+}
+
+// measureFleetServing drives the serving workload through a remote shard
+// fleet (2 shards x 2 chaos replicas over the trained dump), kills one
+// replica, and measures the intact phase, the SIGKILL-to-first-successful-
+// failover-probe recovery time, and the degraded phase. Zero requests may
+// fail in either phase, and the degraded p50 must stay within 2x of intact.
+func measureFleetServing(t *testing.T) (intact, killed fleetServingRow, recovery time.Duration, stats galo.FleetStats) {
+	boot, queries := servingSystem(t) // ensures the trained fixture exists
+	boot.Close()
+	dump, err := os.ReadFile(servingFixture.kbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	harness, err := experiments.NewFleetHarness(string(dump), 2, 2, galo.FleetPolicy{
+		ProbeTimeout:    5 * time.Second,
+		MaxAttempts:     4,
+		BackoffBase:     2 * time.Millisecond,
+		BackoffCap:      50 * time.Millisecond,
+		BreakerCooldown: 200 * time.Millisecond,
+		Seed:            7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer harness.Close()
+
+	cfg := galo.DefaultConfig()
+	cfg.Shards = 2
+	// Every request must drive real network probes: the routinization cache
+	// would serve repeat traffic locally and hide the kill from the gateway.
+	cfg.Matching.ProbeCacheSize = -1
+	cfg.Fleet = harness.Options
+	sys := galo.NewSystem(servingFixture.db, cfg)
+	defer sys.Close()
+	srv := httptest.NewServer(sys.APIHandler())
+	defer srv.Close()
+
+	const clients, passes = 16, 2
+	rowFor := func(phase string, samples []sample, elapsed time.Duration) fleetServingRow {
+		wall := make([]float64, len(samples))
+		for i, s := range samples {
+			wall[i] = s.wallMillis
+		}
+		return fleetServingRow{
+			Phase:          phase,
+			Clients:        clients,
+			Requests:       clients * passes * len(queries),
+			FailedRequests: clients*passes*len(queries) - len(samples),
+			ThroughputRPS:  float64(len(samples)) / elapsed.Seconds(),
+			WallP50Millis:  percentile(wall, 0.50),
+			WallP99Millis:  percentile(wall, 0.99),
+		}
+	}
+
+	samples, elapsed := drive(t, srv.URL, queries, clients, passes)
+	intact = rowFor("intact", samples, elapsed)
+
+	// SIGKILL one replica of shard 0 and time until the first /reopt
+	// succeeds again through failover.
+	probe := queries[0]
+	payload, _ := json.Marshal(galo.ReoptRequest{SQL: probe.SQL(), Name: probe.Name})
+	recovery, err = harness.KillRecovery(0, 0, func() error {
+		resp, err := http.Post(srv.URL+"/reopt", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return errStatus(resp.StatusCode)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	samples, elapsed = drive(t, srv.URL, queries, clients, passes)
+	killed = rowFor("one_replica_killed", samples, elapsed)
+
+	var st struct {
+		Fleet galo.FleetStats `json:"fleet"`
+	}
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return intact, killed, recovery, st.Fleet
+}
+
+type errStatus int
+
+func (e errStatus) Error() string { return "reopt status " + http.StatusText(int(e)) }
+
 // TestEmitBenchServingJSON measures the serving benchmark at 1/4/16
 // concurrent clients and records it in BENCH_serving.json. It only runs when
 // GALO_BENCH_JSON=1 (CI's benchmark job sets it) so that a plain
@@ -243,10 +354,41 @@ func TestEmitBenchServingJSON(t *testing.T) {
 		t.Errorf("routinized p50 match latency at 16 clients (%.3f ms) exceeds 2x the single-client number (%.3f ms)",
 			routinizedP50[16], routinizedP50[1])
 	}
+
+	// Fleet section: the same drive through a remote 2x2 replica fleet, with
+	// one replica SIGKILLed between phases. Gates: zero failed requests in
+	// either phase, and degraded p50 within 2x of intact (failover adds at
+	// most one retry round trip per probe, not a multiplicative blowup).
+	intact, killed, recovery, fleetStats := measureFleetServing(t)
+	t.Logf("fleet: intact %.2f ms wall p50 | killed %.2f ms wall p50 | recovery %.1f ms | %d probes, %d failovers, %d retries",
+		intact.WallP50Millis, killed.WallP50Millis, float64(recovery.Microseconds())/1000,
+		fleetStats.Probes, fleetStats.Failovers, fleetStats.Retries)
+	if intact.FailedRequests != 0 || killed.FailedRequests != 0 {
+		t.Errorf("fleet phases dropped requests: intact %d, killed %d, want 0",
+			intact.FailedRequests, killed.FailedRequests)
+	}
+	const fleetEpsilonMillis = 1.0 // absorbs scheduler noise at millisecond scale
+	if killed.WallP50Millis > 2*intact.WallP50Millis+fleetEpsilonMillis {
+		t.Errorf("p50 across the replica kill (%.2f ms) exceeds 2x the intact p50 (%.2f ms)",
+			killed.WallP50Millis, intact.WallP50Millis)
+	}
+	if fleetStats.Failovers == 0 && fleetStats.Retries == 0 {
+		t.Errorf("replica kill produced neither failovers nor retries — the fault was not exercised")
+	}
+
 	doc := map[string]any{
 		"benchmark": "re-optimization serving: POST /reopt throughput and latency vs concurrent clients",
 		"note":      "cold = first pass over the query pool (fragment fingerprints unseen; singleflight collapses concurrent duplicates); routinized = repeat passes through the sharded probe cache. match_* is server-side knowledge base probe time per request (the Figure 12 quantity); wall_* is client-observed request latency. The Figure 12 amortization must survive concurrency: routinized match p50 at 16 clients stays within 2x of 1 client.",
 		"rows":      rows,
+		"fleet": map[string]any{
+			"note":             "16 clients through a remote shard fleet (2 shards x 2 replicas, probe cache disabled so every request probes over the network). intact = all replicas up; one_replica_killed = after SIGKILLing one replica of shard 0. kill_recovery_ms is SIGKILL to the first successful failover probe. Gates: zero failed requests in both phases, killed p50 within 2x of intact.",
+			"rows":             []fleetServingRow{intact, killed},
+			"kill_recovery_ms": float64(recovery.Microseconds()) / 1000,
+			"probes":           fleetStats.Probes,
+			"retries":          fleetStats.Retries,
+			"failovers":        fleetStats.Failovers,
+			"breaker_trips":    fleetStats.BreakerTrips,
+		},
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

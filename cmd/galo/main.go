@@ -9,6 +9,8 @@
 //	galo kb      -kb kb.nt
 //	galo serve   -kb kb.nt [-addr :3030] [-online] [-shards N] [-data-dir DIR] [-sync always|interval|never]
 //	             [-exec-workers N] [-exec-mem-budget 256MB] [-tenant-namespaces] [-tenant-share] [-max-tenants N]
+//	             [-fleet "u1,u2;u3,u4"] [-fleet-attempts N] [-fleet-hedge D] [-fleet-rebalance]
+//	galo shard   -kb kb.nt -shard I -shards N [-addr 127.0.0.1:3031]
 //	galo trace   [-trace bursty|steady] [-tenants N] [-arrivals N] [-speedup X] [-target URL]
 //	galo explain -workload tpcds|client [-query "SELECT ..."]
 //
@@ -72,6 +74,8 @@ func main() {
 		err = runKB(args)
 	case "serve":
 		err = runServe(args)
+	case "shard":
+		err = runShard(args)
 	case "trace":
 		err = runTrace(args)
 	case "explain":
@@ -97,6 +101,7 @@ commands:
   reopt    re-optimize queries online against a knowledge base
   kb       list the templates stored in a knowledge base
   serve    run the re-optimization HTTP service over a knowledge base
+  shard    serve one knowledge base shard for a remote fleet (see serve -fleet)
   trace    replay a deterministic multi-tenant arrival trace against /reopt
   explain  show the optimizer's plan for a query without GALO
 
@@ -147,6 +152,22 @@ the serve API (default address :3030):
 
   # serve with 4 exchange workers under a 256MB residency budget
   galo serve -kb kb.nt -exec-workers 4 -exec-mem-budget 256MB
+
+  with -fleet "u1,u2;u3,u4", the knowledge base lives in remote "galo shard"
+  processes instead of this one: shard endpoint groups are separated by ';'
+  and replicas within a group by ','. Probes route through a fault-tolerant
+  gateway — per-probe deadlines, capped exponential backoff with jitter,
+  replica failover on timeout/5xx, optional hedging (-fleet-hedge 50ms) and
+  a per-replica circuit breaker — and its counters appear under "fleet" in
+  /stats. -fleet-rebalance watches per-shard probe skew and migrates hot
+  templates between shards with the two-epoch protocol (copy, dual-route,
+  cut over, drop) so no probe ever misses mid-migration.
+
+  # a two-shard fleet, one replica each, and the gateway in front
+  galo learn -kb kb.nt
+  galo shard -kb kb.nt -shard 0 -shards 2 -addr 127.0.0.1:3031 &
+  galo shard -kb kb.nt -shard 1 -shards 2 -addr 127.0.0.1:3032 &
+  galo serve -fleet "http://127.0.0.1:3031;http://127.0.0.1:3032"
 
   with -data-dir, every knowledge base epoch is written to a per-shard
   write-ahead log and compacted into snapshots; kill the process however you
@@ -391,6 +412,12 @@ func runServe(args []string) error {
 	tenantNS := fs.Bool("tenant-namespaces", false, "give each X-Galo-Client identity its own knowledge base namespace")
 	tenantShare := fs.Bool("tenant-share", false, "with -tenant-namespaces, fall back to the shared knowledge base when a tenant's namespace has no match")
 	maxTenants := fs.Int("max-tenants", 0, "bound on tracked tenant identities; extra identities share one overflow row (0 = default 256)")
+	fleetSpec := fs.String("fleet", "", "remote shard fleet: ';'-separated shard groups of ','-separated replica URLs (e.g. \"http://h1:3031,http://h2:3031;http://h3:3032\"); empty = in-process KB")
+	fleetTimeout := fs.Duration("fleet-probe-timeout", 0, "fleet: per-probe deadline (0 = default 2s)")
+	fleetAttempts := fs.Int("fleet-attempts", 0, "fleet: attempts per probe across replicas (0 = default 3)")
+	fleetHedge := fs.Duration("fleet-hedge", 0, "fleet: send a hedged probe to another replica after this long (0 = hedging off)")
+	fleetRebalance := fs.Bool("fleet-rebalance", false, "fleet: migrate hot templates between shards when probe skew exceeds 2x")
+	fleetRebalanceEvery := fs.Duration("fleet-rebalance-interval", 0, "fleet: rebalancer window length (0 = default 5s)")
 	dataDir := fs.String("data-dir", "", "directory for the knowledge base WAL + snapshots; restart recovers the pre-crash epochs (empty = in-memory only)")
 	syncMode := fs.String("sync", "interval", "WAL durability: always (fsync per publication), interval (batched fsync), never")
 	snapshotEvery := fs.Uint64("snapshot-every", 0, "compact a shard's WAL into a snapshot every N epochs (0 = default 4096)")
@@ -419,6 +446,25 @@ func runServe(args []string) error {
 	if *online {
 		cfg.Online = galo.DefaultOnlineOptions()
 	}
+	if *fleetSpec != "" {
+		shardGroups, err := parseFleetSpec(*fleetSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Shards = len(shardGroups)
+		cfg.Fleet = galo.FleetOptions{
+			Shards: shardGroups,
+			Policy: galo.FleetPolicy{
+				ProbeTimeout: *fleetTimeout,
+				MaxAttempts:  *fleetAttempts,
+				HedgeAfter:   *fleetHedge,
+			},
+			Rebalance: galo.RebalanceOptions{
+				Enabled:  *fleetRebalance,
+				Interval: *fleetRebalanceEvery,
+			},
+		}
+	}
 	sys := galo.NewSystem(db, cfg)
 	defer sys.Close()
 
@@ -427,6 +473,10 @@ func runServe(args []string) error {
 		return err
 	}
 	switch {
+	case *fleetSpec != "":
+		// The remote shard processes hold the knowledge base; nothing to load
+		// locally — probes route through the gateway.
+		fmt.Printf("routing knowledge base probes to a %d-shard remote fleet\n", len(cfg.Fleet.Shards))
 	case recovered != nil && recovered.Recovered:
 		// The data directory holds the durable knowledge base — it wins over
 		// -kb, whose file would either duplicate or roll back the recovered
@@ -471,6 +521,91 @@ func runServe(args []string) error {
 			return fmt.Errorf("graceful shutdown: %w", err)
 		}
 		return <-serveErr
+	}
+}
+
+// parseFleetSpec parses the -fleet value: shard endpoint groups separated by
+// ';', replica URLs within a group by ','.
+func parseFleetSpec(spec string) ([][]string, error) {
+	var shards [][]string
+	for i, group := range strings.Split(spec, ";") {
+		var replicas []string
+		for _, u := range strings.Split(group, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				return nil, fmt.Errorf("-fleet: replica %q of shard %d is not an http(s) URL", u, i)
+			}
+			replicas = append(replicas, strings.TrimRight(u, "/"))
+		}
+		if len(replicas) == 0 {
+			return nil, fmt.Errorf("-fleet: shard %d has no replica URLs", i)
+		}
+		shards = append(shards, replicas)
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("-fleet: no shard groups in %q", spec)
+	}
+	return shards, nil
+}
+
+// runShard serves one knowledge base shard for a remote fleet: it loads the
+// full KB dump, keeps only the templates that route to -shard under the
+// -shards layout (the same shape-prefix routing the gateway uses), and
+// serves them over the fleet shard HTTP surface (/query /data /version
+// /shape /healthz). Every replica of a shard runs this same command.
+func runShard(args []string) error {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	kbPath := fs.String("kb", "kb.nt", "full knowledge base dump to slice the shard from")
+	addr := fs.String("addr", "127.0.0.1:0", "listen address (use a fixed port so the gateway can find it)")
+	shard := fs.Int("shard", 0, "this shard's index in [0, shards)")
+	shards := fs.Int("shards", 1, "total number of shards in the fleet")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *shard < 0 || *shard >= *shards {
+		return fmt.Errorf("-shard %d out of range for -shards %d", *shard, *shards)
+	}
+	data, err := os.ReadFile(*kbPath)
+	if err != nil {
+		return err
+	}
+	slice, err := galo.ShardSlice(string(data), *shard, *shards)
+	if err != nil {
+		return err
+	}
+	knowledge := galo.NewKnowledgeBase()
+	if err := knowledge.LoadNTriples(slice); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: galo.NewShardServer(knowledge)}
+	fmt.Printf("shard %d/%d serving %d templates on http://%s\n",
+		*shard, *shards, knowledge.Size(), ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+		stop()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-serveErr; err != http.ErrServerClosed {
+			return err
+		}
+		return nil
 	}
 }
 

@@ -24,9 +24,15 @@
 package galo
 
 import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
 	"galo/internal/core"
 	"galo/internal/executor"
 	"galo/internal/experiments"
+	"galo/internal/fleet"
 	"galo/internal/guideline"
 	"galo/internal/kb"
 	"galo/internal/learning"
@@ -158,6 +164,65 @@ func NewKnowledgeBase() *KnowledgeBase { return kb.New() }
 // its problem shape signature) and epoch publications never touch the other
 // shards.
 func NewShardedKnowledgeBase(n int) *KnowledgeBase { return kb.NewSharded(n) }
+
+// --- Shard fleet -------------------------------------------------------------
+
+// FleetOptions configures the remote-shard gateway (Config.Fleet): per-shard
+// replica URL lists, the retry/hedge/breaker policy, and the rebalancer.
+type FleetOptions = fleet.Options
+
+// FleetPolicy is the gateway's fault-tolerance policy: probe deadlines,
+// retry/backoff, hedging, and the per-replica circuit breaker.
+type FleetPolicy = fleet.Policy
+
+// RebalanceOptions configures the probe-skew rebalancer driving two-epoch
+// template migrations between fleet shards.
+type RebalanceOptions = fleet.RebalanceOptions
+
+// FleetStats is the /stats "fleet" section.
+type FleetStats = fleet.Stats
+
+// ShardServer serves one knowledge base shard over the fleet's HTTP surface —
+// the process behind `galo shard`.
+type ShardServer = fleet.ShardServer
+
+// NewShardServer wraps a knowledge base in the fleet shard HTTP surface.
+func NewShardServer(knowledge *KnowledgeBase) *ShardServer {
+	return fleet.NewShardServer(knowledge)
+}
+
+// ShardSlice extracts shard `shard` of `shards` from a full knowledge base
+// dump (N-Triples), using the same shape-prefix routing the sharded KB and
+// the fleet gateway use — the loader behind `galo shard -kb`.
+func ShardSlice(ntriples string, shard, shards int) (string, error) {
+	return kb.ShardSlice(ntriples, shard, shards)
+}
+
+// RetryAfter reads a response's Retry-After header — the serving API stamps
+// it on 429 (admission control) and 503 (draining) — as a wait duration.
+// Both RFC 9110 forms are understood: delta-seconds and an HTTP-date. The
+// second return is false when the header is absent or malformed; a date in
+// the past yields (0, true) — retry immediately.
+func RetryAfter(resp *http.Response) (time.Duration, bool) {
+	v := strings.TrimSpace(resp.Header.Get("Retry-After"))
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.ParseInt(v, 10, 64); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if t, err := http.ParseTime(v); err == nil {
+		d := time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+		return d, true
+	}
+	return 0, false
+}
 
 // --- Workloads ---------------------------------------------------------------
 

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"galo/internal/executor"
+	"galo/internal/fleet"
 	"galo/internal/fuseki"
 	"galo/internal/kb"
 	"galo/internal/learning"
@@ -73,6 +74,16 @@ type Config struct {
 	// /stats accounting on the serving API; the zero value keeps the single
 	// shared namespace (counters are still collected per client identity).
 	Tenancy TenancyOptions
+	// Fleet replaces the in-process knowledge base shards with a fleet of
+	// remote replicated shard servers (`galo shard` processes): probes route
+	// through fleet.ShardEndpoints with retries, failover, hedging and
+	// circuit breakers, and a rebalancer can migrate hot shapes between
+	// shards (fleet.Options.Rebalance). The zero value disables the fleet.
+	// Takes precedence over RemoteKB; matching degrades per shard
+	// (TolerateProbeErrors is forced on) instead of failing requests.
+	// Tenant-isolated namespaces (Tenancy) keep their local per-tenant KBs —
+	// the fleet serves the shared namespace.
+	Fleet fleet.Options
 }
 
 // DefaultConfig returns the configuration used throughout the experiments.
@@ -127,6 +138,12 @@ func fillConfig(cfg Config) Config {
 	if cfg.Shards < 1 {
 		cfg.Shards = 1
 	}
+	if cfg.Fleet.Enabled() {
+		// A dead shard must degrade that shard's rewrites, not fail whole
+		// /reopt requests — the gateway's retries already masked what could
+		// be masked by the time an error reaches the matcher.
+		cfg.Matching.TolerateProbeErrors = true
+	}
 	return cfg
 }
 
@@ -164,6 +181,12 @@ type System struct {
 	// tenants holds the per-tenant namespaces and counters (tenancy.go).
 	tenants tenancyState
 
+	// fleetG is the remote-shard gateway (nil without Config.Fleet); rebal is
+	// its probe-skew rebalancer, started with the matching engine when
+	// Config.Fleet.Rebalance.Enabled is set.
+	fleetG *fleet.Fleet
+	rebal  *fleet.Rebalancer
+
 	// exec is the persistent system executor: one shared-scan registry for
 	// the whole system, so concurrent executions of large scans can share a
 	// snapshot pass; gov admits executions against Config.Exec.MemBudgetBytes
@@ -189,13 +212,17 @@ func NewSystem(db *storage.Database, cfg Config) *System {
 	exec := executor.New(db)
 	exec.Workers = cfg.Exec.Workers
 	exec.ShareScans = true
-	return &System{
+	s := &System{
 		DB:     db,
 		kb:     kb.NewSharded(cfg.Shards),
 		Config: cfg,
 		exec:   exec,
 		gov:    newExecGovernor(cfg.Exec.MemBudgetBytes),
 	}
+	if cfg.Fleet.Enabled() {
+		s.fleetG = fleet.New(cfg.Fleet)
+	}
+	return s
 }
 
 // KB returns the current knowledge base. The pointer is replaced wholesale
@@ -209,11 +236,21 @@ func (s *System) KB() *kb.KB {
 }
 
 // endpoints returns the per-shard knowledge base endpoints and the router
-// used for matching. A remote knowledge base presents as a single shard
-// (remote endpoints cannot be partitioned from here); the in-process KB gets
-// one pinned-snapshot endpoint per shard, routed by the same shape-prefix
-// function the KB used to place templates.
-func (s *System) endpoints(knowledge *kb.KB) ([]matching.Endpoint, matching.Router) {
+// used for matching. With a fleet configured, the SHARED namespace routes
+// through the gateway's fault-tolerant remote shard endpoints (shared=false —
+// a tenant's isolated namespace — keeps its local per-tenant KB). A remote
+// knowledge base presents as a single shard (remote endpoints cannot be
+// partitioned from here); the in-process KB gets one pinned-snapshot
+// endpoint per shard, routed by the same shape-prefix function the KB used
+// to place templates.
+func (s *System) endpoints(knowledge *kb.KB, shared bool) ([]matching.Endpoint, matching.Router) {
+	if shared && s.fleetG != nil {
+		eps := make([]matching.Endpoint, s.fleetG.Shards())
+		for i := range eps {
+			eps[i] = s.fleetG.Endpoint(i)
+		}
+		return eps, s.fleetG.Route
+	}
 	if s.Config.RemoteKB != "" {
 		return []matching.Endpoint{fuseki.NewClient(s.Config.RemoteKB)}, nil
 	}
@@ -235,8 +272,12 @@ func (s *System) matchingEngine() *matching.Engine {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.matcher == nil {
-		eps, router := s.endpoints(s.kb)
+		eps, router := s.endpoints(s.kb, true)
 		s.matcher = matching.NewSharded(s.DB.Catalog, eps, router, s.Config.Matching)
+		if s.fleetG != nil && s.Config.Fleet.Rebalance.Enabled && s.rebal == nil && !s.closed {
+			s.rebal = s.fleetG.NewRebalancer(s.matcher.ProbesByShard, s.Config.Fleet.Rebalance)
+			s.rebal.Start()
+		}
 	}
 	return s.matcher
 }
@@ -294,8 +335,13 @@ func (s *System) Close() {
 	s.online = nil
 	persist := s.persist
 	s.persist = nil
+	rebal := s.rebal
+	s.rebal = nil
 	s.closed = true
 	s.mu.Unlock()
+	if rebal != nil {
+		rebal.Stop()
+	}
 	if online != nil {
 		online.Close()
 	}
@@ -338,7 +384,11 @@ func (s *System) Execute(plan *qgm.Plan, q *sqlparser.Query) (*executor.Result, 
 	if err == nil {
 		raiseMax(&s.peakIntermediateRows, res.Stats.PeakIntermediateRows)
 		raiseMax(&s.peakIntermediateBytes, res.Stats.PeakIntermediateBytes)
-		if online := s.onlineLearner(); online != nil {
+		// The drain gate must win the race with the learner: once Shutdown
+		// has flipped draining, Observe would enqueue work behind the final
+		// flush and the observation could publish templates after the WAL's
+		// last fsync. Requests admitted before the flip still observe.
+		if online := s.onlineLearner(); online != nil && !s.draining.Load() {
 			online.Observe(q, plan)
 		}
 	}

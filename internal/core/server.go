@@ -11,10 +11,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"galo/internal/fleet"
 	"galo/internal/qgm"
 	"galo/internal/sqlparser"
 	"galo/internal/wal"
@@ -47,6 +49,41 @@ type admissionState struct {
 	inFlight  atomic.Int64
 	throttled atomic.Int64 // requests rejected by a per-client probe budget
 	shed      atomic.Int64 // requests rejected by the concurrency cap
+
+	// serviceEWMA tracks an exponentially weighted moving average of /reopt
+	// service time (nanoseconds, alpha 1/8) — the basis of the Retry-After
+	// estimate on concurrency-cap rejections. Zero until the first request
+	// completes.
+	serviceEWMA atomic.Uint64
+}
+
+// observeService folds one completed /reopt's service time into the EWMA.
+func (a *admissionState) observeService(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for {
+		old := a.serviceEWMA.Load()
+		next := uint64(d)
+		if old != 0 {
+			next = uint64((7*time.Duration(old) + d) / 8)
+		}
+		if a.serviceEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// setRetryAfter stamps a wait estimate as the Retry-After header. The header
+// carries whole delta-seconds (RFC 9110), so fractions round UP — a client
+// honoring the hint must never retry before the wait has actually elapsed —
+// with a floor of one second.
+func setRetryAfter(w http.ResponseWriter, wait time.Duration) {
+	secs := int64((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 }
 
 // clientBucket is one client's probe token bucket.
@@ -79,11 +116,13 @@ func clientKey(r *http.Request) string {
 
 // admitProbes reports whether the client's probe bucket holds at least one
 // whole probe token, refilling it for the time elapsed since its last use.
-// A new client starts with a full bucket.
-func (s *System) admitProbes(client string, now time.Time) bool {
+// A new client starts with a full bucket. On rejection the second return is
+// how long the refill needs to bring the bucket back to one whole token —
+// the client's Retry-After.
+func (s *System) admitProbes(client string, now time.Time) (bool, time.Duration) {
 	opts := s.Config.Admission
 	if opts.ProbeBudget <= 0 {
-		return true
+		return true, 0
 	}
 	refill := opts.RefillPerSecond
 	if refill <= 0 {
@@ -112,7 +151,33 @@ func (s *System) admitProbes(client string, now time.Time) bool {
 		b.tokens = float64(opts.ProbeBudget)
 	}
 	b.last = now
-	return b.tokens >= 1
+	if b.tokens >= 1 {
+		return true, 0
+	}
+	// A debited-below-zero bucket (chargeProbes) extends the wait: the
+	// estimate covers the full climb from the current balance to one token.
+	return false, time.Duration((1 - b.tokens) / refill * float64(time.Second))
+}
+
+// shedRetryAfter estimates how long a request shed by the concurrency cap
+// should wait: the queue depth it would face, expressed in units of the
+// observed per-request service time spread over MaxConcurrent lanes. Before
+// any request has completed (no EWMA yet) it falls back to one second.
+func (s *System) shedRetryAfter(inFlight int64) time.Duration {
+	max := int64(s.Config.Admission.MaxConcurrent)
+	ewma := time.Duration(s.admission.serviceEWMA.Load())
+	if ewma <= 0 || max <= 0 {
+		return time.Second
+	}
+	queued := inFlight - max + 1
+	if queued < 1 {
+		queued = 1
+	}
+	wait := ewma * time.Duration(queued) / time.Duration(max)
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return wait
 }
 
 // chargeProbes debits the probes one answered request actually issued. The
@@ -351,20 +416,20 @@ func (s *System) handleReopt(w http.ResponseWriter, r *http.Request) {
 	client := clientKey(r)
 	slot := s.tenantSlot(client)
 	if max := s.Config.Admission.MaxConcurrent; max > 0 {
-		if s.admission.inFlight.Add(1) > int64(max) {
+		if n := s.admission.inFlight.Add(1); n > int64(max) {
 			s.admission.inFlight.Add(-1)
 			s.admission.shed.Add(1)
 			slot.shed.Add(1)
-			w.Header().Set("Retry-After", "1")
+			setRetryAfter(w, s.shedRetryAfter(n))
 			http.Error(w, "matcher saturated, retry later", http.StatusTooManyRequests)
 			return
 		}
 		defer s.admission.inFlight.Add(-1)
 	}
-	if !s.admitProbes(client, time.Now()) {
+	if ok, wait := s.admitProbes(client, time.Now()); !ok {
 		s.admission.throttled.Add(1)
 		slot.throttled.Add(1)
-		w.Header().Set("Retry-After", "1")
+		setRetryAfter(w, wait)
 		http.Error(w, "probe budget exhausted, retry later", http.StatusTooManyRequests)
 		return
 	}
@@ -386,11 +451,13 @@ func (s *System) handleReopt(w http.ResponseWriter, r *http.Request) {
 	if q.Name == "" {
 		q.Name = "HTTP"
 	}
+	start := time.Now()
 	resp, err := s.reoptResponse(slot, q, req.Execute)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.admission.observeService(time.Since(start))
 	s.chargeProbes(client, resp.Probes)
 	slot.requests.Add(1)
 	slot.probes.Add(int64(resp.Probes))
@@ -531,6 +598,11 @@ type statsResponse struct {
 	// seen on /reopt (tenancy.go). Row counter sums — probes, throttled,
 	// shed — equal the corresponding totals above.
 	Tenancy tenancyStats `json:"tenancy"`
+	// Fleet reports the remote-shard gateway's counters — per-replica
+	// breaker states and epochs, retry/hedge/failover totals, migrations
+	// and (when running) the rebalancer — omitted on single-process
+	// deployments (no Config.Fleet).
+	Fleet *fleet.Stats `json:"fleet,omitempty"`
 }
 
 // durabilityStats is the /stats durability section: the wal layer's live
@@ -582,6 +654,17 @@ func (s *System) handleStats(w http.ResponseWriter, _ *http.Request) {
 		resp.Durability = &durabilityStats{Stats: *ps, Recovery: recovery}
 	}
 	resp.Tenancy = s.tenancySnapshot()
+	if s.fleetG != nil {
+		fs := s.fleetG.Stats()
+		s.mu.Lock()
+		rebal := s.rebal
+		s.mu.Unlock()
+		if rebal != nil {
+			rs := rebal.Stats()
+			fs.Rebalancer = &rs
+		}
+		resp.Fleet = &fs
+	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
 }

@@ -97,7 +97,9 @@ func (s *System) tenantSlot(client string) *tenantSlot {
 	slot := &tenantSlot{name: client}
 	if s.Config.Tenancy.Enabled && s.Config.RemoteKB == "" {
 		slot.kb = kb.NewSharded(s.Config.Shards)
-		eps, router := s.endpoints(slot.kb)
+		// Tenant namespaces are isolation domains: they always probe their
+		// own local KB, never the shared fleet (shared=false).
+		eps, router := s.endpoints(slot.kb, false)
 		slot.matcher = matching.NewSharded(s.DB.Catalog, eps, router, s.Config.Matching)
 	}
 	t.slots[client] = slot

@@ -1,0 +1,187 @@
+// Package chaos is the fleet's fault-injection harness, in the spirit of
+// internal/wal's FaultFS: the same replica processes the production fleet
+// runs, wrapped in seams that kill and restart them and corrupt their
+// traffic at configurable rates. Tests (and the BENCH_serving fleet
+// section) drive real HTTP through real listeners — the gateway under test
+// cannot tell a chaos replica from a remote `galo shard` process.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Faults configures per-request fault injection on a replica. Rates are
+// probabilities in [0, 1]; the zero value injects nothing. All fields may be
+// changed at runtime through the setters, which are safe against concurrent
+// requests.
+type Faults struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	delayP   float64
+	delayFor time.Duration
+	dropP    float64
+	errP     float64
+}
+
+// NewFaults returns a fault plan with a deterministic seeded source.
+func NewFaults(seed int64) *Faults {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Faults{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay makes a fraction p of requests stall for d before being served —
+// the tail-latency fault hedging exists for.
+func (f *Faults) Delay(p float64, d time.Duration) *Faults {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.delayP, f.delayFor = p, d
+	return f
+}
+
+// Drop makes a fraction p of requests abort their connection mid-response —
+// the client sees a transport error, not an HTTP status.
+func (f *Faults) Drop(p float64) *Faults {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.dropP = p
+	return f
+}
+
+// Err makes a fraction p of requests answer 500.
+func (f *Faults) Err(p float64) *Faults {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.errP = p
+	return f
+}
+
+// roll draws the fault decision for one request.
+func (f *Faults) roll() (delay time.Duration, drop, err bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.delayP > 0 && f.rng.Float64() < f.delayP {
+		delay = f.delayFor
+	}
+	if f.dropP > 0 && f.rng.Float64() < f.dropP {
+		drop = true
+	}
+	if f.errP > 0 && f.rng.Float64() < f.errP {
+		err = true
+	}
+	return
+}
+
+// inject wraps a handler with the fault plan.
+func (f *Faults) inject(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		delay, drop, fail := f.roll()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		if drop {
+			// Abort the connection without a response; net/http suppresses
+			// the stack trace for ErrAbortHandler.
+			panic(http.ErrAbortHandler)
+		}
+		if fail {
+			http.Error(w, "chaos: injected server error", http.StatusInternalServerError)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Replica is one shard replica under chaos control: a real HTTP server on a
+// real loopback listener that can be killed (socket torn down, in-flight
+// connections cut — the observable signature of SIGKILL) and restarted on
+// the same address.
+type Replica struct {
+	handler http.Handler
+	faults  *Faults
+
+	mu   sync.Mutex
+	addr string // pinned after first Start so restarts rebind the same port
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// NewReplica wraps a handler (typically a fleet.ShardServer). faults may be
+// nil for a fault-free replica that is only ever killed/restarted.
+func NewReplica(handler http.Handler, faults *Faults) *Replica {
+	return &Replica{handler: handler, faults: faults}
+}
+
+// Start binds the replica's listener (first start picks a free loopback
+// port; restarts reuse the recorded address) and begins serving.
+func (r *Replica) Start() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.srv != nil {
+		return fmt.Errorf("chaos: replica already running on %s", r.addr)
+	}
+	addr := r.addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	// After a kill the OS may briefly hold the port; retry the rebind.
+	var ln net.Listener
+	var err error
+	for i := 0; i < 50; i++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("chaos: bind %s: %w", addr, err)
+	}
+	r.addr = ln.Addr().String()
+	h := r.handler
+	if r.faults != nil {
+		h = r.faults.inject(h)
+	}
+	srv := &http.Server{Handler: h}
+	r.srv, r.ln = srv, ln
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+// URL returns the replica's base URL (valid after the first Start, stable
+// across restarts).
+func (r *Replica) URL() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return "http://" + r.addr
+}
+
+// Kill tears the replica down abruptly: the listener closes and every open
+// connection is cut without draining — what a SIGKILLed process looks like
+// from the network. The replica can be Started again.
+func (r *Replica) Kill() {
+	r.mu.Lock()
+	srv := r.srv
+	r.srv, r.ln = nil, nil
+	r.mu.Unlock()
+	if srv != nil {
+		_ = srv.Close()
+	}
+}
+
+// Running reports whether the replica currently serves.
+func (r *Replica) Running() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.srv != nil
+}
+
+// Faults returns the replica's fault plan (nil when fault-free).
+func (r *Replica) Faults() *Faults { return r.faults }

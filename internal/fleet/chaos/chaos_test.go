@@ -1,0 +1,118 @@
+package chaos
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	})
+}
+
+func get(t *testing.T, url string) (*http.Response, error) {
+	t.Helper()
+	c := &http.Client{Timeout: 2 * time.Second}
+	return c.Get(url)
+}
+
+func TestReplicaKillAndRestartSameAddress(t *testing.T) {
+	r := NewReplica(okHandler(), nil)
+	if err := r.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer r.Kill()
+	url := r.URL()
+	resp, err := get(t, url)
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resp.Body.Close()
+
+	r.Kill()
+	if r.Running() {
+		t.Fatalf("killed replica reports running")
+	}
+	if _, err := get(t, url); err == nil {
+		t.Fatalf("killed replica still answering")
+	}
+	if err := r.Start(); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if r.URL() != url {
+		t.Fatalf("restart moved the address: %s -> %s", url, r.URL())
+	}
+	// The rebind can race the OS releasing the port; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err = get(t, url)
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted replica never answered: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestFaultInjectionRates(t *testing.T) {
+	f := NewFaults(42).Err(1)
+	r := NewReplica(okHandler(), f)
+	if err := r.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer r.Kill()
+	resp, err := get(t, r.URL())
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d with Err(1), want 500", resp.StatusCode)
+	}
+	f.Err(0)
+	resp, err = get(t, r.URL())
+	if err != nil {
+		t.Fatalf("get after clearing: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d with faults cleared, want 200", resp.StatusCode)
+	}
+}
+
+func TestDropCutsConnection(t *testing.T) {
+	f := NewFaults(7).Drop(1)
+	r := NewReplica(okHandler(), f)
+	if err := r.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer r.Kill()
+	if _, err := get(t, r.URL()); err == nil {
+		t.Fatalf("Drop(1) request succeeded, want transport error")
+	}
+}
+
+func TestDelayStallsRequests(t *testing.T) {
+	const stall = 150 * time.Millisecond
+	f := NewFaults(9).Delay(1, stall)
+	r := NewReplica(okHandler(), f)
+	if err := r.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer r.Kill()
+	start := time.Now()
+	resp, err := get(t, r.URL())
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < stall {
+		t.Fatalf("request returned in %v, want >= %v", elapsed, stall)
+	}
+}

@@ -1,0 +1,32 @@
+// Package fleet turns the knowledge base's shards into a fault-tolerant
+// fleet of remote processes. Each shard is served by one or more read
+// replicas (`galo shard` processes speaking the fuseki HTTP surface, or any
+// other server of that protocol); the gateway side of this package exposes
+// one matching.Endpoint per shard that hides replica faults behind:
+//
+//   - per-probe deadlines (Policy.ProbeTimeout),
+//   - capped exponential backoff with jitter between attempts,
+//   - replica failover on timeouts / 5xx / truncated responses,
+//   - optional tail-latency hedging to a second replica (Policy.HedgeAfter),
+//   - a per-replica circuit breaker (trip after consecutive failures,
+//     half-open trial probes to recover).
+//
+// All degradation is counted (Fleet.Stats) and surfaced by core's /stats as
+// the "fleet" section.
+//
+// The package also implements the two-epoch template migration protocol:
+// MigrateShape moves one shape's templates to a new owner by copying them
+// under the current routing (epoch E), dual-routing reads to both owners
+// through the handover (E → E+1), cutting routing over to the new owner, and
+// only then dropping the templates from the old owner — each step separated
+// by a grace period at least as long as the probe deadline, so no probe ever
+// misses mid-migration. A Rebalancer watches the per-shard probe counters
+// for skew and drives migrations until the max/min probe ratio falls under
+// its threshold, one shape per round (oversized rebalances are paced, not
+// aborted).
+//
+// Concurrency: a Fleet and its endpoints are safe for concurrent use; all
+// counters are atomics. Route-table updates (migration) synchronize with
+// in-flight routing through an RWMutex and are ordered so a stale read is
+// always served by an owner that still holds the data.
+package fleet

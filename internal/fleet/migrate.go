@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"galo/internal/kb"
+)
+
+// ErrShapeEmpty reports a migration source that holds no templates for the
+// requested shape (nothing to move — e.g. a fallback-routed shape).
+var ErrShapeEmpty = errors.New("fleet: shape owns no templates on the source shard")
+
+// MigrateShape moves one shape's templates from shard `from` to shard `to`
+// with the two-epoch handover, so no concurrently routed probe ever misses:
+//
+//  1. copy — dump the shape from a healthy replica of the old owner and
+//     publish it on EVERY replica of the new owner (each publication is one
+//     atomic epoch there). Routing still sends all reads to the old owner;
+//     a copy failure aborts with routing untouched.
+//  2. dual-route — reads alternate between old and new owner for one grace
+//     period (both hold the data, so either answers completely); the new
+//     owner's caches warm while the old owner still backs every probe.
+//  3. cut over — the route table points the shape at the new owner only.
+//  4. drain — wait another grace period ≥ the probe deadline, bounding the
+//     lifetime of any in-flight probe that was routed under the old table
+//     (its replica-side evaluation pins a pre-drop epoch snapshot anyway).
+//  5. drop — remove the shape from the old owner's replicas, one atomic
+//     epoch each. Drop failures are counted, not fatal: the leftover
+//     templates are unreachable through routing and merely occupy space.
+//
+// The old owner keeps serving throughout; the only irreversible step (drop)
+// happens strictly after no new probe can route to it.
+func (f *Fleet) MigrateShape(shape string, from, to int) error {
+	shape = kb.NormalizeShape(shape)
+	if from == to {
+		return fmt.Errorf("fleet: migrate shape: from == to == %d", from)
+	}
+	if from < 0 || from >= len(f.endpoints) || to < 0 || to >= len(f.endpoints) {
+		return fmt.Errorf("fleet: migrate shape: shard out of range (%d -> %d of %d)", from, to, len(f.endpoints))
+	}
+	dump, err := f.endpoints[from].dumpShape(shape)
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(dump) == "" {
+		return fmt.Errorf("%w (shape %q, shard %d)", ErrShapeEmpty, shape, from)
+	}
+	f.migrationsStarted.Add(1)
+	if err := f.endpoints[to].loadAll(dump); err != nil {
+		// Copy failed: routing never changed, the old owner still serves.
+		// Templates already copied onto some replicas of `to` are unreachable
+		// duplicates a later retry overwrites (template merge is idempotent).
+		return err
+	}
+	f.table.SetDual(shape, from, to)
+	f.sleep(f.policy.MigrationGrace)
+	f.table.SetOwner(shape, to)
+	f.sleep(f.policy.MigrationGrace)
+	if err := f.endpoints[from].dropShape(shape); err != nil {
+		f.migrationDropFails.Add(1)
+	}
+	f.migrationsCompleted.Add(1)
+	return nil
+}

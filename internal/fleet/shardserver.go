@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"galo/internal/fuseki"
+	"galo/internal/kb"
+	"galo/internal/rdf"
+)
+
+// ShardServer serves one shard's slice of the knowledge base to the fleet:
+// the full fuseki surface (/query /data /ping /version) plus the migration
+// transport (/shape) and a liveness route (/healthz). Every response carries
+// the shard's epoch in fuseki.EpochHeader.
+type ShardServer struct {
+	kb  *kb.KB
+	fus *fuseki.Server
+	mux *http.ServeMux
+}
+
+// NewShardServer wraps a knowledge base (typically single-shard: one `galo
+// shard` process serves exactly its slice).
+func NewShardServer(knowledge *kb.KB) *ShardServer {
+	s := &ShardServer{kb: knowledge}
+	s.fus = fuseki.NewShardedServer(
+		func() []*rdf.Store { return knowledge.Stores() },
+		knowledge.LoadNTriples,
+	)
+	s.mux = http.NewServeMux()
+	s.mux.Handle("/query", s.fus)
+	s.mux.Handle("/data", s.fus)
+	s.mux.Handle("/ping", s.fus)
+	s.mux.Handle("/version", s.fus)
+	s.mux.HandleFunc("/shape", s.handleShape)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *ShardServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// The fuseki sub-handler stamps its own routes; stamp the rest here.
+	if w.Header().Get(fuseki.EpochHeader) == "" {
+		w.Header().Set(fuseki.EpochHeader, strconv.FormatUint(s.kb.Epoch(), 10))
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// handleShape is the migration transport: GET dumps one shape's templates
+// as N-Triples, DELETE drops them (one atomic epoch per owning store).
+func (s *ShardServer) handleShape(w http.ResponseWriter, r *http.Request) {
+	sig := r.URL.Query().Get("sig")
+	if sig == "" {
+		http.Error(w, "missing sig parameter", http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		w.Header().Set("Content-Type", "application/n-triples")
+		fmt.Fprint(w, s.kb.NTriplesForShape(sig))
+	case http.MethodDelete:
+		removed := s.kb.RemoveShape(sig)
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]int{"removed": removed})
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *ShardServer) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":    "ok",
+		"templates": s.kb.Size(),
+		"epoch":     s.kb.Epoch(),
+	})
+}

@@ -1,0 +1,67 @@
+package fuseki
+
+import "fmt"
+
+// The client surfaces every failure as one of three typed errors, so callers
+// (the fleet gateway above all) can tell transport faults and server errors —
+// which replica failover and retries can mask — from permanent request
+// errors that would fail identically on every replica:
+//
+//   - *OpError: the HTTP exchange itself failed (connection refused, DNS,
+//     deadline exceeded, connection reset mid-body). Always worth retrying
+//     elsewhere.
+//   - *StatusError: the server answered with a non-success status. Temporary
+//     reports whether another attempt can help (5xx, 429) or not (4xx).
+//   - *DecodeError: the response arrived but its payload was malformed or
+//     truncated mid-stream. The store's answer is unknown, so it counts as
+//     retryable.
+
+// OpError reports a transport-level failure of one client operation.
+type OpError struct {
+	Op  string // "query", "load", "version", "dump"
+	URL string
+	Err error
+}
+
+func (e *OpError) Error() string { return fmt.Sprintf("fuseki: %s %s: %v", e.Op, e.URL, e.Err) }
+
+// Unwrap exposes the underlying transport error (e.g. *url.Error).
+func (e *OpError) Unwrap() error { return e.Err }
+
+// StatusError reports a non-success HTTP response.
+type StatusError struct {
+	Op     string
+	URL    string
+	Code   int
+	Status string
+	Body   string // first bytes of the response body, trimmed
+}
+
+func (e *StatusError) Error() string {
+	if e.Body != "" {
+		return fmt.Sprintf("fuseki: %s %s: %s: %s", e.Op, e.URL, e.Status, e.Body)
+	}
+	return fmt.Sprintf("fuseki: %s %s: %s", e.Op, e.URL, e.Status)
+}
+
+// Temporary reports whether a retry (possibly against another replica) can
+// succeed: server-side errors and throttling are temporary, client errors
+// (a malformed query is malformed everywhere) are not.
+func (e *StatusError) Temporary() bool {
+	return e.Code >= 500 || e.Code == 429
+}
+
+// DecodeError reports a response whose payload could not be decoded — a
+// malformed document or a body truncated mid-stream.
+type DecodeError struct {
+	Op  string
+	URL string
+	Err error
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("fuseki: %s %s: bad response payload: %v", e.Op, e.URL, e.Err)
+}
+
+// Unwrap exposes the underlying decoding error.
+func (e *DecodeError) Unwrap() error { return e.Err }

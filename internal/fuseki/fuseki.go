@@ -21,12 +21,20 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"galo/internal/rdf"
 	"galo/internal/sparql"
 )
+
+// EpochHeader is the response header on which a server advertises its
+// knowledge base epoch (the sum of its shard store versions) with every
+// response. Fleet gateways read it to track replica freshness without extra
+// /version round trips.
+const EpochHeader = "X-Galo-Epoch"
 
 // Server serves one or more triple stores (knowledge base shards) over
 // HTTP. The stores are resolved per request, so a deployment that replaces
@@ -78,8 +86,22 @@ func NewShardedServer(resolve func() []*rdf.Store, load func(ntriples string) er
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. Every response — including errors —
+// carries the store's current epoch in EpochHeader.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(EpochHeader, strconv.FormatUint(s.Epoch(), 10))
+	s.mux.ServeHTTP(w, r)
+}
+
+// Epoch returns the epoch advertised on responses: the sum of the served
+// stores' mutation counters.
+func (s *Server) Epoch() uint64 {
+	var sum uint64
+	for _, st := range s.stores() {
+		sum += st.Version()
+	}
+	return sum
+}
 
 // jsonResults is the SPARQL JSON results document.
 type jsonResults struct {
@@ -191,10 +213,17 @@ func (s *Server) handleData(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// Client talks to a Fuseki-style endpoint.
+// Client talks to a Fuseki-style endpoint. Every method returns one of the
+// typed errors in errors.go (*OpError, *StatusError, *DecodeError) on
+// failure, and records the epoch the server advertises on each response
+// (AdvertisedEpoch).
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+
+	// advertised holds the last epoch seen in an EpochHeader, offset by one
+	// so the zero value means "never seen".
+	advertised atomic.Uint64
 }
 
 // NewClient returns a client for the endpoint base URL (e.g.
@@ -203,22 +232,56 @@ func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: strings.TrimRight(baseURL, "/"), HTTP: &http.Client{Timeout: 30 * time.Second}}
 }
 
+// noteEpoch records the epoch a response advertises, if any.
+func (c *Client) noteEpoch(resp *http.Response) {
+	if v := resp.Header.Get(EpochHeader); v != "" {
+		if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+			c.advertised.Store(n + 1)
+		}
+	}
+}
+
+// AdvertisedEpoch returns the knowledge base epoch the endpoint most
+// recently advertised on any response; ok is false until the first response
+// carrying an EpochHeader arrives (e.g. a pre-fleet server).
+func (c *Client) AdvertisedEpoch() (uint64, bool) {
+	v := c.advertised.Load()
+	if v == 0 {
+		return 0, false
+	}
+	return v - 1, true
+}
+
+// statusError drains up to a few hundred bytes of the body into a typed
+// status error.
+func statusError(op, url string, resp *http.Response) *StatusError {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return &StatusError{Op: op, URL: url, Code: resp.StatusCode, Status: resp.Status, Body: strings.TrimSpace(string(body))}
+}
+
 // Select runs a SPARQL SELECT query remotely and converts the JSON results
 // back into solutions.
 func (c *Client) Select(queryText string) ([]sparql.Solution, error) {
+	target := c.BaseURL + "/query"
 	form := url.Values{"query": {queryText}}
-	resp, err := c.HTTP.PostForm(c.BaseURL+"/query", form)
+	resp, err := c.HTTP.PostForm(target, form)
 	if err != nil {
-		return nil, fmt.Errorf("fuseki: query request: %w", err)
+		return nil, &OpError{Op: "query", URL: target, Err: err}
 	}
 	defer resp.Body.Close()
+	c.noteEpoch(resp)
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		return nil, fmt.Errorf("fuseki: query failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		return nil, statusError("query", target, resp)
+	}
+	// Read the full body first so a connection cut mid-stream surfaces as a
+	// typed decode error instead of a silently short solution set.
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, &OpError{Op: "query", URL: target, Err: err}
 	}
 	var doc jsonResults
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return nil, fmt.Errorf("fuseki: decode results: %w", err)
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return nil, &DecodeError{Op: "query", URL: target, Err: err}
 	}
 	var out []sparql.Solution
 	for _, b := range doc.Results.Bindings {
@@ -237,51 +300,74 @@ func (c *Client) Select(queryText string) ([]sparql.Solution, error) {
 
 // Load uploads N-Triples into the remote store.
 func (c *Client) Load(ntriples string) error {
-	resp, err := c.HTTP.Post(c.BaseURL+"/data", "application/n-triples", strings.NewReader(ntriples))
+	target := c.BaseURL + "/data"
+	resp, err := c.HTTP.Post(target, "application/n-triples", strings.NewReader(ntriples))
 	if err != nil {
-		return fmt.Errorf("fuseki: load request: %w", err)
+		return &OpError{Op: "load", URL: target, Err: err}
 	}
 	defer resp.Body.Close()
+	c.noteEpoch(resp)
 	if resp.StatusCode != http.StatusNoContent && resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("fuseki: load failed: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+		return statusError("load", target, resp)
 	}
 	return nil
 }
 
-// KBVersion fetches the remote store's mutation counter (matching the
-// matching engine's VersionedEndpoint interface); ok is false when the
-// endpoint is unreachable or predates the /version route, which disables
-// probe-result caching rather than risking stale guidelines.
-func (c *Client) KBVersion() (uint64, bool) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/version")
+// Version fetches the remote store's mutation counter, surfacing transport,
+// status and payload failures as their typed errors (a /version body that is
+// not JSON or lacks the "version" key is a *DecodeError, not a zero value).
+func (c *Client) Version() (uint64, error) {
+	target := c.BaseURL + "/version"
+	resp, err := c.HTTP.Get(target)
 	if err != nil {
-		return 0, false
+		return 0, &OpError{Op: "version", URL: target, Err: err}
 	}
 	defer resp.Body.Close()
+	c.noteEpoch(resp)
 	if resp.StatusCode != http.StatusOK {
-		return 0, false
+		return 0, statusError("version", target, resp)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, &OpError{Op: "version", URL: target, Err: err}
 	}
 	var doc map[string]uint64
-	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
-		return 0, false
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return 0, &DecodeError{Op: "version", URL: target, Err: err}
 	}
 	v, ok := doc["version"]
-	return v, ok
+	if !ok {
+		return 0, &DecodeError{Op: "version", URL: target, Err: fmt.Errorf("payload missing %q key", "version")}
+	}
+	return v, nil
+}
+
+// KBVersion adapts Version to the matching engine's VersionedEndpoint
+// interface; ok is false when the endpoint is unreachable or predates the
+// /version route, which disables probe-result caching rather than risking
+// stale guidelines.
+func (c *Client) KBVersion() (uint64, bool) {
+	v, err := c.Version()
+	return v, err == nil
 }
 
 // Dump downloads the remote store as N-Triples.
 func (c *Client) Dump() (string, error) {
-	resp, err := c.HTTP.Get(c.BaseURL + "/data")
+	target := c.BaseURL + "/data"
+	resp, err := c.HTTP.Get(target)
 	if err != nil {
-		return "", fmt.Errorf("fuseki: dump request: %w", err)
+		return "", &OpError{Op: "dump", URL: target, Err: err}
 	}
 	defer resp.Body.Close()
+	c.noteEpoch(resp)
 	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("fuseki: dump failed: %s", resp.Status)
+		return "", statusError("dump", target, resp)
 	}
 	body, err := io.ReadAll(resp.Body)
-	return string(body), err
+	if err != nil {
+		return "", &OpError{Op: "dump", URL: target, Err: err}
+	}
+	return string(body), nil
 }
 
 // LocalEndpoint adapts an in-process store to the same Select interface the

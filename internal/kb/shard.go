@@ -31,14 +31,22 @@ const routePrefixLen = 24
 // necessary condition for an applicable match, which is what makes the
 // shape-keyed partition lossless for probe fan-out.
 func (kb *KB) RouteShape(shape string, joins int) int {
-	n := len(kb.stores)
-	if n == 1 {
+	return RouteShapeN(shape, joins, len(kb.stores))
+}
+
+// RouteShapeN is the package-level routing function behind RouteShape: it
+// maps a shape signature and join count to a shard in [0, n). It depends on
+// nothing but its arguments, so a fleet gateway and a `galo shard` process
+// that agree on the shard count agree on every shape's home shard without
+// sharing a KB instance.
+func RouteShapeN(shape string, joins, n int) int {
+	if n <= 1 {
 		return 0
 	}
 	if shape == "" || shape == "_" {
 		return joinBand(joins) % n
 	}
-	shape = strings.ReplaceAll(shape, "+BF", "")
+	shape = NormalizeShape(shape)
 	prefix := shape
 	if len(prefix) > routePrefixLen {
 		prefix = prefix[:routePrefixLen]
@@ -46,6 +54,13 @@ func (kb *KB) RouteShape(shape string, joins int) int {
 	h := fnv.New32a()
 	_, _ = h.Write([]byte(prefix))
 	return int(h.Sum32() % uint32(n))
+}
+
+// NormalizeShape strips the bloom-filter marker from a shape signature,
+// yielding the canonical routing/migration key: templates and probes whose
+// trees differ only in bloom-filter placement must agree on one shard.
+func NormalizeShape(shape string) string {
+	return strings.ReplaceAll(shape, "+BF", "")
 }
 
 // joinBand buckets a join count into the coarse bands used as the routing

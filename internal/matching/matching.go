@@ -68,6 +68,12 @@ type Options struct {
 	// 0 means the default of 4096 entries; a negative value disables the
 	// cache. The cache is only active for VersionedEndpoints.
 	ProbeCacheSize int
+	// TolerateProbeErrors keeps a plan's matching usable when a shard
+	// endpoint fails even after the transport's own retries: the failed
+	// fragment counts as unmatched (ProbeStats.Errors / Engine.ProbeErrors)
+	// instead of failing the whole MatchPlan. Fleet deployments enable it so
+	// a dead shard degrades only that shard's rewrites, never the request.
+	TolerateProbeErrors bool
 }
 
 // DefaultOptions returns the configuration used in the experiments.
@@ -95,6 +101,7 @@ type Engine struct {
 	cache       *probeCache
 	flight      flightGroup
 	deduped     atomic.Int64
+	probeErrors atomic.Int64
 	shardProbes []atomic.Int64
 }
 
@@ -252,6 +259,10 @@ func (e *Engine) probe(shard int, conn shardConn, queryText string) (sols []spar
 // in-flight identical probe instead of evaluating SPARQL themselves.
 func (e *Engine) DedupedProbes() int64 { return e.deduped.Load() }
 
+// ProbeErrors returns how many probes failed and were tolerated as
+// unmatched since the engine was built (Options.TolerateProbeErrors).
+func (e *Engine) ProbeErrors() int64 { return e.probeErrors.Load() }
+
 // Match is one problem pattern found in a plan.
 type Match struct {
 	// FragmentRootID is the operator ID of the matched sub-plan's root in the
@@ -286,6 +297,9 @@ type ProbeStats struct {
 	// TotalMillis is the summed wall-clock time of every probe, matched or
 	// not (the quantity behind Figure 11 / Exp-3).
 	TotalMillis float64
+	// Errors is how many probes failed and were tolerated as unmatched
+	// (only ever non-zero under Options.TolerateProbeErrors).
+	Errors int
 }
 
 // MatchPlan probes the knowledge base for every sub-plan of the plan and
@@ -356,7 +370,15 @@ func (e *Engine) MatchPlanStats(plan *qgm.Plan) ([]Match, ProbeStats, error) {
 	claimed := map[string]bool{}
 	for i, frag := range fragments {
 		if outcomes[i].err != nil {
-			return nil, stats, outcomes[i].err
+			if !e.Opts.TolerateProbeErrors {
+				return nil, stats, outcomes[i].err
+			}
+			// Degrade, don't fail: the fragment goes unmatched (no rewrite
+			// from this template shard) and the error is counted.
+			e.probeErrors.Add(1)
+			stats.Probes++
+			stats.Errors++
+			continue
 		}
 		stats.Probes++
 		stats.TotalMillis += outcomes[i].m.MatchMillis

@@ -1,0 +1,45 @@
+package galo_test
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"galo"
+)
+
+func respWithRetryAfter(v string) *http.Response {
+	h := http.Header{}
+	if v != "" {
+		h.Set("Retry-After", v)
+	}
+	return &http.Response{StatusCode: http.StatusTooManyRequests, Header: h}
+}
+
+func TestRetryAfterParsesDeltaSeconds(t *testing.T) {
+	d, ok := galo.RetryAfter(respWithRetryAfter("3"))
+	if !ok || d != 3*time.Second {
+		t.Fatalf("RetryAfter(3) = (%v, %v), want (3s, true)", d, ok)
+	}
+	if _, ok := galo.RetryAfter(respWithRetryAfter("")); ok {
+		t.Error("missing header parsed as a wait")
+	}
+	if _, ok := galo.RetryAfter(respWithRetryAfter("-2")); ok {
+		t.Error("negative delta parsed as a wait")
+	}
+	if _, ok := galo.RetryAfter(respWithRetryAfter("soon")); ok {
+		t.Error("garbage parsed as a wait")
+	}
+}
+
+func TestRetryAfterParsesHTTPDate(t *testing.T) {
+	future := time.Now().Add(90 * time.Second).UTC().Format(http.TimeFormat)
+	d, ok := galo.RetryAfter(respWithRetryAfter(future))
+	if !ok || d < 80*time.Second || d > 91*time.Second {
+		t.Fatalf("RetryAfter(+90s date) = (%v, %v), want ~90s", d, ok)
+	}
+	past := time.Now().Add(-time.Minute).UTC().Format(http.TimeFormat)
+	if d, ok := galo.RetryAfter(respWithRetryAfter(past)); !ok || d != 0 {
+		t.Fatalf("RetryAfter(past date) = (%v, %v), want (0, true): retry immediately", d, ok)
+	}
+}
